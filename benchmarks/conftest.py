@@ -1,0 +1,6 @@
+"""Make the shared harness importable from every benchmark module."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,62 @@
+"""Figure 12 (Appendix F): scaling out the cluster, 1..15 workers.
+
+Paper shape: TC and SG on the Appendix E synthetics speed up steadily with
+workers — 15 workers gain ~7x (TC) / ~10x (SG) over the 2-worker setting.
+This is the experiment the simulated clock exists for: within a stage,
+workers run their tasks concurrently, so adding workers shrinks the
+per-stage max while fixed overheads eventually flatten the curve.
+
+Partitions are fixed at 16 across the sweep (the paper uses one partition
+per core; fixing the partition count isolates the worker-count effect).
+"""
+
+from repro.baselines.systems import RaSQLSystem, Workload
+from repro.datagen import grid_graph, random_tree
+
+from harness import once, report
+
+WORKERS = [1, 2, 4, 8, 15]
+NUM_PARTITIONS = 16
+
+
+def _sg_rel_from_tree(max_nodes: int):
+    tree = random_tree(height=6, seed=21, max_nodes=max_nodes)
+    return [(parent, child) for parent, child in tree.edges]
+
+
+DATASETS = {
+    "TC-Grid25": ("tc", {"edge": (["Src", "Dst"], grid_graph(25))}),
+    "TC-Grid35": ("tc", {"edge": (["Src", "Dst"], grid_graph(35))}),
+    "SG-Tree6": ("sg", {"rel": (["Parent", "Child"], _sg_rel_from_tree(500))}),
+}
+
+
+def test_fig12_scaling_out(benchmark):
+    def experiment():
+        times: dict[tuple, float] = {}
+        for label, (algorithm, tables) in DATASETS.items():
+            for workers in WORKERS:
+                system = RaSQLSystem(num_workers=workers,
+                                     num_partitions=NUM_PARTITIONS)
+                # Min of three runs: per-task CPU is measured wall time,
+                # and the scale-out curve is exactly the place where
+                # scheduler jitter would otherwise mask the trend.
+                times[(label, workers)] = min(
+                    system.run(Workload(algorithm, tables)).sim_seconds
+                    for _ in range(3))
+        return times
+
+    times = once(benchmark, experiment)
+
+    rows = [[label] + [times[(label, w)] for w in WORKERS]
+            for label in DATASETS]
+    report("fig12", "Figure 12: Scaling-out Cluster Size (sim seconds)",
+           ["dataset"] + [f"{w}w" for w in WORKERS], rows,
+           notes="paper: 15 workers gain ~7x (TC) / ~10x (SG) over 2 workers")
+
+    for label in DATASETS:
+        # Monotone-ish speedup: 15 workers clearly beat 2 and 1.
+        assert times[(label, 15)] < times[(label, 2)], label
+        assert times[(label, 2)] < times[(label, 1)], label
+        speedup_15_vs_2 = times[(label, 2)] / times[(label, 15)]
+        assert speedup_15_vs_2 > 1.5, (label, speedup_15_vs_2)

@@ -1,0 +1,54 @@
+"""Figure 5: effect of stage combination (Section 7.1).
+
+Paper shape: fusing Reduce(i)+Map(i+1) into one ShuffleMap stage gives
+3x–5x on REACH (no aggregate, iteration work is small so per-stage
+scheduling dominates) and 1.5x–2x on CC/SSSP, across RMAT-16M..128M
+(scaled sweep here).
+"""
+
+import pytest
+
+from repro import ExecutionConfig
+from repro.baselines.systems import RaSQLSystem
+
+from harness import RMAT_SIZES, once, report, rmat_label, rmat_tables, run_system
+
+QUERIES = ["cc", "reach", "sssp"]
+
+
+def test_fig5_stage_combination(benchmark):
+    def experiment():
+        rows = []
+        ratios = {}
+        for n in RMAT_SIZES:
+            tables = rmat_tables(n)
+            for query in QUERIES:
+                times = {}
+                for combined in (True, False):
+                    config = ExecutionConfig(stage_combination=combined,
+                                             decomposed_plans=False)
+                    result = run_system(
+                        RaSQLSystem, query, tables,
+                        source=0 if query in ("reach", "sssp") else None,
+                        config=config)
+                    times[combined] = result.sim_seconds
+                rows.append([rmat_label(n), query.upper(),
+                             times[True], times[False],
+                             times[False] / times[True]])
+                ratios[(n, query)] = times[False] / times[True]
+        return rows, ratios
+
+    rows, ratios = once(benchmark, experiment)
+    report("fig5", "Figure 5: Effect of Stage Combination (sim seconds)",
+           ["dataset", "query", "with_combination", "without", "speedup"],
+           rows,
+           notes="paper: 3x-5x on REACH, 1.5x-2x on CC/SSSP")
+
+    largest = max(RMAT_SIZES)
+    # Shape: combination always wins, and wins most on REACH.
+    for (n, query), ratio in ratios.items():
+        assert ratio > 1.0, (n, query, ratio)
+    reach_ratio = ratios[(largest, "reach")]
+    assert reach_ratio > 1.3
+    assert ratios[(largest, "cc")] > 1.1
+    assert ratios[(largest, "sssp")] > 1.1

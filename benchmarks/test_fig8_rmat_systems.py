@@ -1,0 +1,82 @@
+"""Figure 8: five-system comparison on the RMAT sweep.
+
+Paper shape (REACH/CC/SSSP over RMAT-1M..128M, log-log):
+
+- RaSQL is fastest on REACH and within ~10% of the fastest on CC/SSSP at
+  the larger sizes;
+- Giraph tracks RaSQL closely (well-tuned, but pays Hadoop job startup);
+- GraphX is 4x-8x slower than RaSQL;
+- Myria is fastest on the *small* sizes (minimal per-stage overhead) but
+  scales poorly and falls behind as data grows — the curves cross;
+- BigDatalog sits between RaSQL and GraphX.
+
+The sweep here is the same doubling grid scaled ~1000x (see DESIGN.md).
+One source vertex and one run per point (the paper averages 5x5; the
+determinism of the simulated clock makes repetition unnecessary except
+for CPU noise, which min-of-2 absorbs in the ablation figures).
+"""
+
+from repro.baselines.systems import (
+    BigDatalogSystem,
+    GiraphSystem,
+    GraphXSystem,
+    MyriaSystem,
+    RaSQLSystem,
+)
+
+from harness import RMAT_SIZES, once, report, rmat_label, rmat_tables, run_system
+
+SYSTEMS = [RaSQLSystem, BigDatalogSystem, GraphXSystem, GiraphSystem,
+           MyriaSystem]
+QUERIES = ["reach", "cc", "sssp"]
+
+
+def test_fig8_systems_on_rmat(benchmark):
+    def experiment():
+        times: dict[tuple, float] = {}
+        for n in RMAT_SIZES:
+            tables = rmat_tables(n)
+            for query in QUERIES:
+                for system_cls in SYSTEMS:
+                    result = run_system(
+                        system_cls, query, tables,
+                        source=0 if query in ("reach", "sssp") else None)
+                    times[(query, n, system_cls.name)] = result.sim_seconds
+        return times
+
+    times = once(benchmark, experiment)
+
+    for query in QUERIES:
+        rows = []
+        for n in RMAT_SIZES:
+            rows.append([rmat_label(n)]
+                        + [times[(query, n, s.name)] for s in SYSTEMS])
+        report(f"fig8_{query}",
+               f"Figure 8 ({query.upper()}): system comparison on RMAT "
+               "(sim seconds)",
+               ["dataset"] + [s.name for s in SYSTEMS], rows,
+               notes="paper: RaSQL fastest or within 10%; GraphX 4x-8x "
+                     "slower; Myria wins small, lags large")
+
+    largest, smallest = max(RMAT_SIZES), min(RMAT_SIZES)
+    for query in QUERIES:
+        rasql_large = times[(query, largest, "rasql")]
+        # GraphX well behind RaSQL at scale (paper 4x-8x; at this scale
+        # the reproduction lands 1.5x-3x — see EXPERIMENTS.md).
+        assert times[(query, largest, "graphx")] > 1.5 * rasql_large, query
+        # RaSQL clearly ahead of BigDatalog ("huge improvements").
+        assert times[(query, largest, "bigdatalog")] > 1.3 * rasql_large, query
+        # Giraph tracks RaSQL ("performs similar to RaSQL on CC and SSSP").
+        giraph_ratio = times[(query, largest, "giraph")] / rasql_large
+        assert 0.5 < giraph_ratio < 2.5, (query, giraph_ratio)
+        # Myria's crossover: relatively better at the smallest size than
+        # at the largest (ratio to RaSQL grows with size).
+        myria_small_ratio = (times[(query, smallest, "myria")]
+                             / times[(query, smallest, "rasql")])
+        myria_large_ratio = (times[(query, largest, "myria")]
+                             / times[(query, largest, "rasql")])
+        assert myria_large_ratio > myria_small_ratio, query
+        # Myria is the fastest system at the smallest size.
+        fastest_small = min(times[(query, smallest, s.name)]
+                            for s in SYSTEMS)
+        assert times[(query, smallest, "myria")] <= fastest_small + 1e-9, query

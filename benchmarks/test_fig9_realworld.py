@@ -1,0 +1,75 @@
+"""Figure 9: systems on the real-world graphs (Table 1), plus GAP-serial.
+
+Paper shape: on the skewed real graphs RaSQL ranks 1st on 9 of 12
+system×query cells and 2nd on the rest; it beats Giraph by ~2x on REACH
+and SSSP (better handling of skew via its partitioning); GraphX closes to
+1.5x-2x of Giraph but stays behind RaSQL; GAP-serial is competitive on
+the small graphs and hopeless on twitter (100x behind on SSSP).
+
+The graphs are scaled power-law proxies that preserve each original's
+density and skew ordering (see repro.datagen.realworld).
+"""
+
+from repro.baselines.systems import (
+    BigDatalogSystem,
+    GAPSerialSystem,
+    GiraphSystem,
+    GraphXSystem,
+    MyriaSystem,
+    RaSQLSystem,
+    Workload,
+)
+
+from harness import REAL_GRAPH_DIVISOR, once, real_graph_tables, report, run_system
+
+GRAPHS = ["livejournal", "orkut", "arabic", "twitter"]
+DISTRIBUTED = [RaSQLSystem, BigDatalogSystem, GraphXSystem, GiraphSystem,
+               MyriaSystem]
+QUERIES = ["reach", "cc", "sssp"]
+
+
+def test_fig9_real_world_graphs(benchmark):
+    def experiment():
+        times: dict[tuple, float] = {}
+        for name in GRAPHS:
+            tables = real_graph_tables(name)
+            for query in QUERIES:
+                for system_cls in DISTRIBUTED:
+                    result = run_system(
+                        system_cls, query, tables,
+                        source=0 if query in ("reach", "sssp") else None)
+                    times[(query, name, system_cls.name)] = result.sim_seconds
+                serial_result = GAPSerialSystem().run(
+                    Workload(query, tables, source=0))
+                times[(query, name, "gap-serial")] = serial_result.sim_seconds
+        return times
+
+    times = once(benchmark, experiment)
+
+    columns = [s.name for s in DISTRIBUTED] + ["gap-serial"]
+    for query in QUERIES:
+        rows = [[name] + [times[(query, name, c)] for c in columns]
+                for name in GRAPHS]
+        report(f"fig9_{query}",
+               f"Figure 9 ({query.upper()}): real-world graph proxies, "
+               f"scale 1/{REAL_GRAPH_DIVISOR} (sim seconds)",
+               ["graph"] + columns, rows,
+               notes="paper: RaSQL 1st on 9/12 cells, ~2x over Giraph on "
+                     "REACH/SSSP via better skew handling")
+
+    # Rank shape: count cells where RaSQL is first or second.
+    first_or_second = 0
+    cells = 0
+    for query in QUERIES:
+        for name in GRAPHS:
+            cells += 1
+            ranked = sorted(
+                (times[(query, name, s.name)] for s in DISTRIBUTED))
+            if times[(query, name, "rasql")] <= ranked[1] + 1e-9:
+                first_or_second += 1
+    assert first_or_second >= cells - 2, f"RaSQL top-2 in {first_or_second}/{cells}"
+
+    # GraphX stays behind RaSQL on the skewed graphs.
+    for name in GRAPHS:
+        assert (times[("sssp", name, "graphx")]
+                > times[("sssp", name, "rasql")]), name

@@ -1,0 +1,122 @@
+"""Table 3 (Appendix F): CC on the real graphs, single-machine vs cluster.
+
+Paper numbers (seconds): COST 2/<1/14/200, GAP-serial 13/21/95/763,
+GAP-parallel 11/18/93/309, RaSQL 17/19/64/108, GraphX 30/32/72/317,
+Giraph 21/24/73/106 on livejournal/orkut/arabic/twitter.  Shape: the
+single-threaded compiled implementations win the small graphs on low
+overhead, but on twitter the distributed systems "scale up better and
+clearly win"; COST beats GAP-serial because union-find does asymptotically
+less work than GAP's label-propagation sweeps.
+
+Reproduction method: measured times on 1/2000-scale proxies *plus a
+documented projection to full scale* — serial time scales linearly with
+the edge count, while a distributed run splits into fixed scheduling
+overhead (does not scale) and data-dependent work (scales).  The
+distributed systems run with the paper's 15 workers, and their task CPU is
+scaled by 1/15 to model JVM-over-CPython execution, mirroring how the
+serial baselines' constants model C++/Rust-over-CPython (all constants in
+repro.baselines.serial / this file).
+"""
+
+from repro.baselines.systems import (
+    COSTSystem,
+    GAPParallelSystem,
+    GAPSerialSystem,
+    GiraphSystem,
+    GraphXSystem,
+    RaSQLSystem,
+    Workload,
+)
+from repro.baselines import serial
+from repro.datagen import REAL_GRAPHS
+from repro.engine.metrics import CostModel
+
+from harness import REAL_GRAPH_DIVISOR, once, real_graph_tables, report
+
+GRAPHS = ["livejournal", "orkut", "arabic", "twitter"]
+SERIAL_SYSTEMS = [COSTSystem, GAPSerialSystem, GAPParallelSystem]
+DISTRIBUTED_SYSTEMS = [RaSQLSystem, GraphXSystem, GiraphSystem]
+
+#: JVM (Spark/Giraph executors) over CPython for this workload class.
+JVM_SPEEDUP = 15.0
+PAPER_WORKERS = 15
+
+_JVM_COST_MODEL = CostModel(cpu_scale=1.0 / JVM_SPEEDUP)
+
+
+def _project_distributed(result) -> float:
+    """Project a proxy measurement to full scale from its metrics:
+    scheduling overhead is size-independent; bytes moved and task CPU
+    scale with the edge count (iteration counts barely change on
+    small-diameter social graphs)."""
+    metrics = result.metrics
+    fixed = (metrics.get("stages", 0) * 0.020
+             + metrics.get("tasks", 0) * 0.002)
+    nbytes = (metrics.get("shuffle_remote_bytes", 0)
+              + metrics.get("load_bytes", 0)
+              + metrics.get("broadcast_bytes", 0))
+    network = nbytes / (125e6 * PAPER_WORKERS) * REAL_GRAPH_DIVISOR
+    cpu = (metrics.get("task_cpu_seconds", 0) / PAPER_WORKERS / JVM_SPEEDUP
+           * REAL_GRAPH_DIVISOR)
+    return fixed + network + cpu
+
+
+def _project_serial(result, full_edges: int) -> float:
+    """Serial work scales linearly with edges and picks up the
+    out-of-cache penalty of billion-edge working sets."""
+    return (result.sim_seconds * REAL_GRAPH_DIVISOR
+            * serial.out_of_cache_penalty(full_edges))
+
+
+def test_table3_cc_benchmark(benchmark):
+    def experiment():
+        measured: dict[tuple, float] = {}
+        projected: dict[tuple, float] = {}
+        for name in GRAPHS:
+            tables = real_graph_tables(name, weighted=False)
+            full_edges = REAL_GRAPHS[name].edges
+            for system_cls in SERIAL_SYSTEMS:
+                result = system_cls().run(Workload("cc", tables))
+                measured[(name, system_cls.name)] = result.sim_seconds
+                projected[(name, system_cls.name)] = _project_serial(
+                    result, full_edges)
+            for system_cls in DISTRIBUTED_SYSTEMS:
+                kwargs = ({"cost_model": _JVM_COST_MODEL}
+                          if system_cls is RaSQLSystem else {})
+                system = system_cls(num_workers=PAPER_WORKERS, **kwargs)
+                system_result = system.run(Workload("cc", tables))
+                measured[(name, system_cls.name)] = system_result.sim_seconds
+                projected[(name, system_cls.name)] = _project_distributed(
+                    system_result)
+        return measured, projected
+
+    measured, projected = once(benchmark, experiment)
+
+    all_systems = SERIAL_SYSTEMS + DISTRIBUTED_SYSTEMS
+    report("table3_measured",
+           f"Table 3 (measured on 1/{REAL_GRAPH_DIVISOR} proxies, "
+           "sim seconds)",
+           ["graph"] + [s.name for s in all_systems],
+           [[name] + [measured[(name, s.name)] for s in all_systems]
+            for name in GRAPHS])
+    report("table3",
+           "Table 3: CC Benchmark, projected to full scale (seconds)",
+           ["graph"] + [s.name for s in all_systems],
+           [[name] + [projected[(name, s.name)] for s in all_systems]
+            for name in GRAPHS],
+           notes="paper: COST 2/<1/14/200, GAP-serial 13/21/95/763, "
+                 "RaSQL 17/19/64/108, Giraph 21/24/73/106; serial wins "
+                 "small graphs, distributed wins twitter, COST beats GAP")
+
+    # Shape 1: serial implementations win the small graphs outright.
+    small = "livejournal"
+    assert measured[(small, "cost")] < measured[(small, "rasql")]
+    assert measured[(small, "gap-serial")] < measured[(small, "rasql")]
+    # Shape 2: at full scale the distributed engines beat GAP-serial on
+    # twitter.
+    big = "twitter"
+    assert projected[(big, "rasql")] < projected[(big, "gap-serial")]
+    assert projected[(big, "giraph")] < projected[(big, "gap-serial")]
+    # Shape 3: COST's union-find beats GAP's label propagation everywhere.
+    for name in GRAPHS:
+        assert measured[(name, "cost")] < measured[(name, "gap-serial")], name

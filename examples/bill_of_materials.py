@@ -1,0 +1,47 @@
+"""Bill of Materials: the paper's running example (Section 2, Q1 vs Q2).
+
+Builds a random assembly hierarchy, then runs
+
+- Q1, the SQL:99-stratified version (recursion first, ``max`` after), and
+- Q2, the RaSQL endo-max version (``max()`` inside the recursive head),
+
+verifies they agree — the PreM guarantee — and shows why Q2 is the one
+you want: far fewer facts derived and shuffled.
+
+    python examples/bill_of_materials.py
+"""
+
+from repro import RaSQLContext
+from repro.datagen import random_tree
+from repro.queries import get_query
+
+
+def main():
+    tree = random_tree(height=7, seed=3, max_nodes=3_000)
+    assbl = tree.edges
+    basic = [(leaf, (leaf * 37) % 28 + 1) for leaf in tree.leaves]
+    print(f"assembly hierarchy: {tree.num_nodes} parts, "
+          f"{len(basic)} basic parts\n")
+
+    results = {}
+    for label, query in (("Q1 (stratified)", "bom_stratified"),
+                         ("Q2 (endo-max)", "bom")):
+        ctx = RaSQLContext(num_workers=4)
+        ctx.register_table("assbl", ["Part", "SPart"], assbl)
+        ctx.register_table("basic", ["Part", "Days"], basic)
+        result = ctx.sql(get_query(query).sql)
+        results[label] = dict(result.rows)
+        print(f"{label:16s}: {len(result)} parts resolved, "
+              f"{int(ctx.last_run.metrics.get('shuffle_records', 0)):7d} "
+              f"rows shuffled, {ctx.last_run.sim_time:.3f} sim s")
+
+    assert results["Q1 (stratified)"] == results["Q2 (endo-max)"], \
+        "PreM guarantees Q1 and Q2 agree"
+    print("\nQ1 == Q2 on every part (the PreM equivalence of Section 3)")
+
+    root_days = results["Q2 (endo-max)"][0]
+    print(f"the full assembly (part 0) is ready after {root_days} days")
+
+
+if __name__ == "__main__":
+    main()

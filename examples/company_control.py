@@ -1,0 +1,60 @@
+"""Company Control: mutual recursion with sum() (Example 8, Section 4).
+
+The Mumick-Pirahesh-Ramakrishnan query: a company controls another when it
+(directly or through controlled companies) holds a majority of its shares.
+Two mutually recursive views — ``cshares`` (a sum view) and ``control``
+(a filter over cshares' running totals) — exercise the engine's hardest
+paths: cross-term delta expansion, the δ⋈δ inclusion-exclusion correction,
+and increment-vs-total semantics for the ``Tot > 50`` filter.
+
+    python examples/company_control.py
+"""
+
+import random
+
+from repro import RaSQLContext
+from repro.baselines import serial
+from repro.queries import get_query
+
+
+def make_share_network(num_companies: int, seed: int = 17):
+    """Random ownership network with some deliberate control chains."""
+    rng = random.Random(seed)
+    shares = []
+    companies = [f"C{i:03d}" for i in range(num_companies)]
+    # A guaranteed control chain: C000 -> C001 -> C002 -> ...
+    for i in range(min(6, num_companies - 1)):
+        shares.append((companies[i], companies[i + 1], 51 + rng.randrange(20)))
+    # Background cross-holdings.
+    for _ in range(num_companies * 3):
+        a, b = rng.sample(companies, 2)
+        shares.append((a, b, rng.randrange(5, 30)))
+    return shares
+
+
+def main():
+    shares = make_share_network(40)
+    print(f"share network: {len(shares)} holdings over 40 companies\n")
+
+    ctx = RaSQLContext(num_workers=4)
+    ctx.register_table("shares", ["By", "Of", "Percent"], shares)
+    result = ctx.sql(get_query("company_control").sql)
+
+    totals = {(a, b): t for a, b, t in result.rows}
+    reference = serial.company_control(shares)
+    assert set(totals) == set(reference)
+    for pair, expected in reference.items():
+        assert abs(totals[pair] - expected) < 1e-9, pair
+    print("engine result matches the independent fixpoint oracle")
+
+    controlled = sorted((a, b) for (a, b), t in totals.items() if t > 50)
+    print(f"\n{len(controlled)} control relationships, e.g.:")
+    for a, b in controlled[:8]:
+        print(f"  {a} controls {b} ({totals[(a, b)]:.0f}%)")
+    print(f"\nfixpoint iterations: {ctx.last_run.iterations} "
+          f"(mutual recursion over views "
+          f"{list(ctx.last_run.clique_iterations)[0]})")
+
+
+if __name__ == "__main__":
+    main()

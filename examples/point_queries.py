@@ -1,0 +1,49 @@
+"""Point queries: magic-filter seeding and the execution profiler.
+
+Recursive queries are often asked about *one* entity — "what does company
+C000 control?", "what can node 5 reach?".  When the filtered column passes
+unchanged through the recursion, the optimizer seeds the fixpoint with the
+constant instead of computing everything and filtering at the end (a
+lightweight magic-sets rewrite).  This example shows the rewrite's effect
+and reads the per-label time profile.
+
+    python examples/point_queries.py
+"""
+
+from repro import ExecutionConfig, RaSQLContext
+from repro.datagen import random_graph
+
+POINT_TC = """
+WITH recursive tc(Src, Dst) AS
+  (SELECT Src, Dst FROM edge) UNION
+  (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
+SELECT Src, Dst FROM tc WHERE Src = 5 ORDER BY Dst LIMIT 10
+"""
+
+
+def main():
+    edges = random_graph(1_500, 6_000, seed=41)
+    runs = {}
+    for label, magic in (("seeded (magic filters)", True),
+                         ("full closure, filter last", False)):
+        ctx = RaSQLContext(num_workers=4,
+                           config=ExecutionConfig(magic_filters=magic))
+        ctx.register_table("edge", ["Src", "Dst"], edges)
+        result = ctx.sql(POINT_TC)
+        runs[label] = (result, ctx)
+        print(f"{label:28s}: {ctx.last_run.sim_time:7.3f} sim s, "
+              f"{int(ctx.last_run.metrics.get('shuffle_records', 0)):8d} "
+              "rows shuffled")
+
+    seeded, full = (runs["seeded (magic filters)"][0],
+                    runs["full closure, filter last"][0])
+    assert sorted(seeded.rows) == sorted(full.rows)
+    print("\nidentical answers; first rows reachable from node 5:")
+    print(seeded.show(limit=10))
+
+    print("\nprofile of the seeded run:")
+    print(runs["seeded (magic filters)"][1].last_run.profile_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Comparison systems and reference algorithms (Section 8's contenders).
+
+- :mod:`repro.baselines.serial` — single-threaded oracles (GAP/COST).
+- :mod:`repro.baselines.pregel` — vertex-centric BSP engine with Giraph
+  and GraphX execution profiles.
+- :mod:`repro.baselines.algorithms` — vertex programs for the workloads.
+- :mod:`repro.baselines.sql_loop` — Spark-SQL-Naive/SN driver loops.
+- :mod:`repro.baselines.systems` — uniform ``run(workload)`` wrappers for
+  the benchmark harness.
+"""

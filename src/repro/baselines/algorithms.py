@@ -1,0 +1,117 @@
+"""Vertex programs for the Pregel baselines (Section 8's workloads).
+
+Graph programs (Figure 8/9): REACH (BFS), CC (min-label propagation),
+SSSP (Bellman-Ford relaxation).  Complex-analytics programs (Figure 10):
+Delivery (max-propagation up the assembly tree), Management (subordinate
+counting) and MLM (bonus accumulation) as increment propagation — the
+standard encoding of these on vertex-centric systems.
+
+Program contract (see :class:`repro.baselines.pregel.VertexProgram`):
+``init``/``update`` return ``(stored_value, emit_seed)``; the engine sends
+``emit(emit_seed, edge_payload)`` along each out-edge when the seed is not
+``None``.  Min/max programs emit their improved value; sum programs store
+the running total but emit the *increment*, which is what makes the
+tree-structured Figure 10 workloads converge to the right totals.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.pregel import VertexProgram
+
+
+def reach_program(source) -> VertexProgram:
+    """BFS reachability: value is ``True`` once visited."""
+    return VertexProgram(
+        name="reach",
+        init=lambda vertex, ctx: (True, True) if vertex == source
+        else (None, None),
+        combine=lambda a, b: a or b,
+        update=lambda old, message: (None, None) if old else (True, True),
+        emit=lambda seed, payload: True,
+    )
+
+
+def cc_program() -> VertexProgram:
+    """Min-label propagation along directed edges (the CC query)."""
+    return VertexProgram(
+        name="cc",
+        init=lambda vertex, ctx: (vertex, vertex),
+        combine=min,
+        update=lambda old, message: (message, message)
+        if old is None or message < old else (None, None),
+        emit=lambda seed, payload: seed,
+    )
+
+
+def sssp_program(source) -> VertexProgram:
+    """Bellman-Ford relaxation; edge payload carries the weight."""
+    return VertexProgram(
+        name="sssp",
+        init=lambda vertex, ctx: (0, 0) if vertex == source else (None, None),
+        combine=min,
+        update=lambda old, message: (message, message)
+        if old is None or message < old else (None, None),
+        emit=lambda seed, payload: seed + payload[0],
+    )
+
+
+def delivery_program() -> VertexProgram:
+    """BOM days-till-delivery on a tree with edges child→parent.
+
+    ``context['leaf_days']`` seeds the basic parts; parents adopt the max
+    of their subparts' days (monotone max, so re-emission on improvement
+    is safe).
+    """
+    def init(vertex, ctx):
+        days = ctx["leaf_days"].get(vertex)
+        return (days, days) if days is not None else (None, None)
+
+    return VertexProgram(
+        name="delivery",
+        init=init,
+        combine=max,
+        update=lambda old, message: (message, message)
+        if old is None or message > old else (None, None),
+        emit=lambda seed, payload: seed,
+    )
+
+
+def management_program() -> VertexProgram:
+    """Subordinate counting on a tree with edges employee→manager.
+
+    ``context['employees']`` holds everyone who appears as an employee in
+    the ``report`` relation — matching the query's base case, only they
+    seed a 1 (a root manager starts unset).  Increments travel each upward
+    edge exactly once, so the fixpoint equals the Management query's Cnt.
+    """
+    def init(vertex, ctx):
+        if vertex in ctx["employees"]:
+            return 1, 1
+        return None, None
+
+    return VertexProgram(
+        name="management",
+        init=init,
+        combine=lambda a, b: a + b,
+        update=lambda old, inc: ((old or 0) + inc, inc),
+        emit=lambda seed, payload: seed,
+    )
+
+
+def mlm_program() -> VertexProgram:
+    """MLM bonus on the sponsor tree (edges member→sponsor).
+
+    ``context['profit']`` maps member → gross profit P; values start at
+    0.1·P and increments halve at every upward hop.
+    """
+    def init(vertex, ctx):
+        seed = ctx["profit"].get(vertex, 0.0) * 0.1
+        return (seed, seed if seed else None)
+
+    return VertexProgram(
+        name="mlm",
+        init=init,
+        combine=lambda a, b: a + b,
+        update=lambda old, inc: ((old or 0.0) + inc, inc),
+        emit=lambda seed, payload: seed * 0.5,
+    )

@@ -1,0 +1,330 @@
+"""Semantic analysis: the two-step compilation of Section 5.
+
+Step one walks the WITH clause and *recognizes recursive table references*:
+any FROM entry naming a view of the same strongly-connected component of
+the view dependency graph becomes a :class:`RecursiveScanNode` mark point,
+which is what stops reference resolution from looping.  Together with the
+implicit group-by rule (all non-aggregate head columns group), this yields
+the Recursive Clique Plan of Figure 2(a).
+
+Step two resolves everything else like an ordinary SQL analyzer: aliases,
+column references (with ambiguity checks), arity of union branches against
+the view head, and the aggregate whitelist (``avg`` is rejected inside
+recursion — Section 3 explains why its fixpoint would be unsound).
+"""
+
+from __future__ import annotations
+
+from repro.core import ast_nodes as ast
+from repro.core.catalog import Catalog
+from repro.core.expressions import Layout, split_conjuncts
+from repro.core.logical import (
+    AnalyzedScript,
+    CliquePlan,
+    DerivedViewPlan,
+    JoinNode,
+    RecursiveScanNode,
+    RulePlan,
+    ScanNode,
+    ViewPlan,
+)
+from repro.engine.aggregates import BY_NAME as AGGREGATES_IN_RECURSION
+from repro.errors import AnalysisError
+
+
+def _strongly_connected_components(nodes: list[str],
+                                   edges: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's algorithm; emits SCCs in dependency (reverse-topological)
+    order, i.e. every SCC appears after the SCCs it depends on... precisely:
+    each emitted SCC only depends on SCCs emitted *before* it."""
+    index_counter = [0]
+    stack: list[str] = []
+    lowlink: dict[str, int] = {}
+    index: dict[str, int] = {}
+    on_stack: dict[str, bool] = {}
+    result: list[list[str]] = []
+
+    def visit(node: str):
+        # Iterative Tarjan to avoid recursion limits on deep view chains.
+        work = [(node, iter(sorted(edges.get(node, ()))))]
+        index[node] = lowlink[node] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(node)
+        on_stack[node] = True
+        while work:
+            current, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack[successor] = True
+                    work.append((successor, iter(sorted(edges.get(successor, ())))))
+                    advanced = True
+                    break
+                if on_stack.get(successor):
+                    lowlink[current] = min(lowlink[current], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[current])
+            if lowlink[current] == index[current]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == current:
+                        break
+                result.append(component)
+
+    for node in nodes:
+        if node not in index:
+            visit(node)
+    return result
+
+
+class Analyzer:
+    """Binds a parsed script against a catalog of base-table schemas."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        #: Views defined earlier in the script (CREATE VIEW or earlier units),
+        #: name(lower) -> columns.
+        self.derived_schemas: dict[str, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def analyze(self, script: ast.Script) -> AnalyzedScript:
+        units: list[DerivedViewPlan | CliquePlan] = []
+        final: ast.SelectQuery | None = None
+
+        for position, statement in enumerate(script.statements):
+            is_last = position == len(script.statements) - 1
+            if isinstance(statement, ast.CreateView):
+                units.append(self._analyze_create_view(statement))
+            elif isinstance(statement, ast.WithQuery):
+                if not is_last:
+                    raise AnalysisError("WITH query must be the final statement")
+                units.extend(self._analyze_with_views(statement.views))
+                final = statement.final
+            elif isinstance(statement, ast.SelectQuery):
+                if not is_last:
+                    raise AnalysisError("SELECT must be the final statement")
+                final = statement
+            else:
+                raise AnalysisError(f"unsupported statement {statement!r}")
+
+        if final is None:
+            raise AnalysisError("script has no final SELECT")
+        self._validate_final(final)
+        return AnalyzedScript(units, final)
+
+    # ------------------------------------------------------------------
+    # name environment
+    # ------------------------------------------------------------------
+
+    def _schema_of(self, name: str) -> tuple[str, ...] | None:
+        key = name.lower()
+        if key in self.derived_schemas:
+            return self.derived_schemas[key]
+        if name in self.catalog:
+            return self.catalog.schema_of(name)
+        return None
+
+    # ------------------------------------------------------------------
+    # CREATE VIEW
+    # ------------------------------------------------------------------
+
+    def _analyze_create_view(self, statement: ast.CreateView) -> DerivedViewPlan:
+        query = statement.query
+        inferred = tuple(item.output_name(i) for i, item in enumerate(query.items))
+        columns = statement.columns or inferred
+        if len(columns) != len(query.items):
+            raise AnalysisError(
+                f"view {statement.name!r} declares {len(columns)} columns "
+                f"but its query produces {len(query.items)}")
+        self._validate_plain_query(query, context=f"view {statement.name!r}")
+        self.derived_schemas[statement.name.lower()] = tuple(columns)
+        return DerivedViewPlan(statement.name, tuple(columns), (query,))
+
+    # ------------------------------------------------------------------
+    # WITH views: dependency graph, SCCs, per-view plans
+    # ------------------------------------------------------------------
+
+    def _analyze_with_views(self, views: tuple[ast.ViewDef, ...]
+                            ) -> list[DerivedViewPlan | CliquePlan]:
+        by_name = {v.name.lower(): v for v in views}
+        if len(by_name) != len(views):
+            raise AnalysisError("duplicate view names in WITH clause")
+
+        edges: dict[str, set[str]] = {name: set() for name in by_name}
+        for view in views:
+            for branch in view.branches:
+                for table_ref in branch.from_tables:
+                    target = table_ref.name.lower()
+                    if target in by_name:
+                        edges[view.name.lower()].add(target)
+
+        components = _strongly_connected_components(sorted(by_name), edges)
+
+        units: list[DerivedViewPlan | CliquePlan] = []
+        for component in components:
+            component_views = [by_name[name] for name in component]
+            self_recursive = any(
+                name in edges[name] for name in component)
+            is_recursive_component = (
+                len(component) > 1 or self_recursive
+                or any(v.recursive or v.has_aggregates for v in component_views))
+            if is_recursive_component:
+                units.append(self._analyze_clique(component_views, set(component)))
+            else:
+                units.append(self._analyze_derived_view(component_views[0]))
+        return units
+
+    def _analyze_derived_view(self, view: ast.ViewDef) -> DerivedViewPlan:
+        columns = view.column_names
+        for branch in view.branches:
+            if len(branch.items) != len(columns):
+                raise AnalysisError(
+                    f"branch of view {view.name!r} produces "
+                    f"{len(branch.items)} columns, head declares {len(columns)}")
+            self._validate_plain_query(branch, context=f"view {view.name!r}")
+        self.derived_schemas[view.name.lower()] = columns
+        return DerivedViewPlan(view.name, columns, view.branches)
+
+    def _analyze_clique(self, views: list[ast.ViewDef],
+                        clique_names: set[str]) -> CliquePlan:
+        # Register schemas first: rules may reference any clique member.
+        for view in views:
+            self.derived_schemas[view.name.lower()] = view.column_names
+
+        view_plans = []
+        for view in views:
+            aggregates = []
+            for spec in view.columns:
+                if spec.aggregate is None:
+                    aggregates.append(None)
+                elif spec.aggregate in AGGREGATES_IN_RECURSION:
+                    aggregates.append(AGGREGATES_IN_RECURSION[spec.aggregate])
+                else:
+                    raise AnalysisError(
+                        f"aggregate {spec.aggregate!r} is not usable in "
+                        f"recursion (view {view.name!r}); RaSQL supports "
+                        f"min, max, sum, count")
+
+            base_rules: list[RulePlan] = []
+            recursive_rules: list[RulePlan] = []
+            for branch in view.branches:
+                rule = self._analyze_rule(view, branch, clique_names)
+                if rule.is_recursive:
+                    recursive_rules.append(rule)
+                else:
+                    base_rules.append(rule)
+
+            # A clique view may have no base rule of its own when it is
+            # defined purely from its siblings (Company Control's
+            # ``control``); the clique-level check below still requires a
+            # non-recursive entry point somewhere.
+            view_plans.append(ViewPlan(view.name, view.column_names,
+                                       tuple(aggregates), base_rules,
+                                       recursive_rules))
+
+        if all(not plan.base_rules for plan in view_plans):
+            raise AnalysisError(
+                f"recursive clique {sorted(clique_names)} has no base case")
+        return CliquePlan(view_plans)
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+
+    def _analyze_rule(self, view: ast.ViewDef, branch: ast.SelectQuery,
+                      clique_names: set[str]) -> RulePlan:
+        if len(branch.items) != len(view.columns):
+            raise AnalysisError(
+                f"branch of view {view.name!r} produces {len(branch.items)} "
+                f"columns, head declares {len(view.columns)}")
+        if branch.group_by or branch.having is not None:
+            raise AnalysisError(
+                f"GROUP BY/HAVING is not allowed inside the recursive view "
+                f"{view.name!r}; RaSQL's implicit group-by covers it")
+        if branch.order_by or branch.limit is not None:
+            raise AnalysisError(
+                f"ORDER BY/LIMIT is not allowed inside the recursive view "
+                f"{view.name!r}; apply it in the final SELECT")
+        for item in branch.items:
+            if ast.contains_aggregate(item.expr):
+                raise AnalysisError(
+                    f"explicit aggregate in a branch of view {view.name!r}; "
+                    f"declare it in the view head instead (implicit group-by)")
+
+        projections = tuple(item.expr for item in branch.items)
+
+        if not branch.from_tables:
+            rows = []
+            values = []
+            for expr in projections:
+                if not isinstance(expr, ast.Literal):
+                    raise AnalysisError(
+                        "a FROM-less branch may only select constants")
+                values.append(expr.value)
+            rows.append(tuple(values))
+            if branch.where is not None:
+                raise AnalysisError("WHERE without FROM is not supported")
+            return RulePlan(view.name, None, projections, None, tuple(rows))
+
+        inputs: list[ScanNode | RecursiveScanNode] = []
+        for table_ref in branch.from_tables:
+            name_key = table_ref.name.lower()
+            if name_key in clique_names:
+                columns = self.derived_schemas[name_key]
+                inputs.append(RecursiveScanNode(table_ref.name,
+                                                table_ref.binding, columns))
+            else:
+                schema = self._schema_of(table_ref.name)
+                if schema is None:
+                    raise AnalysisError(
+                        f"unknown table {table_ref.name!r} in view "
+                        f"{view.name!r}")
+                inputs.append(ScanNode(table_ref.name, table_ref.binding,
+                                       schema))
+
+        layout = Layout([(node.binding, node.columns) for node in inputs])
+        join = JoinNode(inputs, equi_conjuncts=[],
+                        residual=split_conjuncts(branch.where))
+
+        # Resolve every column reference now, so errors surface at analysis
+        # time with query context rather than mid-fixpoint.
+        for expr in list(projections) + join.residual:
+            for node in expr.walk():
+                if isinstance(node, ast.ColumnRef):
+                    layout.slot_of(node)
+
+        return RulePlan(view.name, join, projections, layout)
+
+    # ------------------------------------------------------------------
+    # plain queries (final SELECT, CREATE VIEW bodies, derived views)
+    # ------------------------------------------------------------------
+
+    def _validate_plain_query(self, query: ast.SelectQuery, context: str) -> None:
+        for table_ref in query.from_tables:
+            if self._schema_of(table_ref.name) is None:
+                known = sorted(set(self.catalog.names())
+                               | set(self.derived_schemas))
+                raise AnalysisError(
+                    f"unknown table {table_ref.name!r} in {context} "
+                    f"(available: {known})")
+
+    def _validate_final(self, query: ast.SelectQuery) -> None:
+        self._validate_plain_query(query, context="the final SELECT")
+
+
+def analyze(script: ast.Script, catalog: Catalog) -> AnalyzedScript:
+    """Convenience wrapper: analyze a parsed script against *catalog*."""
+    return Analyzer(catalog).analyze(script)

@@ -1,0 +1,41 @@
+"""The session catalog: registered base tables and materialized views."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import AnalysisError
+from repro.relation import Relation
+
+
+class Catalog:
+    """Name → :class:`Relation` registry with case-insensitive lookup."""
+
+    def __init__(self):
+        self._tables: dict[str, Relation] = {}
+
+    def register(self, name: str, columns: Sequence[str],
+                 rows: Iterable[Sequence] | None = None) -> Relation:
+        """Register (or replace) a base table and return it."""
+        relation = Relation(name, columns, rows)
+        self._tables[name.lower()] = relation
+        return relation
+
+    def register_relation(self, relation: Relation) -> None:
+        self._tables[relation.name.lower()] = relation
+
+    def get(self, name: str) -> Relation:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise AnalysisError(f"unknown table {name!r} (registered: "
+                                f"{sorted(self._tables)})") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def schema_of(self, name: str) -> tuple[str, ...]:
+        return self.get(name).columns
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)

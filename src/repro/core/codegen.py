@@ -1,0 +1,363 @@
+"""Whole-pipeline code generation (Section 7.3).
+
+The interpreted term pipeline materializes a padded-row list after every
+step and dispatches each expression through closure chains — the classic
+volcano-model overheads the paper's whole-stage code generation removes.
+This module collapses all operators of one term into a single generated
+Python function: one pass of nested loops with inlined key extraction,
+predicates and projection, compiled once with ``compile()`` at plan time.
+
+Structure of a generated function (SSSP's recursive rule)::
+
+    def _term(delta_rows, partition, runtime):
+        _tbl1 = runtime.base_partitions[1][partition]
+        _out = []
+        _append = _out.append
+        for d in delta_rows:
+            _b1 = _tbl1.get(d[0])
+            if _b1 is None:
+                continue
+            for r1 in _b1:
+                _append(((r1[2]), (d[1] + r1[4])))
+        return _out
+
+Bindings are indexed directly (``d[i]`` for the delta, ``r{k}[slot]`` for
+padded build rows), so no combined row is ever constructed.  Sort-merge
+terms are not fused (the paper's codegen experiments run shuffle-hash);
+generation falls back to the interpreted pipeline for them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core import ast_nodes as ast
+from repro.core.expressions import Layout
+from repro.core.logical import RulePlan
+from repro.core.physical import (
+    CompiledTerm,
+    FilterStep,
+    HashJoinStep,
+    NestedLoopStep,
+    SortMergeJoinStep,
+    TotalizeStep,
+)
+from repro.engine.aggregates import AggregateFunction
+from repro.errors import PlanningError
+
+_OP_MAP = {"=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+           "+": "+", "-": "-", "*": "*", "/": "/"}
+
+
+class _SlotNamer:
+    """Maps absolute layout slots to generated-code references.
+
+    The delta binding's rows are raw view rows (relative indexing on
+    variable ``d``); every joined binding ``k`` holds a padded row in
+    variable ``r{k}`` indexed by absolute slot.  State/delta-source tables
+    also hold raw rows, indexed relative to their segment.
+    """
+
+    def __init__(self, delta_offset: int, delta_arity: int):
+        self.delta_offset = delta_offset
+        self.delta_arity = delta_arity
+        #: slot range -> (variable name, base offset to subtract)
+        self.segments: list[tuple[range, str, int]] = [
+            (range(delta_offset, delta_offset + delta_arity), "d", delta_offset)
+        ]
+
+    def add_segment(self, offset: int, arity: int, var: str,
+                    raw: bool) -> None:
+        base = offset if raw else 0
+        self.segments.append((range(offset, offset + arity), var, base))
+
+    def ref(self, slot: int) -> str:
+        for span, var, base in self.segments:
+            if slot in span:
+                return f"{var}[{slot - base}]"
+        raise PlanningError(f"codegen: slot {slot} not bound yet")
+
+
+def _expr_source(expr: ast.Expr, layout: Layout, namer: _SlotNamer) -> str:
+    """Compile an expression AST to a Python source fragment."""
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return namer.ref(layout.slot_of(expr))
+    if isinstance(expr, ast.BinaryOp):
+        op = expr.op.upper()
+        left = _expr_source(expr.left, layout, namer)
+        right = _expr_source(expr.right, layout, namer)
+        if op == "AND":
+            return f"({left} and {right})"
+        if op == "OR":
+            return f"({left} or {right})"
+        return f"({left} {_OP_MAP[expr.op]} {right})"
+    if isinstance(expr, ast.UnaryOp):
+        inner = _expr_source(expr.operand, layout, namer)
+        if expr.op.upper() == "NOT":
+            return f"(not {inner})"
+        return f"(-{inner})"
+    if isinstance(expr, ast.Case):
+        # Nested conditional expressions; missing ELSE yields None.
+        source = ("None" if expr.default is None
+                  else _expr_source(expr.default, layout, namer))
+        for condition, value in reversed(expr.whens):
+            source = (f"({_expr_source(value, layout, namer)} "
+                      f"if {_expr_source(condition, layout, namer)} "
+                      f"else {source})")
+        return source
+    raise PlanningError(f"codegen: unsupported expression {expr!r}")
+
+
+def generate_term_function(term: CompiledTerm,
+                           aggregates: tuple[AggregateFunction | None, ...],
+                           ) -> Callable | None:
+    """Generate the fused function for one term, or ``None`` if not fusible.
+
+    ``aggregates`` are the target view's effective aggregates (for
+    contribution normalization in the projection).
+    """
+    rule: RulePlan | None = term.rule
+    if rule is None or rule.layout is None:
+        return None
+    layout = rule.layout
+    namer = _SlotNamer(term.delta_offset,
+                       _delta_arity(term, layout))
+
+    env: dict[str, object] = {}
+    prologue: list[str] = []
+    body: list[str] = []
+    indent = 2  # inside ``for d in delta_rows:``
+
+    def emit(line: str, level: int) -> None:
+        body.append("    " * level + line)
+
+    # Delta prefilter (base rules): operates on padded rows in the
+    # interpreted path; here we inline it in raw space.
+    prefilter_src = None
+    if term.delta_prefilter is not None:
+        scan = rule.join.inputs[0]
+        if getattr(scan, "filter", None) is not None:
+            prefilter_src = _expr_source(scan.filter, layout, namer)
+        else:
+            return None  # prefilter we cannot re-derive: fall back
+
+    join_var = 0
+    for step in term.steps:
+        if isinstance(step, SortMergeJoinStep):
+            return None  # not fused; interpreted path handles it
+        if isinstance(step, TotalizeStep):
+            # Inline total lookup: patch a copy of the raw delta row.
+            group_refs = ", ".join(namer.ref(s) for s in step.group_slots)
+            key = f"({group_refs},)" if len(step.group_slots) > 1 else group_refs
+            emit(f"_tot = runtime.state_total({step.view!r}, partition, {key})",
+                 indent)
+            emit("if _tot is None:", indent)
+            emit("    continue", indent)
+            emit("_d = list(d)", indent)
+            for slot, position in step.agg_slot_to_position:
+                emit(f"_d[{slot - term.delta_offset}] = _tot[{position}]", indent)
+            emit("d = _d", indent)
+            continue
+        if isinstance(step, FilterStep):
+            source = _filter_source(step, layout, namer)
+            if source is None:
+                return None
+            emit(f"if not {source}:", indent)
+            emit("    continue", indent)
+            continue
+        if isinstance(step, HashJoinStep):
+            join_var += 1
+            var = f"r{join_var}"
+            table = f"_tbl{step.step_id}"
+            if step.source == "broadcast":
+                prologue.append(
+                    f"    {table} = runtime.broadcast_tables[{step.step_id}]")
+                raw = False
+            elif step.source == "base_partition":
+                prologue.append(
+                    f"    {table} = runtime.base_partitions"
+                    f"[{step.step_id}][partition]")
+                raw = False
+            else:
+                accessor = ("runtime.state_rows" if step.source == "state"
+                            else "runtime.delta_rows")
+                source_partition = "-1" if step.gather else "partition"
+                prologue.append(
+                    f"    {table} = _build_state_table("
+                    f"{accessor}({step.state_view!r}, {source_partition}), "
+                    f"{tuple(s - step.state_offset for s in step.build_slots)!r})")
+                raw = True
+            key_refs = [namer.ref(s) for s in step.probe_slots]
+            key = (f"({', '.join(key_refs)},)" if len(key_refs) > 1
+                   else key_refs[0])
+            bucket = f"_b{join_var}"
+            emit(f"{bucket} = {table}.get({key})", indent)
+            emit(f"if {bucket} is None:", indent)
+            emit("    continue", indent)
+            emit(f"for {var} in {bucket}:", indent)
+            namer.add_segment(_fix_hash_join_segment(step, layout),
+                              _step_arity(step, layout), var, raw)
+            indent += 1
+            continue
+        if isinstance(step, NestedLoopStep):
+            join_var += 1
+            var = f"r{join_var}"
+            table = f"_tbl{step.step_id}"
+            prologue.append(
+                f"    {table} = runtime.broadcast_tables[{step.step_id}]")
+            emit(f"for {var} in {table}:", indent)
+            offset, arity = _nested_segment(term, layout, namer)
+            namer.add_segment(offset, arity, var, raw=False)
+            indent += 1
+            if step.predicate is not None:
+                conjuncts = _nested_predicate_exprs(term, step)
+                if conjuncts is None:
+                    return None
+                source = " and ".join(
+                    _expr_source(c, layout, namer) for c in conjuncts)
+                emit(f"if not ({source}):", indent)
+                emit("    continue", indent)
+            continue
+        return None  # unknown step kind
+
+    # Projection with normalization.
+    projection_parts = []
+    for i, expr in enumerate(rule.projections):
+        source = _expr_source(expr, layout, namer)
+        agg = aggregates[i] if i < len(aggregates) else None
+        if agg is not None and agg.name == "count":
+            env[f"_norm{i}"] = agg.normalize
+            source = f"_norm{i}({source})"
+        projection_parts.append(source)
+    emit(f"_append(({', '.join(projection_parts)},))", indent)
+
+    header = ["def _term(delta_rows, partition, runtime):"]
+    header += prologue
+    header.append("    _out = []")
+    header.append("    _append = _out.append")
+    header.append("    for d in delta_rows:")
+    if prefilter_src is not None:
+        header.append(f"        if not {prefilter_src}:")
+        header.append("            continue")
+    source_text = "\n".join(header + body + ["    return _out"])
+
+    env["_build_state_table"] = _build_state_table
+    try:
+        code = compile(source_text, f"<rasql-codegen:{term.view}>", "exec")
+        exec(code, env)
+    except SyntaxError:
+        return None
+    fn = env["_term"]
+    fn._generated_source = source_text
+    return fn
+
+
+def _build_state_table(rows: list[tuple], key_positions: tuple[int, ...]) -> dict:
+    """Runtime helper: hash table over raw state rows for generated code."""
+    table: dict = {}
+    if len(key_positions) == 1:
+        k = key_positions[0]
+        for row in rows:
+            table.setdefault(row[k], []).append(row)
+    else:
+        for row in rows:
+            key = tuple(row[p] for p in key_positions)
+            table.setdefault(key, []).append(row)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# step metadata recovery (the physical steps don't carry their AST origin,
+# so codegen re-derives what it needs from the rule plan)
+# ---------------------------------------------------------------------------
+
+
+def _delta_arity(term: CompiledTerm, layout: Layout) -> int:
+    for binding, columns in layout.bindings:
+        if layout.offsets[binding.lower()] == term.delta_offset:
+            return len(columns)
+    raise PlanningError("codegen: cannot locate delta segment")
+
+
+def _step_arity(step: HashJoinStep, layout: Layout) -> int:
+    # The build slots identify the segment; find the binding containing them.
+    slot = step.build_slots[0]
+    for binding, columns in layout.bindings:
+        offset = layout.offsets[binding.lower()]
+        if offset <= slot < offset + len(columns):
+            return len(columns)
+    raise PlanningError("codegen: cannot locate build segment")
+
+
+def _nested_segment(term: CompiledTerm, layout: Layout,
+                    namer: _SlotNamer) -> tuple[int, int]:
+    """The next unbound segment (a nested-loop step binds exactly one)."""
+    bound = set()
+    for span, _, _ in namer.segments:
+        bound.update(span)
+    for binding, columns in layout.bindings:
+        offset = layout.offsets[binding.lower()]
+        span = range(offset, offset + len(columns))
+        if not set(span) <= bound:
+            return offset, len(columns)
+    raise PlanningError("codegen: no unbound segment for nested loop")
+
+
+def _nested_predicate_exprs(term: CompiledTerm,
+                            step: NestedLoopStep) -> list[ast.Expr] | None:
+    """Recover the theta conjuncts fused into a nested-loop step.
+
+    The planner conjoins them into one compiled predicate; for codegen we
+    re-split from the rule's residual list: the conjuncts of a nested-loop
+    step are exactly those the interpreted planner consumed at that point.
+    Rather than replicating the consumption order, we simply take all
+    residual conjuncts of the rule — for single-nested-loop rules (the only
+    shape the corpus produces) this is identical.
+    """
+    rule = term.rule
+    nested_loops = sum(isinstance(s, NestedLoopStep) for s in term.steps)
+    filters = sum(isinstance(s, FilterStep) for s in term.steps)
+    if nested_loops != 1 or filters != 0:
+        return None
+    return list(rule.join.residual)
+
+
+def _filter_source(step: FilterStep, layout: Layout,
+                   namer: _SlotNamer) -> str | None:
+    """Recover a FilterStep's conjunct from its recorded SQL text."""
+    if not step.sql:
+        return None
+    from repro.core.parser import Parser
+
+    try:
+        expr = Parser(step.sql).parse_expr()
+    except Exception:
+        return None
+    try:
+        return _expr_source(expr, layout, namer)
+    except PlanningError:
+        return None
+
+
+def _fix_hash_join_segment(step: HashJoinStep, layout: Layout) -> int:
+    slot = step.build_slots[0]
+    for binding, columns in layout.bindings:
+        offset = layout.offsets[binding.lower()]
+        if offset <= slot < offset + len(columns):
+            return offset
+    raise PlanningError("codegen: cannot locate build segment")
+
+
+def attach_generated_code(term: CompiledTerm,
+                          aggregates: tuple[AggregateFunction | None, ...]) -> bool:
+    """Try to attach a generated function to *term*; returns success."""
+    try:
+        fn = generate_term_function(term, aggregates)
+    except PlanningError:
+        fn = None
+    if fn is None:
+        return False
+    term.codegen_fn = fn
+    return True

@@ -1,0 +1,85 @@
+"""Execution configuration: every optimization knob of Sections 6–7.
+
+The defaults reproduce the paper's reference configuration ("RaSQL is
+configured to execute queries using shuffle-hash join and optimized DSN
+evaluation with stage combination and code generation", Section 8); each
+benchmark flips exactly the knob its figure ablates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Knobs of the fixpoint operator and its physical plans.
+
+    evaluation:
+        ``"dsn"`` — distributed semi-naive (Algorithms 4–6), the default.
+        ``"naive"`` — Algorithm 1/2: re-derive from the full relation each
+        iteration (used by the PreM tool and semantics tests).
+        ``"stratified"`` — ignore head aggregates during recursion and
+        apply them afterwards (Figure 1's comparison); may not terminate
+        on cyclic data, exactly as the paper warns.
+    stage_combination:
+        Fuse Reduce(i) with Map(i+1) into one ShuffleMap stage
+        (Section 7.1, Figure 5).
+    join_strategy:
+        ``"shuffle_hash"`` (cached base build side), ``"sort_merge"``
+        (cached sorted base run) — Appendix D / Figure 11.  Either applies
+        only where the co-partitioned path is available; other rules use
+        broadcast joins.
+    broadcast_bases:
+        Force every base relation to be broadcast instead of co-partitioned
+        (the decomposed plan of Section 7.2 requires this; it is also the
+        fallback for multi-join and theta rules).
+    broadcast_compression:
+        Broadcast the compressed rows and rebuild hash tables on workers
+        instead of shipping the built hash table (Section 7.2, Figure 6).
+    decomposed_plans:
+        Run decomposable cliques (Section 7.2) as independent per-partition
+        fixpoints with no shuffle.
+    codegen:
+        Fuse each rule pipeline into one generated Python function
+        (Section 7.3, Figure 7) instead of interpreting closure chains.
+    partial_aggregation:
+        Map-side combine before the shuffle (Algorithm 5 line 5).
+    use_setrdd:
+        Mutable all-relation state (Section 6.1).  ``False`` re-creates the
+        state dict/set every iteration, modelling immutable RDD lineage —
+        the SetRDD ablation.
+    magic_filters:
+        Seed the recursion with the final SELECT's equality constants on
+        delta-preserved columns (a lightweight magic-sets rewrite; see
+        :func:`repro.core.optimizer.magic_filter_pushdown`).
+    max_iterations:
+        Safety budget; exceeding it raises
+        :class:`repro.errors.FixpointNotReachedError`.
+    """
+
+    evaluation: str = "dsn"
+    stage_combination: bool = True
+    join_strategy: str = "shuffle_hash"
+    broadcast_bases: bool = False
+    broadcast_compression: bool = True
+    decomposed_plans: bool = True
+    codegen: bool = True
+    partial_aggregation: bool = True
+    use_setrdd: bool = True
+    magic_filters: bool = True
+    max_iterations: int = 100_000
+
+    def __post_init__(self):
+        if self.evaluation not in ("dsn", "naive", "stratified"):
+            raise ValueError(f"unknown evaluation mode {self.evaluation!r}")
+        if self.join_strategy not in ("shuffle_hash", "sort_merge"):
+            raise ValueError(f"unknown join strategy {self.join_strategy!r}")
+
+    def but(self, **changes) -> "ExecutionConfig":
+        """A copy with some knobs changed (benchmark convenience)."""
+        return replace(self, **changes)
+
+
+#: The paper's reference configuration.
+DEFAULT_CONFIG = ExecutionConfig()

@@ -1,0 +1,179 @@
+"""RaSQLContext — the session front door (the analog of a SparkSession).
+
+Typical use::
+
+    from repro import RaSQLContext
+
+    ctx = RaSQLContext(num_workers=4)
+    ctx.register_table("edge", ["Src", "Dst", "Cost"], rows)
+    result = ctx.sql('''
+        WITH recursive path(Dst, min() AS Cost) AS
+          (SELECT 1, 0) UNION
+          (SELECT edge.Dst, path.Cost + edge.Cost
+           FROM path, edge WHERE path.Dst = edge.Src)
+        SELECT Dst, Cost FROM path
+    ''')
+
+``sql`` runs the full pipeline of Section 5: parse → two-step analysis →
+rule-based optimization → physical planning → fixpoint execution for every
+recursive clique → the final stratum on the local executor.  Execution
+statistics for the last query (iterations, cluster metrics, simulated
+time) are kept on :attr:`last_run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.analyzer import analyze
+from repro.core.catalog import Catalog
+from repro.core.config import DEFAULT_CONFIG, ExecutionConfig
+from repro.core.executor import execute_select
+from repro.core.fixpoint import FixpointOperator
+from repro.core.logical import CliquePlan, DerivedViewPlan
+from repro.core.optimizer import optimize
+from repro.core.parser import parse
+from repro.core.planner import plan_clique
+from repro.engine.cluster import Cluster
+from repro.relation import Relation
+
+
+@dataclass
+class RunInfo:
+    """Execution statistics of the most recent ``sql`` call."""
+
+    iterations: int = 0
+    clique_iterations: dict[str, int] = field(default_factory=dict)
+    delta_history: dict[str, list[int]] = field(default_factory=dict)
+    sim_time: float = 0.0
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: Simulated seconds attributed to each clock label during this call
+    #: (``stage:fixpoint-shufflemap``, ``shuffle``, ``broadcast``, ...).
+    time_breakdown: dict[str, float] = field(default_factory=dict)
+
+    def profile_report(self) -> str:
+        """An EXPLAIN-ANALYZE-style breakdown of where the time went."""
+        total = sum(self.time_breakdown.values()) or 1.0
+        lines = ["where the simulated time went",
+                 "-----------------------------"]
+        for label, seconds in sorted(self.time_breakdown.items(),
+                                     key=lambda kv: -kv[1]):
+            share = 100.0 * seconds / total
+            lines.append(f"{label:32s} {seconds:8.4f}s  {share:5.1f}%")
+        lines.append(f"{'total':32s} {total:8.4f}s")
+        return "\n".join(lines)
+
+
+class RaSQLContext:
+    """A RaSQL session bound to one simulated cluster."""
+
+    def __init__(self, num_workers: int = 4, num_partitions: int | None = None,
+                 config: ExecutionConfig | None = None,
+                 cluster: Cluster | None = None, **cluster_kwargs):
+        self.cluster = cluster or Cluster(
+            num_workers=num_workers, num_partitions=num_partitions,
+            **cluster_kwargs)
+        self.catalog = Catalog()
+        self.config = config or DEFAULT_CONFIG
+        self.last_run = RunInfo()
+
+    # ------------------------------------------------------------------
+    # catalog management
+    # ------------------------------------------------------------------
+
+    def register_table(self, name: str, columns: Sequence[str],
+                       rows: Iterable[Sequence] | None = None) -> Relation:
+        """Register a base table (no load-time charge)."""
+        return self.catalog.register(name, columns, rows)
+
+    def load_table(self, name: str, columns: Sequence[str],
+                   rows: Iterable[Sequence]) -> Relation:
+        """Register a base table and charge simulated load time.
+
+        The paper's end-to-end figures include data loading; benchmarks use
+        this variant so the simulated clock covers the same span.
+        """
+        relation = self.catalog.register(name, columns, rows)
+        self.cluster.load(relation.rows, key_indices=(0,) if relation.columns else None)
+        return relation
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+
+    def sql(self, query: str, config: ExecutionConfig | None = None) -> Relation:
+        """Execute a RaSQL script and return the final SELECT's relation."""
+        effective = config or self.config
+        analyzed = optimize(analyze(parse(query), self.catalog),
+                            magic_filters=effective.magic_filters)
+
+        materialized: dict[str, Relation] = {}
+
+        def resolve(name: str) -> Relation:
+            key = name.lower()
+            if key in materialized:
+                return materialized[key]
+            return self.catalog.get(name)
+
+        run = RunInfo()
+        events_before = len(self.cluster.metrics.events())
+        for unit in analyzed.units:
+            if isinstance(unit, DerivedViewPlan):
+                rows: list[tuple] = []
+                seen: set[tuple] = set()
+                for branch in unit.branches:
+                    branch_result = execute_select(branch, resolve, unit.name)
+                    for row in branch_result.rows:
+                        if row not in seen:
+                            seen.add(row)
+                            rows.append(row)
+                materialized[unit.name.lower()] = Relation(
+                    unit.name, unit.columns, rows)
+            else:
+                assert isinstance(unit, CliquePlan)
+                planned = plan_clique(unit, effective)
+                operator = FixpointOperator(planned, self.cluster, effective,
+                                            resolve)
+                result = operator.execute()
+                for view_name, relation in result.relations.items():
+                    materialized[view_name.lower()] = relation
+                clique_key = ",".join(unit.view_names)
+                run.clique_iterations[clique_key] = result.iterations
+                run.delta_history[clique_key] = result.delta_history
+                run.iterations += result.iterations
+
+        final = execute_select(analyzed.final, resolve, "result")
+        run.sim_time = self.cluster.metrics.sim_time
+        run.metrics = self.cluster.metrics.snapshot()
+        for label, seconds in self.cluster.metrics.events()[events_before:]:
+            run.time_breakdown[label] = (
+                run.time_breakdown.get(label, 0.0) + seconds)
+        self.last_run = run
+        return final
+
+    def explain(self, query: str, config: ExecutionConfig | None = None) -> str:
+        """Render the analyzed/optimized plan, including fixpoint physical
+        plans, in the style of Figure 2."""
+        effective = config or self.config
+        analyzed = optimize(analyze(parse(query), self.catalog),
+                            magic_filters=effective.magic_filters)
+        lines = []
+        for unit in analyzed.units:
+            lines.append(unit.explain())
+            if isinstance(unit, CliquePlan):
+                planned = plan_clique(unit, effective)
+                lines.append(planned.explain())
+        lines.append(f"Final: {analyzed.final.to_sql()}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self):
+        return self.cluster.metrics
+
+    def reset_metrics(self) -> None:
+        self.cluster.metrics.reset()

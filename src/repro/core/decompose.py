@@ -1,0 +1,70 @@
+"""Decomposable-plan analysis (Section 7.2).
+
+A recursive plan is *decomposable* when a well-chosen partitioning lets the
+join output preserve the input delta's partitioning, so each partition can
+iterate to its own fixpoint with no shuffle and no global synchronization.
+
+The analysis finds, per view, the head positions whose value is copied
+verbatim from the same column of the delta reference in *every* recursive
+rule.  Partitioning on (a subset of) those positions makes the output land
+in the producing partition.  Classic positive case: linear TC partitioned
+on ``X`` (``tc(X, Z) <- tc(X, Y), edge(Y, Z)``); APSP similarly preserves
+``Src``.  REACH/SSSP/CC do not qualify — their head key comes from the base
+relation side.
+
+Additional requirements enforced here:
+
+- single-view cliques only (mutual recursion synchronizes by definition);
+- every recursive rule references the recursive view exactly once;
+- for aggregate views the preserved key must consist of group-by columns
+  (so a group never migrates between partitions).
+"""
+
+from __future__ import annotations
+
+from repro.core import ast_nodes as ast
+from repro.core.logical import CliquePlan, RecursiveScanNode, RulePlan, ViewPlan
+
+
+def preserved_positions(view: ViewPlan, rule: RulePlan) -> set[int]:
+    """Head positions whose value passes through from the delta unchanged."""
+    rec_positions = rule.recursive_inputs()
+    if len(rec_positions) != 1 or rule.layout is None:
+        return set()
+    delta_node = rule.join.inputs[rec_positions[0]]
+    assert isinstance(delta_node, RecursiveScanNode)
+    delta_binding = delta_node.binding.lower()
+    delta_offset = rule.layout.offsets[delta_binding]
+
+    preserved: set[int] = set()
+    for position, expr in enumerate(rule.projections):
+        if not isinstance(expr, ast.ColumnRef):
+            continue
+        slot = rule.layout.slot_of(expr)
+        if slot == delta_offset + position:
+            preserved.add(position)
+    return preserved
+
+
+def decompose_keys(clique: CliquePlan) -> dict[str, tuple[int, ...]] | None:
+    """The per-view preserved partition key, or ``None`` if not decomposable."""
+    if len(clique.views) != 1:
+        return None
+    view = clique.views[0]
+    if not view.recursive_rules:
+        return None
+
+    common: set[int] | None = None
+    for rule in view.recursive_rules:
+        if len(rule.recursive_inputs()) != 1:
+            return None
+        positions = preserved_positions(view, rule)
+        common = positions if common is None else (common & positions)
+        if not common:
+            return None
+
+    if view.has_aggregates:
+        common &= set(view.group_positions)
+        if not common:
+            return None
+    return {view.name.lower(): tuple(sorted(common))}

@@ -1,0 +1,714 @@
+"""The fixpoint operator: distributed semi-naive evaluation (Section 6).
+
+One operator evaluates one recursive clique on the simulated cluster.  The
+default mode is the optimized DSN of Algorithm 6: each iteration is a single
+ShuffleMap stage whose task *p* merges the incoming delta partition into the
+cached all-relation state (SetRDD / keyed aggregate state), derives the
+fresh delta ``D``, joins ``D`` against the cached base partition (or
+broadcast tables), partially aggregates, and emits shuffle buckets keyed by
+each view's partition key.  Disabling stage combination splits this back
+into the separate Reduce and Map stages of Algorithm 4/5.
+
+Also implemented here:
+
+- **naive evaluation** (Algorithms 1–2): every iteration re-derives from
+  the full relation; restricted to set/min/max cliques (re-deriving *sums*
+  from totals would double-count, which is exactly why semi-naive deltas
+  carry increments).
+- **stratified evaluation** (Figure 1): planner strips head aggregates, the
+  recursion runs under set semantics, and this module applies the
+  aggregates afterwards.  On cyclic data the recursion may enumerate
+  unboundedly many facts — the iteration budget then raises
+  :class:`FixpointNotReachedError`, matching the paper's footnote that
+  stratified SSSP "will not terminate due to loops in the graph".
+- **decomposed execution** (Section 7.2): for decomposable plans each
+  partition runs its own local fixpoint against broadcast bases with no
+  shuffle and no synchronization.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.config import ExecutionConfig
+from repro.core.physical import (
+    CompiledTerm,
+    HashJoinStep,
+    PhysicalView,
+    SortMergeJoinStep,
+    TermRuntime,
+    make_slots_key,
+    pad_row,
+)
+from repro.core.planner import PlannedClique
+from repro.engine.cluster import Cluster, StageTask
+from repro.engine.dataset import Dataset, Partition
+from repro.engine.joins import build_hash_table, sort_rows
+from repro.engine.partitioner import HashPartitioner, make_key_fn
+from repro.engine.setrdd import KeyedStateRDD, SetRDD
+from repro.errors import FixpointNotReachedError, PlanningError
+from repro.relation import Relation
+
+
+@dataclass
+class FixpointResult:
+    """Output of one clique evaluation."""
+
+    relations: dict[str, Relation]
+    iterations: int
+    delta_history: list[int] = field(default_factory=list)
+
+
+def _make_splitter(view: PhysicalView) -> Callable[[tuple], tuple[object, tuple]]:
+    """head row -> (group key, aggregate values) for keyed-state merging."""
+    group = view.group_positions
+    aggs = view.aggregate_positions
+    if len(group) == 1:
+        g = group[0]
+        return lambda row: (row[g], tuple(row[a] for a in aggs))
+    return lambda row: (tuple(row[i] for i in group),
+                        tuple(row[a] for a in aggs))
+
+
+def _make_assembler(view: PhysicalView) -> Callable[[object, tuple], tuple]:
+    """(group key, aggregate values) -> head row."""
+    group = view.group_positions
+    aggs = view.aggregate_positions
+    arity = len(group) + len(aggs)
+    single = len(group) == 1
+
+    def assemble(key, values):
+        row = [None] * arity
+        key_values = (key,) if single else key
+        for position, value in zip(group, key_values):
+            row[position] = value
+        for position, value in zip(aggs, values):
+            row[position] = value
+        return tuple(row)
+
+    return assemble
+
+
+def _make_negator(view: PhysicalView) -> Callable[[tuple], tuple]:
+    """Flip the sign of accumulating aggregate values (δ⋈δ correction)."""
+    aggs = view.aggregate_positions
+    functions = view.aggregate_functions
+    flip = [p for p, fn in zip(aggs, functions) if fn.name in ("sum", "count")]
+
+    def negate(row: tuple) -> tuple:
+        out = list(row)
+        for position in flip:
+            out[position] = -out[position]
+        return tuple(out)
+
+    return negate
+
+
+class FixpointOperator:
+    """Evaluates one planned clique to its fixpoint on a cluster."""
+
+    def __init__(self, planned: PlannedClique, cluster: Cluster,
+                 config: ExecutionConfig,
+                 resolve: Callable[[str], Relation]):
+        self.planned = planned
+        self.cluster = cluster
+        self.config = config
+        self.resolve = resolve
+        self.n = cluster.num_partitions
+        self.partitioner = HashPartitioner(self.n)
+        self.runtime = TermRuntime()
+        self.states: dict[str, KeyedStateRDD | SetRDD] = {}
+        self.splitters: dict[str, Callable] = {}
+        self.assemblers: dict[str, Callable] = {}
+        self.negators: dict[str, Callable] = {}
+        self.key_fns: dict[str, Callable] = {}
+        #: Current-iteration fresh deltas, per view, per partition.
+        self._current_d: dict[str, list[list[tuple]]] = {}
+        self._two_col: dict[str, bool] = {}
+        self._base_partition_objects: dict[int, list[Partition]] = {}
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if self.config.evaluation == "naive":
+            for view in self.planned.views.values():
+                if any(a is not None and a.name in ("sum", "count")
+                       for a in view.aggregates):
+                    raise PlanningError(
+                        "naive evaluation re-derives from totals and would "
+                        "double-count sum/count aggregates; use DSN")
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def _setup_states(self) -> None:
+        for name, view in self.planned.views.items():
+            if view.has_aggregates:
+                self.states[name] = KeyedStateRDD(
+                    self.n, view.aggregate_functions, self.partitioner)
+            else:
+                self.states[name] = SetRDD(self.n, self.partitioner)
+            self.splitters[name] = _make_splitter(view)
+            self.assemblers[name] = _make_assembler(view)
+            self.negators[name] = _make_negator(view)
+            self.key_fns[name] = make_key_fn(view.partition_key_positions)
+            self._current_d[name] = [[] for _ in range(self.n)]
+            # Hot-path flag: the ubiquitous (key, value) head shape, where
+            # rows and (key, values) pairs coincide up to 1-tuple wrapping.
+            self._two_col[name] = (view.group_positions == (0,)
+                                   and view.aggregate_positions == (1,))
+
+        def state_rows(view_name: str, partition: int) -> list[tuple]:
+            state = self.states[view_name]
+            if partition == -1:
+                if isinstance(state, SetRDD):
+                    return state.collect()
+                return state.collect_rows()
+            if isinstance(state, SetRDD):
+                return list(state.partitions[partition])
+            return state.partition_rows(partition)
+
+        def delta_rows(view_name: str, partition: int) -> list[tuple]:
+            if partition == -1:
+                out: list[tuple] = []
+                for rows in self._current_d[view_name]:
+                    out.extend(rows)
+                return out
+            return self._current_d[view_name][partition]
+
+        def state_total(view_name: str, partition: int, key) -> tuple | None:
+            state = self.states[view_name]
+            return state.partitions[partition].get(key)
+
+        self.runtime.state_rows = state_rows
+        self.runtime.delta_rows = delta_rows
+        self.runtime.state_total = state_total
+
+    def _setup_base_relations(self) -> None:
+        """Broadcast / co-partition every base input and build join sides."""
+        config = self.config
+        cluster = self.cluster
+
+        # One broadcast per distinct (relation, filter) pair, regardless of
+        # how many steps consume it.
+        broadcast_charged: set[tuple[str, str]] = set()
+        build_cpu = 0.0
+
+        for plan in self.planned.base_plans:
+            relation = self.resolve(plan.relation)
+            t0 = time.perf_counter()
+            padded = [pad_row(row, plan.offset, plan.arity)
+                      for row in relation.rows]
+            if plan.filter is not None:
+                predicate = plan.filter
+                padded = [row for row in padded if predicate(row)]
+
+            if plan.mode == "broadcast":
+                charge_key = (plan.relation.lower(), plan.filter_sql)
+                if charge_key not in broadcast_charged:
+                    broadcast_charged.add(charge_key)
+                    raw = [row for row in relation.rows]
+                    cluster.broadcast(
+                        raw,
+                        compress=config.broadcast_compression,
+                        ship_hash_table=not config.broadcast_compression)
+                if plan.equi:
+                    table = build_hash_table(padded,
+                                             make_slots_key(plan.build_slots))
+                    self.runtime.broadcast_tables[plan.step_id] = table
+                else:
+                    self.runtime.broadcast_tables[plan.step_id] = padded
+            else:  # copartition
+                key_fn = make_slots_key(plan.build_slots)
+                buckets: list[list[tuple]] = [[] for _ in range(self.n)]
+                for row in padded:
+                    buckets[self.partitioner.partition_of(key_fn(row))].append(row)
+                partitions = [
+                    Partition(i, bucket, cluster.worker_for_partition(i))
+                    for i, bucket in enumerate(buckets)
+                ]
+                self._base_partition_objects[plan.step_id] = partitions
+                if config.join_strategy == "sort_merge":
+                    built = [sort_rows(bucket, key_fn) for bucket in buckets]
+                else:
+                    built = [build_hash_table(bucket, key_fn)
+                             for bucket in buckets]
+                self.runtime.base_partitions[plan.step_id] = built
+            build_cpu += time.perf_counter() - t0
+
+        # The builds above happen on workers in parallel; charge them as
+        # one setup stage.
+        if self.planned.base_plans:
+            cluster.metrics.advance(
+                cluster.cost_model.stage_overhead_s
+                + build_cpu * cluster.cost_model.cpu_scale / cluster.num_workers,
+                label="fixpoint-setup")
+            cluster.metrics.inc("stages")
+
+    # ------------------------------------------------------------------
+    # base case
+    # ------------------------------------------------------------------
+
+    def _evaluate_base_rules(self) -> dict[str, Dataset]:
+        """Run every base rule once and shuffle results into initial deltas."""
+        outputs: dict[str, list[tuple]] = defaultdict(list)
+        tasks: list[StageTask] = []
+        chunk_views: list[str] = []
+
+        for base_rule in self.planned.base_rules:
+            if base_rule.term is None:
+                outputs[base_rule.view].extend(base_rule.constant_rows)
+                continue
+            relation = self.resolve(base_rule.driving_relation)
+            rows = relation.rows
+            chunk = max(1, -(-len(rows) // self.n))
+            term = base_rule.term
+            for i in range(self.n):
+                piece = rows[i * chunk:(i + 1) * chunk]
+                if not piece:
+                    continue
+                tasks.append(StageTask(
+                    len(tasks),
+                    [Partition(len(tasks), piece,
+                               self.cluster.worker_for_partition(i))],
+                    (lambda p, t=term: t.evaluate(p, 0, self.runtime)),
+                    preferred_worker=self.cluster.worker_for_partition(i)))
+                chunk_views.append(base_rule.view)
+
+        if tasks:
+            results = self.cluster.run_stage("fixpoint-base", tasks)
+            for result, view in zip(results, chunk_views):
+                outputs[view].extend(result.output)
+
+        return self._exchange_outputs(
+            {view: {0: rows} for view, rows in outputs.items()},
+            source_workers={0: 0})
+
+    # ------------------------------------------------------------------
+    # shuffles
+    # ------------------------------------------------------------------
+
+    def _exchange_outputs(self, per_view_buckets: dict[str, dict[int, list[tuple]]],
+                          source_workers: dict[int, int] | None = None
+                          ) -> dict[str, Dataset]:
+        """Bucket rows by each view's partition key and exchange them.
+
+        ``per_view_buckets`` maps view -> {source id -> rows}; rows are
+        re-bucketed by target partition here.
+        """
+        incoming: dict[str, Dataset] = {}
+        for name, view in self.planned.views.items():
+            key_fn = self.key_fns[name]
+            map_outputs = []
+            for source, rows in per_view_buckets.get(name, {}).items():
+                buckets: dict[int, list[tuple]] = defaultdict(list)
+                for row in rows:
+                    pid = self.partitioner.partition_of(key_fn(row))
+                    buckets[pid].append(row)
+                worker = (source_workers or {}).get(source, source % self.cluster.num_workers)
+                map_outputs.append((worker, buckets))
+            incoming[name] = self.cluster.exchange(
+                map_outputs, self.n, self.partitioner,
+                view.partition_key_positions)
+        return incoming
+
+    # ------------------------------------------------------------------
+    # merge (the Reduce side)
+    # ------------------------------------------------------------------
+
+    def _charge_immutable_union(self) -> None:
+        """The SetRDD ablation's per-iteration cost (Section 6.1).
+
+        Without the mutable all-relation, each iteration materializes a
+        new immutable RDD via ``union().distinct()`` — which repartitions
+        the *entire* all-relation, not just the delta ("most of its data
+        redundantly copied", as the paper puts it).  Charge that shuffle.
+        """
+        nbytes = sum(state.size_bytes() for state in self.states.values())
+        remote = nbytes * (self.cluster.num_workers - 1) / max(
+            1, self.cluster.num_workers)
+        self.cluster.metrics.advance(
+            self.cluster.cost_model.transfer_seconds(
+                int(remote), self.cluster.num_workers),
+            label="immutable-union")
+        self.cluster.metrics.inc("immutable_union_bytes", nbytes)
+
+    def _merge_into_state(self, view_name: str, partition: int,
+                          rows: list[tuple]) -> list[tuple]:
+        """Union/aggregate incoming rows into the state; return fresh delta."""
+        view = self.planned.views[view_name]
+        state = self.states[view_name]
+        if not self.config.use_setrdd:
+            # Immutable-RDD ablation: every union copies the partition.
+            state.partitions[partition] = (
+                set(state.partitions[partition])
+                if isinstance(state, SetRDD)
+                else dict(state.partitions[partition]))
+        if isinstance(state, SetRDD):
+            return state.union_in_place(partition, rows)
+        if self._two_col[view_name]:
+            delta_pairs = state.merge(
+                partition, [(row[0], row[1:]) for row in rows])
+            return [(key, values[0]) for key, values in delta_pairs]
+        splitter = self.splitters[view_name]
+        assembler = self.assemblers[view_name]
+        delta_pairs = state.merge(partition, [splitter(r) for r in rows])
+        return [assembler(key, values) for key, values in delta_pairs]
+
+    # ------------------------------------------------------------------
+    # map (the join side)
+    # ------------------------------------------------------------------
+
+    def _evaluate_terms(self, partition: int,
+                        naive: bool) -> dict[str, dict[int, list[tuple]]]:
+        """Run every term over one partition's delta; bucket the outputs."""
+        from repro.engine.aggregates import partial_aggregate
+
+        per_view: dict[str, dict[int, list[tuple]]] = {}
+        collected: dict[str, list[tuple]] = defaultdict(list)
+        for term in self.planned.terms:
+            if naive:
+                delta = self.runtime.state_rows(term.delta_view, partition)
+            else:
+                delta = self._current_d[term.delta_view][partition]
+            if not delta:
+                continue
+            rows = term.evaluate(delta, partition, self.runtime)
+            if term.negate and rows:
+                negate = self.negators[term.view]
+                rows = [negate(r) for r in rows]
+            collected[term.view].extend(rows)
+
+        for view_name, rows in collected.items():
+            view = self.planned.views[view_name]
+            if view.has_aggregates and self.config.partial_aggregation:
+                functions = view.aggregate_functions
+                if self._two_col[view_name]:
+                    # Fused split+combine+assemble for (key, value) heads.
+                    combine = functions[0].combine
+                    combined: dict = {}
+                    get = combined.get
+                    for key, value in rows:
+                        old = get(key)
+                        combined[key] = (value if old is None
+                                         else combine(old, value))
+                    rows = list(combined.items())
+                else:
+                    splitter = self.splitters[view_name]
+                    assembler = self.assemblers[view_name]
+                    pairs = partial_aggregate(
+                        [splitter(r) for r in rows], functions)
+                    rows = [assembler(k, v) for k, v in pairs]
+            buckets: dict[int, list[tuple]] = defaultdict(list)
+            key_fn = self.key_fns[view_name]
+            partition_of = self.partitioner.partition_of
+            for row in rows:
+                buckets[partition_of(key_fn(row))].append(row)
+            per_view[view_name] = buckets
+        return per_view
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def execute(self) -> FixpointResult:
+        self._setup_states()
+        self._setup_base_relations()
+        incoming = self._evaluate_base_rules()
+
+        if self.planned.decomposable and self.config.evaluation == "dsn":
+            iterations = self._execute_decomposed(incoming)
+            return self._finish(iterations, [])
+
+        iterations, delta_history = self._run_to_fixpoint(incoming)
+        return self._finish(iterations, delta_history)
+
+    def _run_to_fixpoint(self, incoming: dict[str, Dataset]
+                         ) -> tuple[int, list[int]]:
+        """Iterate until quiescence; shared by one-shot and incremental
+        execution (see :mod:`repro.core.streaming`)."""
+        naive = self.config.evaluation == "naive"
+        combine = self.config.stage_combination
+        iterations = 0
+        delta_history: list[int] = []
+
+        # Termination keys off the *post-merge* delta D: under semi-naive
+        # evaluation D empty coincides with empty incoming shuffles, but
+        # under naive evaluation every round re-derives (and re-ships) the
+        # full relation, so only the merge can detect the fixpoint.
+        while True:
+            iterations += 1
+            if iterations > self.config.max_iterations:
+                raise FixpointNotReachedError(
+                    f"fixpoint not reached within "
+                    f"{self.config.max_iterations} iterations",
+                    iterations - 1, partial_result=self._relations())
+
+            if combine:
+                incoming, d_total = self._iterate_combined(incoming, naive)
+            else:
+                incoming, d_total = self._iterate_two_stage(incoming, naive)
+            if not self.config.use_setrdd:
+                self._charge_immutable_union()
+            self.cluster.metrics.inc("iterations")
+            if d_total == 0:
+                break
+            delta_history.append(d_total)
+
+        return iterations, delta_history
+
+    def _state_snapshot_hooks(self, partition: int):
+        """Snapshot/restore for tasks that mutate the cached state.
+
+        Only consulted under failure injection; replaying a failed merge
+        from the snapshot is the simulator's version of recomputing from
+        the cached checkpoint (Section 6.1).
+        """
+        states = self.states
+
+        def snapshot():
+            return {
+                name: (set(state.partitions[partition])
+                       if isinstance(state, SetRDD)
+                       else dict(state.partitions[partition]))
+                for name, state in states.items()
+            }
+
+        def restore(saved):
+            for name, data in saved.items():
+                states[name].partitions[partition] = data
+
+        return snapshot, restore
+
+    def _stage_inputs(self, incoming: dict[str, Dataset],
+                      partition: int) -> list[Partition]:
+        """Task inputs for locality accounting: delta + cached base blocks."""
+        inputs = [incoming[name].partitions[partition]
+                  for name in self.planned.views]
+        for partitions in self._base_partition_objects.values():
+            inputs.append(partitions[partition])
+        return inputs
+
+    def _iterate_combined(self, incoming: dict[str, Dataset],
+                          naive: bool) -> dict[str, Dataset]:
+        """Algorithm 6: one ShuffleMap stage per iteration."""
+        view_names = list(self.planned.views)
+
+        def task_fn(partition):
+            def run(*_input_rows):
+                d_count = 0
+                for name in view_names:
+                    rows = incoming[name].partitions[partition].rows
+                    fresh = self._merge_into_state(name, partition, rows)
+                    self._current_d[name][partition] = fresh
+                    d_count += len(fresh)
+                if d_count == 0 and not naive:
+                    return 0, {}
+                buckets = self._evaluate_terms(partition, naive)
+                return d_count, buckets
+            return run
+
+        tasks = []
+        for p in range(self.n):
+            snapshot, restore = self._state_snapshot_hooks(p)
+            tasks.append(StageTask(
+                p, self._stage_inputs(incoming, p), task_fn(p),
+                preferred_worker=self.cluster.worker_for_partition(p),
+                snapshot=snapshot, restore=restore))
+        results = self.cluster.run_stage("fixpoint-shufflemap", tasks)
+
+        merged: dict[str, dict[int, list[tuple]]] = defaultdict(dict)
+        workers: dict[int, int] = {}
+        d_total = 0
+        for result in results:
+            workers[result.index] = result.worker
+            d_count, per_view = result.output
+            d_total += d_count
+            for view_name, buckets in per_view.items():
+                rows: list[tuple] = []
+                for bucket_rows in buckets.values():
+                    rows.extend(bucket_rows)
+                merged[view_name][result.index] = rows
+        return self._exchange_outputs(merged, source_workers=workers), d_total
+
+    def _iterate_two_stage(self, incoming: dict[str, Dataset],
+                           naive: bool) -> dict[str, Dataset]:
+        """Algorithm 4/5: separate Reduce and Map stages per iteration."""
+        view_names = list(self.planned.views)
+
+        # Stage 1: Reduce — merge incoming deltas into state, emit D.
+        def reduce_fn(partition):
+            def run(*_input_rows):
+                output = {}
+                for name in view_names:
+                    rows = incoming[name].partitions[partition].rows
+                    output[name] = self._merge_into_state(name, partition, rows)
+                return output
+            return run
+
+        reduce_tasks = []
+        for p in range(self.n):
+            snapshot, restore = self._state_snapshot_hooks(p)
+            reduce_tasks.append(StageTask(
+                p, [incoming[name].partitions[p] for name in view_names],
+                reduce_fn(p),
+                preferred_worker=self.cluster.worker_for_partition(p),
+                snapshot=snapshot, restore=restore))
+        reduce_results = self.cluster.run_stage("fixpoint-reduce", reduce_tasks)
+
+        d_partitions: dict[str, list[Partition]] = {name: [] for name in view_names}
+        d_total = 0
+        for result in reduce_results:
+            for name in view_names:
+                rows = result.output[name]
+                d_total += len(rows)
+                self._current_d[name][result.index] = rows
+                d_partitions[name].append(
+                    Partition(result.index, rows, result.worker))
+
+        # Stage 2: Map — join D with bases/state, emit shuffle buckets.
+        def map_fn(partition):
+            def run(*_input_rows):
+                return self._evaluate_terms(partition, naive)
+            return run
+
+        map_tasks = []
+        for p in range(self.n):
+            inputs = [d_partitions[name][p] for name in view_names]
+            for partitions in self._base_partition_objects.values():
+                inputs.append(partitions[p])
+            map_tasks.append(StageTask(
+                p, inputs, map_fn(p),
+                preferred_worker=self.cluster.worker_for_partition(p)))
+        map_results = self.cluster.run_stage("fixpoint-map", map_tasks)
+
+        merged: dict[str, dict[int, list[tuple]]] = defaultdict(dict)
+        workers: dict[int, int] = {}
+        for result in map_results:
+            workers[result.index] = result.worker
+            for view_name, buckets in result.output.items():
+                rows: list[tuple] = []
+                for bucket_rows in buckets.values():
+                    rows.extend(bucket_rows)
+                merged[view_name][result.index] = rows
+        return self._exchange_outputs(merged, source_workers=workers), d_total
+
+    # ------------------------------------------------------------------
+    # decomposed execution (Section 7.2)
+    # ------------------------------------------------------------------
+
+    def _execute_decomposed(self, incoming: dict[str, Dataset]) -> int:
+        """Independent per-partition fixpoints; no shuffle, no sync."""
+        (view_name, view), = self.planned.views.items()
+        terms = self.planned.terms
+        splitter = self.splitters[view_name]
+        assembler = self.assemblers[view_name]
+        global_state = self.states[view_name]
+        max_iters = self.config.max_iterations
+
+        def local_fixpoint(partition):
+            def run(delta_rows):
+                local_runtime = TermRuntime()
+                local_runtime.broadcast_tables = self.runtime.broadcast_tables
+                if isinstance(global_state, SetRDD):
+                    local = SetRDD(1)
+                else:
+                    local = KeyedStateRDD(1, view.aggregate_functions)
+                local_runtime.state_rows = (
+                    lambda _v, _p: (list(local.partitions[0])
+                                    if isinstance(local, SetRDD)
+                                    else local.partition_rows(0)))
+                local_runtime.state_total = (
+                    lambda _v, _p, key: local.partitions[0].get(key))
+
+                delta = list(delta_rows)
+                iterations = 0
+                while delta:
+                    iterations += 1
+                    if iterations > max_iters:
+                        raise FixpointNotReachedError(
+                            "decomposed local fixpoint exceeded budget",
+                            iterations - 1)
+                    if isinstance(local, SetRDD):
+                        fresh = local.union_in_place(0, delta)
+                    else:
+                        pairs = local.merge(0, [splitter(r) for r in delta])
+                        fresh = [assembler(k, v) for k, v in pairs]
+                    delta = []
+                    for term in terms:
+                        if fresh:
+                            delta.extend(term.evaluate(fresh, 0, local_runtime))
+                return local.partitions[0], iterations
+            return run
+
+        tasks = [
+            StageTask(p, [incoming[view_name].partitions[p]],
+                      local_fixpoint(p),
+                      preferred_worker=self.cluster.worker_for_partition(p))
+            for p in range(self.n)
+        ]
+        results = self.cluster.run_stage("fixpoint-decomposed", tasks)
+        iterations = 0
+        for result in results:
+            local_partition, local_iterations = result.output
+            global_state.partitions[result.index] = local_partition
+            iterations = max(iterations, local_iterations)
+        self.cluster.metrics.inc("iterations", iterations)
+        return iterations
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def _relations(self) -> dict[str, Relation]:
+        out: dict[str, Relation] = {}
+        for name, view in self.planned.views.items():
+            state = self.states[name]
+            if isinstance(state, SetRDD):
+                rows = state.collect()
+            else:
+                rows = state.collect_rows()
+            original = view.plan
+            if (self.config.evaluation == "stratified"
+                    and original.has_aggregates):
+                rows = self._apply_stratified_aggregates(original, rows)
+            out[original.name] = Relation(original.name, original.columns, rows)
+        return out
+
+    @staticmethod
+    def _apply_stratified_aggregates(view, rows: list[tuple]) -> list[tuple]:
+        """The final stratum: group and aggregate after the recursion."""
+        group = view.group_positions
+        agg_positions = view.aggregate_positions
+        functions = [view.aggregates[p] for p in agg_positions]
+        grouped: dict[tuple, list] = {}
+        for row in rows:
+            key = tuple(row[i] for i in group)
+            values = [row[p] for p in agg_positions]
+            state = grouped.get(key)
+            if state is None:
+                grouped[key] = values
+            else:
+                for i, fn in enumerate(functions):
+                    state[i] = fn.combine(state[i], values[i])
+        out = []
+        arity = len(view.columns)
+        for key, values in grouped.items():
+            row = [None] * arity
+            for position, value in zip(group, key):
+                row[position] = value
+            for position, value in zip(agg_positions, values):
+                row[position] = value
+            out.append(tuple(row))
+        return out
+
+    def _finish(self, iterations: int,
+                delta_history: list[int]) -> FixpointResult:
+        return FixpointResult(self._relations(), iterations, delta_history)

@@ -1,0 +1,155 @@
+"""Tokenizer for the RaSQL dialect.
+
+Hand-written single-pass scanner producing a flat token list.  Keywords are
+recognized case-insensitively but identifiers preserve their spelling (SQL
+identifiers are case-insensitive at resolution time, handled by the
+analyzer's schemas).  ``--`` line comments and ``/* */`` block comments are
+skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset({
+    "WITH", "RECURSIVE", "AS", "SELECT", "DISTINCT", "FROM", "WHERE",
+    "GROUP", "BY", "HAVING", "UNION", "ALL", "AND", "OR", "NOT",
+    "CREATE", "VIEW", "NULL", "TRUE", "FALSE",
+    "ORDER", "LIMIT", "ASC", "DESC", "BETWEEN", "IN",
+    "CASE", "WHEN", "THEN", "ELSE", "END",
+})
+
+#: Multi- and single-character operators, longest first.
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/",
+              "(", ")", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``, ``OP`` or
+    ``EOF``; ``value`` holds the original text (keyword matching is
+    case-insensitive, numbers are converted by the parser).
+    """
+
+    kind: str
+    value: str
+    position: int
+    line: int
+    column: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        if value is None:
+            return True
+        if kind == "KEYWORD":
+            return self.value.upper() == value.upper()
+        return self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan *text* into tokens, ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def location(pos: int) -> tuple[int, int]:
+        return line, pos - line_start + 1
+
+    while i < n:
+        ch = text[i]
+
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+
+        # -- line comment
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        # /* block comment */
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            if end == -1:
+                ln, col = location(i)
+                raise ParseError("unterminated block comment", i, ln, col)
+            for offset in range(i, end):
+                if text[offset] == "\n":
+                    line += 1
+                    line_start = offset + 1
+            i = end + 2
+            continue
+
+        ln, col = location(i)
+
+        # string literal
+        if ch == "'":
+            j = i + 1
+            chars: list[str] = []
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        chars.append("'")
+                        j += 2
+                        continue
+                    break
+                chars.append(text[j])
+                j += 1
+            else:
+                raise ParseError("unterminated string literal", i, ln, col)
+            tokens.append(Token("STRING", "".join(chars), i, ln, col))
+            i = j + 1
+            continue
+
+        # number literal
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is a qualifier, not a
+                    # decimal point (e.g. ``edge.Dst`` after ``1.``-free text).
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i, ln, col))
+            i = j
+            continue
+
+        # identifier or keyword
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word, i, ln, col))
+            else:
+                tokens.append(Token("IDENT", word, i, ln, col))
+            i = j
+            continue
+
+        # operator / punctuation
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, i, ln, col))
+                i += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", i, ln, col)
+
+    tokens.append(Token("EOF", "", n, line, n - line_start + 1))
+    return tokens

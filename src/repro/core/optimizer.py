@@ -1,0 +1,170 @@
+"""Rule-based logical optimization (Section 5's "batch of rules").
+
+Three rules run over every rule plan, mirroring the paper's list —
+predicate pushdown, filter combination and constant evaluation — plus the
+equi-conjunct classification the physical planner needs to pick join keys:
+
+1. **Constant folding** on projections and predicates.
+2. **Equi-conjunct extraction**: ``col = col`` conjuncts between two
+   different FROM bindings move into the join's equi list (join keys).
+3. **Predicate pushdown + combination**: conjuncts touching a single
+   non-recursive binding become that scan's filter (ANDed together).
+   Pushing *into a recursive scan* is unsound — the delta is produced by
+   the fixpoint, not scanned — so single-binding predicates on recursive
+   references stay residual (Company Control's ``Tot > 50`` is one).
+"""
+
+from __future__ import annotations
+
+from repro.core import ast_nodes as ast
+from repro.core.expressions import (
+    conjoin,
+    fold_constants,
+    is_equi_conjunct,
+    referenced_bindings,
+    split_conjuncts,
+)
+from repro.core.logical import (
+    AnalyzedScript,
+    CliquePlan,
+    DerivedViewPlan,
+    RulePlan,
+    ScanNode,
+)
+
+
+def optimize_rule(rule: RulePlan) -> RulePlan:
+    """Apply the rule batch to one rule plan, in place, and return it."""
+    if rule.join is None:
+        return rule
+
+    join = rule.join
+    layout = rule.layout
+
+    # 1. constant folding
+    rule.projections = tuple(fold_constants(e) for e in rule.projections)
+    folded = [fold_constants(e) for e in join.residual]
+
+    # Drop conjuncts folded to literal TRUE; keep literal FALSE (the rule
+    # produces nothing, and the executor evaluates it cheaply).
+    residual: list[ast.Expr] = []
+    for conjunct in folded:
+        if isinstance(conjunct, ast.Literal) and conjunct.value is True:
+            continue
+        residual.append(conjunct)
+
+    # 2. equi-conjunct extraction
+    remaining: list[ast.Expr] = []
+    for conjunct in residual:
+        pair = is_equi_conjunct(conjunct)
+        if pair is not None:
+            left_binding = layout.binding_of_slot(layout.slot_of(pair[0])).lower()
+            right_binding = layout.binding_of_slot(layout.slot_of(pair[1])).lower()
+            if left_binding != right_binding:
+                join.equi_conjuncts.append(pair)
+                continue
+        remaining.append(conjunct)
+
+    # 3. pushdown of single-binding predicates into (non-recursive) scans
+    scan_filters: dict[str, list[ast.Expr]] = {}
+    residual_final: list[ast.Expr] = []
+    pushable = {node.binding.lower(): node for node in join.inputs
+                if isinstance(node, ScanNode)}
+    for conjunct in remaining:
+        bindings = referenced_bindings(conjunct, layout)
+        if len(bindings) == 1:
+            (binding,) = bindings
+            if binding in pushable:
+                scan_filters.setdefault(binding, []).append(conjunct)
+                continue
+        residual_final.append(conjunct)
+
+    for binding, conjuncts in scan_filters.items():
+        scan = pushable[binding]
+        existing = [scan.filter] if scan.filter is not None else []
+        scan.filter = conjoin(existing + conjuncts)
+
+    join.residual = residual_final
+    return rule
+
+
+def magic_filter_pushdown(analyzed: AnalyzedScript) -> AnalyzedScript:
+    """Seed the recursion with the final query's constants where sound.
+
+    A lightweight cousin of magic sets (which Section 2 notes "require
+    simple extensions" under aggregates): when the outer SELECT filters a
+    recursive view on ``column = literal`` and that column's value passes
+    *unchanged from the delta* through every recursive rule (the
+    decomposability condition of Section 7.2), then facts with any other
+    value in that column can never contribute to the answer — so the
+    filter may be copied onto the view's base rules, shrinking the whole
+    fixpoint.  Classic win: ``SELECT ... FROM tc WHERE Src = 5`` explores
+    one source's closure instead of all of them.
+    """
+    from repro.core.decompose import preserved_positions
+
+    cliques = {view.name.lower(): (unit, view)
+               for unit in analyzed.units if isinstance(unit, CliquePlan)
+               for view in unit.views}
+
+    final = analyzed.final
+    if len(final.from_tables) != 1:
+        return analyzed
+    table_ref = final.from_tables[0]
+    target = cliques.get(table_ref.name.lower())
+    if target is None:
+        return analyzed
+    unit, view = target
+    if len(unit.views) != 1 or not view.recursive_rules:
+        return analyzed
+
+    # Positions preserved from the delta by every recursive rule.
+    preserved: set[int] | None = None
+    for rule in view.recursive_rules:
+        positions = preserved_positions(view, rule)
+        preserved = positions if preserved is None else preserved & positions
+    if not preserved:
+        return analyzed
+
+    binding = table_ref.binding.lower()
+    column_positions = {c.lower(): i for i, c in enumerate(view.columns)}
+
+    for conjunct in split_conjuncts(final.where):
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            continue
+        sides = (conjunct.left, conjunct.right)
+        column = next((s for s in sides if isinstance(s, ast.ColumnRef)
+                       and (s.table is None or s.table.lower() == binding)),
+                      None)
+        literal = next((s for s in sides if isinstance(s, ast.Literal)), None)
+        if column is None or literal is None:
+            continue
+        position = column_positions.get(column.name.lower())
+        if position is None or position not in preserved:
+            continue
+        # Copy ``head[position] = literal`` into every base rule.
+        for rule in view.base_rules:
+            head_expr = rule.projections[position]
+            if rule.join is None:
+                rule.constant_rows = tuple(
+                    row for row in rule.constant_rows
+                    if row[position] == literal.value)
+            else:
+                rule.join.residual.append(
+                    ast.BinaryOp("=", head_expr, literal))
+                optimize_rule(rule)  # re-push the new conjunct
+    return analyzed
+
+
+def optimize(analyzed: AnalyzedScript,
+             magic_filters: bool = True) -> AnalyzedScript:
+    """Optimize every rule of every clique; derived views are left to the
+    local executor, which performs its own pushdown during join ordering."""
+    for unit in analyzed.units:
+        if isinstance(unit, CliquePlan):
+            for view in unit.views:
+                for rule in view.base_rules + view.recursive_rules:
+                    optimize_rule(rule)
+    if magic_filters:
+        magic_filter_pushdown(analyzed)
+    return analyzed

@@ -1,0 +1,415 @@
+"""Recursive-descent parser for the RaSQL dialect.
+
+Produces the AST of :mod:`repro.core.ast_nodes`.  The grammar is SQL:99's
+recursive CTE subset used throughout the paper, with the aggregate-in-head
+extension::
+
+    script      := statement (';' statement)* ';'?
+    statement   := create_view | with_query | select
+    create_view := CREATE VIEW name ['(' idents ')'] AS '(' select ')'
+    with_query  := WITH view_def (',' view_def)* select
+    view_def    := [RECURSIVE] name '(' colspec, ... ')' AS
+                   '(' select ')' (UNION '(' select ')')*
+    colspec     := name | aggname '(' ')' AS name
+
+Expression precedence (loosest first): OR, AND, NOT, comparisons,
+additive, multiplicative, unary minus.
+"""
+
+from __future__ import annotations
+
+from repro.core import ast_nodes as ast
+from repro.core.lexer import Token, tokenize
+from repro.errors import ParseError
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+#: Keywords that SQL practice (and the paper's Company-Control query, which
+#: names a column ``By``) allows as ordinary identifiers.
+_SOFT_KEYWORDS = {"BY", "ALL", "VIEW", "ORDER", "LIMIT", "ASC", "DESC"}
+
+
+class Parser:
+    """A cursor over the token list with one-token lookahead."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # cursor helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, value: str | None = None) -> bool:
+        return self.current.matches(kind, value)
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        if self.check(kind, value):
+            return self.advance()
+        want = value or kind
+        got = self.current.value or self.current.kind
+        raise ParseError(f"expected {want!r}, found {got!r}",
+                         self.current.position, self.current.line,
+                         self.current.column)
+
+    def check_name(self) -> bool:
+        """Is the current token usable as an identifier (incl. soft keywords)?"""
+        if self.check("IDENT"):
+            return True
+        return (self.current.kind == "KEYWORD"
+                and self.current.value.upper() in _SOFT_KEYWORDS)
+
+    def expect_name(self) -> str:
+        """Consume an identifier, allowing soft keywords like ``By``."""
+        if self.check_name():
+            return self.advance().value
+        got = self.current.value or self.current.kind
+        raise ParseError(f"expected an identifier, found {got!r}",
+                         self.current.position, self.current.line,
+                         self.current.column)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def parse_script(self) -> ast.Script:
+        statements = []
+        while not self.check("EOF"):
+            statements.append(self.parse_statement())
+            while self.accept("OP", ";"):
+                pass
+        if not statements:
+            raise ParseError("empty query", 0, 1, 1)
+        return ast.Script(tuple(statements))
+
+    def parse_statement(self):
+        if self.check("KEYWORD", "CREATE"):
+            return self.parse_create_view()
+        if self.check("KEYWORD", "WITH"):
+            return self.parse_with_query()
+        if self.check("KEYWORD", "SELECT"):
+            return self.parse_select()
+        token = self.current
+        raise ParseError(f"expected a statement, found {token.value!r}",
+                         token.position, token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def parse_create_view(self) -> ast.CreateView:
+        self.expect("KEYWORD", "CREATE")
+        self.expect("KEYWORD", "VIEW")
+        name = self.expect_name()
+        columns: list[str] = []
+        if self.accept("OP", "("):
+            columns.append(self.expect_name())
+            while self.accept("OP", ","):
+                columns.append(self.expect_name())
+            self.expect("OP", ")")
+        self.expect("KEYWORD", "AS")
+        self.expect("OP", "(")
+        query = self.parse_select()
+        self.expect("OP", ")")
+        return ast.CreateView(name, tuple(columns), query)
+
+    def parse_with_query(self) -> ast.WithQuery:
+        self.expect("KEYWORD", "WITH")
+        views = [self.parse_view_def()]
+        while self.accept("OP", ","):
+            views.append(self.parse_view_def())
+        final = self.parse_select()
+        return ast.WithQuery(tuple(views), final)
+
+    def parse_view_def(self) -> ast.ViewDef:
+        recursive = bool(self.accept("KEYWORD", "RECURSIVE"))
+        name = self.expect_name()
+        self.expect("OP", "(")
+        columns = [self.parse_column_spec()]
+        while self.accept("OP", ","):
+            columns.append(self.parse_column_spec())
+        self.expect("OP", ")")
+        self.expect("KEYWORD", "AS")
+        branches = [self.parse_parenthesized_select()]
+        while self.accept("KEYWORD", "UNION"):
+            self.accept("KEYWORD", "ALL")
+            branches.append(self.parse_parenthesized_select())
+        return ast.ViewDef(name, tuple(columns), tuple(branches), recursive)
+
+    def parse_column_spec(self) -> ast.ColumnSpec:
+        first = self.expect_name()
+        if self.check("OP", "("):
+            # Aggregate head column: ``min() AS Cost``.
+            self.expect("OP", "(")
+            self.expect("OP", ")")
+            self.expect("KEYWORD", "AS")
+            column = self.expect_name()
+            return ast.ColumnSpec(column, first.lower())
+        return ast.ColumnSpec(first)
+
+    def parse_parenthesized_select(self) -> ast.SelectQuery:
+        self.expect("OP", "(")
+        query = self.parse_select()
+        self.expect("OP", ")")
+        return query
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def parse_select(self) -> ast.SelectQuery:
+        self.expect("KEYWORD", "SELECT")
+        distinct = bool(self.accept("KEYWORD", "DISTINCT"))
+        items = [self.parse_select_item()]
+        while self.accept("OP", ","):
+            items.append(self.parse_select_item())
+
+        from_tables: list[ast.TableRef] = []
+        if self.accept("KEYWORD", "FROM"):
+            from_tables.append(self.parse_table_ref())
+            while self.accept("OP", ","):
+                from_tables.append(self.parse_table_ref())
+
+        where = None
+        if self.accept("KEYWORD", "WHERE"):
+            where = self.parse_expr()
+
+        group_by: list[ast.Expr] = []
+        if self.check("KEYWORD", "GROUP"):
+            self.advance()
+            self.expect("KEYWORD", "BY")
+            group_by.append(self.parse_expr())
+            while self.accept("OP", ","):
+                group_by.append(self.parse_expr())
+
+        having = None
+        if self.accept("KEYWORD", "HAVING"):
+            having = self.parse_expr()
+
+        order_by: list[ast.OrderItem] = []
+        if (self.check("KEYWORD", "ORDER")
+                and self.peek().matches("KEYWORD", "BY")):
+            self.advance()
+            self.advance()
+            order_by.append(self.parse_order_item())
+            while self.accept("OP", ","):
+                order_by.append(self.parse_order_item())
+
+        limit = None
+        if (self.check("KEYWORD", "LIMIT")
+                and self.peek().kind == "NUMBER"):
+            self.advance()
+            token = self.expect("NUMBER")
+            if "." in token.value:
+                raise ParseError("LIMIT takes an integer", token.position,
+                                 token.line, token.column)
+            limit = int(token.value)
+
+        return ast.SelectQuery(tuple(items), tuple(from_tables), where,
+                               tuple(group_by), having, distinct,
+                               tuple(order_by), limit)
+
+    def parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept("KEYWORD", "DESC"):
+            descending = True
+        else:
+            self.accept("KEYWORD", "ASC")
+        return ast.OrderItem(expr, descending)
+
+    def parse_select_item(self) -> ast.SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept("KEYWORD", "AS"):
+            alias = self.expect_name()
+        elif self.check("IDENT"):
+            alias = self.advance().value
+        return ast.SelectItem(expr, alias)
+
+    def parse_table_ref(self) -> ast.TableRef:
+        name = self.expect_name()
+        alias = None
+        if self.accept("KEYWORD", "AS"):
+            alias = self.expect_name()
+        elif self.check("IDENT"):
+            alias = self.advance().value
+        return ast.TableRef(name, alias)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.accept("KEYWORD", "OR"):
+            left = ast.BinaryOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.accept("KEYWORD", "AND"):
+            left = ast.BinaryOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.accept("KEYWORD", "NOT"):
+            return ast.UnaryOp("NOT", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        if self.current.kind == "OP" and self.current.value in _COMPARISON_OPS:
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            return ast.BinaryOp(op, left, self.parse_additive())
+        negated = bool(self.accept("KEYWORD", "NOT"))
+        if self.accept("KEYWORD", "BETWEEN"):
+            # Desugar: x BETWEEN a AND b  ->  a <= x AND x <= b.
+            low = self.parse_additive()
+            self.expect("KEYWORD", "AND")
+            high = self.parse_additive()
+            expr = ast.BinaryOp("AND", ast.BinaryOp("<=", low, left),
+                                ast.BinaryOp("<=", left, high))
+            return ast.UnaryOp("NOT", expr) if negated else expr
+        if self.accept("KEYWORD", "IN"):
+            # Desugar: x IN (a, b)  ->  x = a OR x = b.
+            self.expect("OP", "(")
+            candidates = [self.parse_expr()]
+            while self.accept("OP", ","):
+                candidates.append(self.parse_expr())
+            self.expect("OP", ")")
+            expr = ast.BinaryOp("=", left, candidates[0])
+            for candidate in candidates[1:]:
+                expr = ast.BinaryOp("OR", expr,
+                                    ast.BinaryOp("=", left, candidate))
+            return ast.UnaryOp("NOT", expr) if negated else expr
+        if negated:
+            token = self.current
+            raise ParseError("expected BETWEEN or IN after NOT here",
+                             token.position, token.line, token.column)
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.current.kind == "OP" and self.current.value in ("+", "-"):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.current.kind == "OP" and self.current.value in ("*", "/"):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.accept("OP", "-"):
+            return ast.UnaryOp("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+
+        if token.kind == "NUMBER":
+            self.advance()
+            text = token.value
+            value = float(text) if "." in text else int(text)
+            return ast.Literal(value)
+        if token.kind == "STRING":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.matches("KEYWORD", "NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.matches("KEYWORD", "TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.matches("KEYWORD", "FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.matches("KEYWORD", "CASE"):
+            self.advance()
+            whens = []
+            while self.accept("KEYWORD", "WHEN"):
+                condition = self.parse_expr()
+                self.expect("KEYWORD", "THEN")
+                whens.append((condition, self.parse_expr()))
+            if not whens:
+                raise ParseError("CASE requires at least one WHEN",
+                                 token.position, token.line, token.column)
+            default = None
+            if self.accept("KEYWORD", "ELSE"):
+                default = self.parse_expr()
+            self.expect("KEYWORD", "END")
+            return ast.Case(tuple(whens), default)
+        if token.matches("OP", "("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("OP", ")")
+            return expr
+        if token.matches("OP", "*"):
+            self.advance()
+            return ast.Star()
+
+        if token.kind == "IDENT" or (token.kind == "KEYWORD"
+                                      and token.value.upper() in _SOFT_KEYWORDS):
+            self.advance()
+            # function call
+            if self.check("OP", "("):
+                self.advance()
+                distinct = bool(self.accept("KEYWORD", "DISTINCT"))
+                args: list[ast.Expr] = []
+                if not self.check("OP", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("OP", ","):
+                        args.append(self.parse_expr())
+                self.expect("OP", ")")
+                return ast.FunctionCall(token.value.lower(), tuple(args), distinct)
+            # qualified column
+            if self.check("OP", "."):
+                self.advance()
+                column = self.expect_name()
+                return ast.ColumnRef(column, token.value)
+            return ast.ColumnRef(token.value)
+
+        raise ParseError(f"unexpected token {token.value or token.kind!r}",
+                         token.position, token.line, token.column)
+
+
+def parse(text: str) -> ast.Script:
+    """Parse a RaSQL script (one or more statements) into an AST."""
+    return Parser(text).parse_script()
+
+
+def parse_query(text: str):
+    """Parse a script and return its single statement (convenience)."""
+    script = parse(text)
+    if len(script.statements) != 1:
+        raise ParseError("expected exactly one statement")
+    return script.statements[0]

@@ -1,0 +1,377 @@
+"""Physical rule terms: the per-partition pipelines the fixpoint runs.
+
+Planning (see :mod:`repro.core.planner`) turns every recursive rule into one
+or more *terms* — the delta-expansion of semi-naive evaluation.  A term
+fixes which recursive reference is fed by the delta; the remaining inputs
+are joined against it through a pipeline of steps:
+
+- :class:`HashJoinStep` — equi join against a prebuilt hash table: either a
+  co-partitioned cached base partition (Appendix D's shuffle-hash join with
+  the base always on the build side), a broadcast table (Section 7.2), or a
+  sibling view's all-relation partition (mutual recursion cross terms).
+- :class:`SortMergeJoinStep` — the Appendix D alternative for the
+  co-partitioned path; the base side's sorted run is cached.
+- :class:`NestedLoopStep` — theta joins (Interval Coalesce).
+- :class:`FilterStep` / the final projection — residual predicates and the
+  head expressions, with ``count()`` contribution normalization.
+
+Rows travel as *padded* tuples of the rule's full layout arity: each FROM
+binding owns a slot segment, unbound segments hold ``None``.  Joining two
+padded rows is an elementwise coalesce.  This keeps one compiled expression
+per rule valid at every pipeline position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.logical import RulePlan, ViewPlan
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.joins import build_hash_table, sort_merge_join, sort_rows
+
+
+def pad_row(row: tuple, offset: int, arity: int) -> tuple:
+    """Place a source row into its segment of the combined layout."""
+    return (None,) * offset + tuple(row) + (None,) * (arity - offset - len(row))
+
+
+def merge_padded(left: tuple, right: tuple) -> tuple:
+    """Coalesce two padded rows with disjoint bound segments."""
+    return tuple(l if l is not None else r for l, r in zip(left, right))
+
+
+def make_slots_key(slots: tuple[int, ...]) -> Callable[[tuple], object]:
+    """Key extractor over combined-row slots (scalar for one slot)."""
+    if len(slots) == 1:
+        index = slots[0]
+        return lambda row: row[index]
+    return lambda row: tuple(row[s] for s in slots)
+
+
+class TermRuntime:
+    """Mutable executor-side context a term evaluates against.
+
+    Populated by the fixpoint operator during setup and iteration:
+
+    - ``broadcast_tables[step_id]`` — hash table (or row list) over the
+      padded rows of a broadcast base relation.
+    - ``base_partitions[step_id][p]`` — cached hash table / sorted run of
+      partition ``p`` of a co-partitioned base relation.
+    - ``state_rows(view, p)`` — current all-relation rows of a view's
+      partition ``p`` (full rows, head schema); ``p = -1`` gathers all
+      partitions (the fallback when state keys are not join-aligned).
+    - ``delta_rows(view, p)`` — the view's current-iteration delta rows
+      (for the δ⋈δ correction terms of two-recursive-reference rules).
+    - ``state_total(view, p, key)`` — current aggregate values of a group
+      (increment→total conversion for filters over sum/count columns).
+    """
+
+    def __init__(self):
+        self.broadcast_tables: dict[int, object] = {}
+        self.base_partitions: dict[int, list] = {}
+        self.state_rows: Callable[[str, int], list[tuple]] | None = None
+        self.delta_rows: Callable[[str, int], list[tuple]] | None = None
+        self.state_total: Callable[[str, int, object], tuple | None] | None = None
+
+
+class Step:
+    """One pipeline stage: padded rows in, padded rows out."""
+
+    def apply(self, rows: list[tuple], partition: int,
+              runtime: TermRuntime) -> list[tuple]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class HashJoinStep(Step):
+    """Probe a hash table of padded build rows with a combined-row key.
+
+    ``source`` selects where the table comes from:
+    ``"broadcast"`` (built once at setup), ``"base_partition"`` (built once
+    per partition at setup, cached across iterations), ``"state"`` or
+    ``"delta"`` (rebuilt from the named view's partition each call — these
+    change every iteration, so the table cannot be cached; see DESIGN.md
+    for the trade-off).  ``gather=True`` reads all partitions of the state
+    instead of the aligned one (the non-co-partitioned fallback).
+    """
+
+    step_id: int
+    source: str
+    probe_slots: tuple[int, ...]
+    build_slots: tuple[int, ...]
+    state_view: str | None = None
+    state_offset: int = 0
+    arity: int = 0
+    gather: bool = False
+
+    def apply(self, rows, partition, runtime):
+        probe_key = make_slots_key(self.probe_slots)
+        if self.source == "broadcast":
+            table = runtime.broadcast_tables[self.step_id]
+        elif self.source == "base_partition":
+            table = runtime.base_partitions[self.step_id][partition]
+        else:  # state or delta
+            build_key = make_slots_key(self.build_slots)
+            accessor = (runtime.state_rows if self.source == "state"
+                        else runtime.delta_rows)
+            source_partition = -1 if self.gather else partition
+            state = accessor(self.state_view, source_partition)
+            table = build_hash_table(
+                (pad_row(r, self.state_offset, self.arity) for r in state),
+                build_key)
+        out: list[tuple] = []
+        append = out.append
+        for row in rows:
+            bucket = table.get(probe_key(row))
+            if bucket is None:
+                continue
+            for build_row in bucket:
+                append(merge_padded(row, build_row))
+        return out
+
+    def describe(self) -> str:
+        return f"HashJoin[{self.source}] probe={self.probe_slots} build={self.build_slots}"
+
+
+@dataclass
+class SortMergeJoinStep(Step):
+    """Co-partitioned sort-merge join; the base side's run is pre-sorted."""
+
+    step_id: int
+    probe_slots: tuple[int, ...]
+    build_slots: tuple[int, ...]
+
+    def apply(self, rows, partition, runtime):
+        probe_key = make_slots_key(self.probe_slots)
+        build_key = make_slots_key(self.build_slots)
+        sorted_delta = sort_rows(rows, probe_key)
+        base_sorted = runtime.base_partitions[self.step_id][partition]
+        return sort_merge_join(sorted_delta, base_sorted, probe_key,
+                               build_key, merge_padded)
+
+    def describe(self) -> str:
+        return f"SortMergeJoin probe={self.probe_slots} build={self.build_slots}"
+
+
+@dataclass
+class NestedLoopStep(Step):
+    """Theta/cross join against a broadcast input's padded rows."""
+
+    step_id: int
+    predicate: Callable[[tuple], object] | None
+
+    def apply(self, rows, partition, runtime):
+        others = runtime.broadcast_tables[self.step_id]
+        predicate = self.predicate
+        out: list[tuple] = []
+        append = out.append
+        for row in rows:
+            for other in others:
+                merged = merge_padded(row, other)
+                if predicate is None or predicate(merged):
+                    append(merged)
+        return out
+
+    def describe(self) -> str:
+        return "NestedLoopJoin" if self.predicate else "CrossJoin"
+
+
+@dataclass
+class TotalizeStep(Step):
+    """Replace a delta's increment values by the group's current totals.
+
+    Used when a rule *filters or joins on* a ``sum``/``count`` column of
+    its delta view (Company Control's ``Tot > 50``, Party Attendance's
+    ``Ncount >= 3``): the predicate must see the accumulated total, not the
+    increment the delta carries for linear propagation.  The state is
+    co-partitioned with the delta, so the lookup is partition-local.
+    """
+
+    view: str
+    offset: int
+    group_slots: tuple[int, ...]
+    agg_slot_to_position: tuple[tuple[int, int], ...]
+
+    def apply(self, rows, partition, runtime):
+        group_key = make_slots_key(self.group_slots)
+        out: list[tuple] = []
+        for row in rows:
+            totals = runtime.state_total(self.view, partition, group_key(row))
+            if totals is None:
+                continue  # group vanished (cannot happen under monotone merge)
+            patched = list(row)
+            for slot, position in self.agg_slot_to_position:
+                patched[slot] = totals[position]
+            out.append(tuple(patched))
+        return out
+
+    def describe(self) -> str:
+        return f"Totalize[{self.view}]"
+
+
+@dataclass
+class FilterStep(Step):
+    """Residual predicate applied once all its bindings are bound."""
+
+    predicate: Callable[[tuple], object]
+    sql: str = ""
+
+    def apply(self, rows, partition, runtime):
+        predicate = self.predicate
+        return [row for row in rows if predicate(row)]
+
+    def describe(self) -> str:
+        return f"Filter[{self.sql}]"
+
+
+@dataclass
+class CompiledTerm:
+    """One delta-expansion term of one recursive rule, fully compiled.
+
+    ``project`` maps a final combined row to the head row (aggregate
+    contributions already normalized).  ``negate`` marks the
+    inclusion-exclusion correction term of two-recursive-reference rules
+    over ``sum``/``count`` (its contributions enter with flipped sign).
+    """
+
+    view: str
+    delta_view: str
+    delta_offset: int
+    arity: int
+    steps: list[Step]
+    project: Callable[[tuple], tuple]
+    delta_prefilter: Callable[[tuple], object] | None = None
+    negate: bool = False
+    rule: RulePlan | None = field(default=None, repr=False)
+    #: Fused whole-pipeline function (Section 7.3); set by the planner when
+    #: code generation is enabled and the pipeline is fusible.
+    codegen_fn: Callable | None = field(default=None, repr=False)
+
+    def evaluate(self, delta_rows: list[tuple], partition: int,
+                 runtime: TermRuntime) -> list[tuple]:
+        """Run the pipeline over one partition's delta rows."""
+        if self.codegen_fn is not None:
+            return self.codegen_fn(delta_rows, partition, runtime)
+        offset, arity = self.delta_offset, self.arity
+        rows = [pad_row(r, offset, arity) for r in delta_rows]
+        if self.delta_prefilter is not None:
+            predicate = self.delta_prefilter
+            rows = [row for row in rows if predicate(row)]
+        for step in self.steps:
+            if not rows:
+                return []
+            rows = step.apply(rows, partition, runtime)
+        project = self.project
+        return [project(row) for row in rows]
+
+    def describe(self) -> str:
+        parts = [f"Term[{self.view} <- delta({self.delta_view})"
+                 f"{' NEGATED' if self.negate else ''}]"]
+        parts += ["  " + s.describe() for s in self.steps]
+        return "\n".join(parts)
+
+
+def make_projector(compiled_exprs: list[Callable[[tuple], object]],
+                   aggregates: tuple[AggregateFunction | None, ...],
+                   ) -> Callable[[tuple], tuple]:
+    """Build the head projector, normalizing aggregate contributions.
+
+    Normalization (``count()`` over non-numeric contributions counts 1)
+    happens here — at contribution-creation time — so it is applied exactly
+    once regardless of whether map-side partial aggregation runs.
+    """
+    normalizers = [agg.normalize if agg is not None else None
+                   for agg in aggregates]
+    if not any(normalizers):
+        return lambda row: tuple(fn(row) for fn in compiled_exprs)
+
+    def project(row: tuple) -> tuple:
+        out = []
+        for fn, normalize in zip(compiled_exprs, normalizers):
+            value = fn(row)
+            out.append(normalize(value) if normalize is not None else value)
+        return tuple(out)
+
+    return project
+
+
+@dataclass
+class PhysicalView:
+    """Execution-time description of one clique view."""
+
+    plan: ViewPlan
+    #: Head-column positions the view's delta/state are hash-partitioned on.
+    partition_key_positions: tuple[int, ...]
+    #: Effective aggregates: the view's, or all-``None`` in stratified mode.
+    aggregates: tuple[AggregateFunction | None, ...]
+
+    @property
+    def name(self) -> str:
+        return self.plan.name
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(a is not None for a in self.aggregates)
+
+    @property
+    def group_positions(self) -> tuple[int, ...]:
+        return tuple(i for i, a in enumerate(self.aggregates) if a is None)
+
+    @property
+    def aggregate_positions(self) -> tuple[int, ...]:
+        return tuple(i for i, a in enumerate(self.aggregates) if a is not None)
+
+    @property
+    def aggregate_functions(self) -> tuple[AggregateFunction, ...]:
+        return tuple(a for a in self.aggregates if a is not None)
+
+
+@dataclass
+class BaseRelationPlan:
+    """How one base input of one term step is distributed and prebuilt.
+
+    ``mode``: ``"copartition"`` (hash-partitioned on the build key, build
+    side cached per partition — Appendix D) or ``"broadcast"``
+    (Section 7.2).  ``filter`` is the scan's pushed-down predicate,
+    compiled over the *padded* row.  ``equi=False`` means the broadcast
+    value is a plain padded-row list for a nested-loop step.
+    """
+
+    step_id: int
+    relation: str
+    binding: str
+    mode: str
+    offset: int
+    arity: int
+    build_slots: tuple[int, ...]
+    filter: Callable[[tuple], object] | None
+    filter_sql: str
+    equi: bool
+
+
+@dataclass
+class PhysicalClique:
+    """Everything the fixpoint operator needs to run one clique."""
+
+    views: dict[str, PhysicalView]
+    terms: list[CompiledTerm]
+    base_plans: list[BaseRelationPlan]
+    decomposable: bool
+    decompose_keys: dict[str, tuple[int, ...]]
+
+    def view(self, name: str) -> PhysicalView:
+        return self.views[name.lower()]
+
+    def explain(self) -> str:
+        lines = ["FixPoint [" + ", ".join(
+            v.name for v in self.views.values()) + "]"]
+        if self.decomposable:
+            lines.append("  (decomposable: per-partition independent fixpoints)")
+        for term in self.terms:
+            for line in term.describe().splitlines():
+                lines.append("  " + line)
+        return "\n".join(lines)

@@ -1,0 +1,737 @@
+"""Physical planning: logical clique plans → compiled fixpoint inputs.
+
+This is where the paper's physical choices are made (Sections 6–7,
+Appendix D):
+
+- **Partition keys.** Each clique view is hash-partitioned on the columns
+  through which recursive rules join it (Algorithm 4's requirement that
+  the reduce key equal the join key).  Views only referenced join-lessly
+  default to their group key.
+- **Delta expansion.** A rule with one recursive reference yields one
+  term; with two references it yields the two classic semi-naive cross
+  terms, plus a negated δ⋈δ inclusion-exclusion correction when the head
+  aggregates are ``sum``/``count`` (set and min/max semantics absorb the
+  overlap, accumulation does not).
+- **Join strategy.** The first join of a term runs co-partitioned
+  (shuffle-hash with cached base build side, or sort-merge) when the
+  delta-side equi columns are exactly the view's partition key; every
+  other base input is broadcast; non-equi inputs fall back to nested
+  loops.  Sibling-state joins are co-partitioned when keys align and
+  gather otherwise.
+- **Increment vs total.** For ``sum``/``count`` delta views, a term that
+  filters or joins on the aggregate column reads group *totals*
+  (TotalizeStep); linear propagation reads increments.  Mixing both in one
+  rule is rejected as unsupported.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core import ast_nodes as ast
+from repro.core.config import ExecutionConfig
+from repro.core.decompose import decompose_keys
+from repro.core.expressions import compile_expr, conjoin, referenced_bindings
+from repro.core.logical import (
+    CliquePlan,
+    JoinNode,
+    RecursiveScanNode,
+    RulePlan,
+    ScanNode,
+    ViewPlan,
+)
+from repro.core.physical import (
+    BaseRelationPlan,
+    CompiledTerm,
+    FilterStep,
+    HashJoinStep,
+    NestedLoopStep,
+    PhysicalClique,
+    PhysicalView,
+    SortMergeJoinStep,
+    Step,
+    TotalizeStep,
+    make_projector,
+)
+from repro.errors import PlanningError
+
+
+# ---------------------------------------------------------------------------
+# partition keys
+# ---------------------------------------------------------------------------
+
+
+def _equi_slot_pairs(rule: RulePlan) -> list[tuple[int, int]]:
+    """Equi conjuncts as (slot, slot) pairs over the rule layout."""
+    pairs = []
+    for left, right in rule.join.equi_conjuncts:
+        pairs.append((rule.layout.slot_of(left), rule.layout.slot_of(right)))
+    return pairs
+
+
+def _segment_of(rule: RulePlan, input_index: int) -> tuple[int, int]:
+    """(offset, arity) of one join input's slot segment."""
+    node = rule.join.inputs[input_index]
+    offset = rule.layout.offsets[node.binding.lower()]
+    return offset, len(node.columns)
+
+
+def _reference_key_candidates(view_name: str, clique: CliquePlan
+                              ) -> list[tuple[int, ...]]:
+    """Join-key position tuples for every recursive reference of a view."""
+    target = view_name.lower()
+    candidates = []
+    for view in clique.views:
+        for rule in view.recursive_rules:
+            pairs = _equi_slot_pairs(rule)
+            for index in rule.recursive_inputs():
+                node = rule.join.inputs[index]
+                if node.view.lower() != target:
+                    continue
+                offset, arity = _segment_of(rule, index)
+                positions = set()
+                for a, b in pairs:
+                    inside_a = offset <= a < offset + arity
+                    inside_b = offset <= b < offset + arity
+                    if inside_a != inside_b:
+                        positions.add((a if inside_a else b) - offset)
+                if positions:
+                    candidates.append(tuple(sorted(positions)))
+    return candidates
+
+
+def plan_partition_keys(clique: CliquePlan,
+                        effective_aggregates: dict[str, tuple]) -> dict[str, tuple[int, ...]]:
+    """Choose the hash-partition key positions of every clique view."""
+    keys: dict[str, tuple[int, ...]] = {}
+    for view in clique.views:
+        name = view.name.lower()
+        aggregates = effective_aggregates[name]
+        group_positions = tuple(i for i, a in enumerate(aggregates) if a is None)
+        candidates = _reference_key_candidates(view.name, clique)
+        if any(a is not None for a in aggregates):
+            # Partitioning must be a function of the group key, or groups
+            # would straddle partitions.
+            candidates = [c for c in candidates
+                          if set(c) <= set(group_positions)]
+            default = group_positions
+        else:
+            default = tuple(range(len(view.columns)))
+        if candidates:
+            keys[name] = Counter(candidates).most_common(1)[0][0]
+        else:
+            keys[name] = default if default else (0,)
+    return keys
+
+
+# ---------------------------------------------------------------------------
+# term compilation
+# ---------------------------------------------------------------------------
+
+
+class _StepIds:
+    """Monotonic step-id allocator shared across one clique's terms."""
+
+    def __init__(self):
+        self.next_id = 0
+
+    def take(self) -> int:
+        value = self.next_id
+        self.next_id += 1
+        return value
+
+
+@dataclass
+class _TermContext:
+    clique: CliquePlan
+    views: dict[str, PhysicalView]
+    config: ExecutionConfig
+    decomposed: bool
+    step_ids: _StepIds
+    base_plans: list[BaseRelationPlan]
+
+
+def _delta_value_mode(rule: RulePlan, delta_index: int,
+                      delta_view: PhysicalView) -> str:
+    """``"increment"`` or ``"total"`` for a sum/count delta (see module doc)."""
+    accumulating = [p for p, a in enumerate(delta_view.aggregates)
+                    if a is not None and a.name in ("sum", "count")]
+    if not accumulating:
+        return "increment"
+
+    offset, arity = _segment_of(rule, delta_index)
+    agg_slots = {offset + p for p in accumulating}
+
+    def touches(exprs) -> bool:
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, ast.ColumnRef):
+                    if rule.layout.slot_of(node) in agg_slots:
+                        return True
+        return False
+
+    filter_exprs = list(rule.join.residual)
+    filter_exprs += [side for pair in rule.join.equi_conjuncts for side in pair]
+    in_filter = touches(filter_exprs)
+    in_projection = touches(rule.projections)
+    if in_filter and in_projection:
+        raise PlanningError(
+            f"rule of view {rule.view!r} both filters on and propagates the "
+            f"sum/count column of {delta_view.name!r}; increment semantics "
+            f"cannot express this (see DESIGN.md)")
+    return "total" if in_filter else "increment"
+
+
+def _compile_term(ctx: _TermContext, target: PhysicalView, rule: RulePlan,
+                  delta_index: int, other_rec_sources: dict[int, str],
+                  negate: bool) -> CompiledTerm:
+    """Compile one delta-expansion term of one rule.
+
+    ``other_rec_sources`` maps non-delta recursive input positions to
+    ``"state"`` or ``"delta"`` (the latter only in δ⋈δ correction terms).
+    """
+    layout = rule.layout
+    arity = layout.arity
+    join: JoinNode = rule.join
+    delta_node = join.inputs[delta_index]
+    assert isinstance(delta_node, RecursiveScanNode)
+    delta_view = ctx.views[delta_node.view.lower()]
+    delta_offset, delta_arity = _segment_of(rule, delta_index)
+
+    pairs = _equi_slot_pairs(rule)
+    steps: list[Step] = []
+    bound_bindings = {delta_node.binding.lower()}
+    bound_slots = set(range(delta_offset, delta_offset + delta_arity))
+    pending = [i for i in range(len(join.inputs)) if i != delta_index]
+
+    # Residual conjuncts, compiled lazily once their bindings are bound.
+    residual = list(join.residual)
+    consumed = [False] * len(residual)
+
+    def applicable_filters() -> list[FilterStep]:
+        out = []
+        for i, conjunct in enumerate(residual):
+            if consumed[i]:
+                continue
+            refs = referenced_bindings(conjunct, layout)
+            if refs <= bound_bindings:
+                out.append(FilterStep(compile_expr(conjunct, layout),
+                                      conjunct.to_sql()))
+                consumed[i] = True
+        return out
+
+    # --- increment/total handling + delta-only prefilter -----------------
+    value_mode = _delta_value_mode(rule, delta_index, delta_view)
+    if value_mode == "total":
+        group_slots = tuple(delta_offset + p for p in delta_view.group_positions)
+        agg_map = tuple(
+            (delta_offset + p, i)
+            for i, p in enumerate(delta_view.aggregate_positions))
+        steps.append(TotalizeStep(delta_view.name.lower(), delta_offset,
+                                  group_slots, agg_map))
+    steps.extend(applicable_filters())
+
+    first_join = True
+    while pending:
+        # Prefer an input reachable through an equi conjunct.
+        chosen = None
+        join_pairs: list[tuple[int, int]] = []  # (probe slot, build slot)
+        for index in pending:
+            offset, input_arity = _segment_of(rule, index)
+            segment = range(offset, offset + input_arity)
+            matched = []
+            for a, b in pairs:
+                if a in segment and b in bound_slots:
+                    matched.append((b, a))
+                elif b in segment and a in bound_slots:
+                    matched.append((a, b))
+            if matched:
+                chosen, join_pairs = index, sorted(matched)
+                break
+        if chosen is None:
+            chosen, join_pairs = pending[0], []
+        pending.remove(chosen)
+
+        node = join.inputs[chosen]
+        offset, input_arity = _segment_of(rule, chosen)
+        probe_slots = tuple(p for p, _ in join_pairs)
+        build_slots = tuple(b for _, b in join_pairs)
+
+        if isinstance(node, RecursiveScanNode):
+            source = other_rec_sources[chosen]
+            other_view = ctx.views[node.view.lower()]
+            if not join_pairs:
+                raise PlanningError(
+                    f"recursive reference {node.view!r} in a rule of "
+                    f"{rule.view!r} has no equi-join condition; cross "
+                    f"products over recursive state are not supported")
+            # Aligned when the delta side is keyed on its partition key and
+            # the state side on its own.
+            delta_key = tuple(sorted(s - delta_offset for s in probe_slots
+                                     if delta_offset <= s < delta_offset + delta_arity))
+            state_key = tuple(sorted(b - offset for b in build_slots))
+            aligned = (len(probe_slots) == len(join_pairs)
+                       and delta_key == delta_view.partition_key_positions
+                       and state_key == other_view.partition_key_positions
+                       and all(delta_offset <= s < delta_offset + delta_arity
+                               for s in probe_slots))
+            steps.append(HashJoinStep(
+                ctx.step_ids.take(), source, probe_slots, build_slots,
+                state_view=node.view.lower(), state_offset=offset,
+                arity=arity, gather=not aligned))
+        else:
+            assert isinstance(node, ScanNode)
+            scan_filter = None
+            filter_sql = ""
+            if node.filter is not None:
+                scan_filter = compile_expr(node.filter, layout)
+                filter_sql = node.filter.to_sql()
+
+            delta_side_key = tuple(sorted(
+                s - delta_offset for s in probe_slots
+                if delta_offset <= s < delta_offset + delta_arity))
+            can_copartition = (
+                first_join
+                and join_pairs
+                and not ctx.config.broadcast_bases
+                and not ctx.decomposed
+                and all(delta_offset <= s < delta_offset + delta_arity
+                        for s in probe_slots)
+                and delta_side_key == delta_view.partition_key_positions)
+
+            step_id = ctx.step_ids.take()
+            if can_copartition:
+                if ctx.config.join_strategy == "sort_merge":
+                    steps.append(SortMergeJoinStep(step_id, probe_slots,
+                                                   build_slots))
+                else:
+                    steps.append(HashJoinStep(step_id, "base_partition",
+                                              probe_slots, build_slots))
+                mode = "copartition"
+                equi = True
+            elif join_pairs:
+                steps.append(HashJoinStep(step_id, "broadcast", probe_slots,
+                                          build_slots))
+                mode = "broadcast"
+                equi = True
+            else:
+                # Theta or cross join: collect conjuncts that become
+                # evaluable exactly now and fuse them into the loop.
+                theta = []
+                future_bound = bound_bindings | {node.binding.lower()}
+                for i, conjunct in enumerate(residual):
+                    if not consumed[i] and referenced_bindings(
+                            conjunct, layout) <= future_bound:
+                        theta.append(conjunct)
+                        consumed[i] = True
+                predicate = (compile_expr(conjoin(theta), layout)
+                             if theta else None)
+                steps.append(NestedLoopStep(step_id, predicate))
+                mode = "broadcast"
+                equi = False
+            ctx.base_plans.append(BaseRelationPlan(
+                step_id, node.relation, node.binding, mode, offset, arity,
+                build_slots, scan_filter, filter_sql, equi))
+
+        bound_bindings.add(node.binding.lower())
+        bound_slots.update(range(offset, offset + input_arity))
+        first_join = False
+        steps.extend(applicable_filters())
+
+    if not all(consumed):
+        raise PlanningError("internal: unconsumed residual conjuncts")
+
+    # Delta prefilter: scan filter pushed onto the recursive reference is
+    # impossible (optimizer never does it), but residuals touching only the
+    # delta were already emitted as the first FilterSteps above.
+    compiled_projections = [compile_expr(e, layout) for e in rule.projections]
+    project = make_projector(compiled_projections, target.aggregates)
+
+    return CompiledTerm(
+        view=target.name.lower(),
+        delta_view=delta_view.name.lower(),
+        delta_offset=delta_offset,
+        arity=arity,
+        steps=steps,
+        project=project,
+        negate=negate,
+        rule=rule,
+    )
+
+
+def _expand_rule(ctx: _TermContext, target: PhysicalView,
+                 rule: RulePlan) -> list[CompiledTerm]:
+    """Delta-expand one recursive rule into compiled terms."""
+    rec_positions = rule.recursive_inputs()
+    accumulating = any(a is not None and a.name in ("sum", "count")
+                       for a in target.aggregates)
+
+    if len(rec_positions) == 1:
+        (position,) = rec_positions
+        return [_compile_term(ctx, target, rule, position, {}, negate=False)]
+
+    if len(rec_positions) == 2:
+        first, second = rec_positions
+        terms = [
+            # δ1 ⋈ all2 and all1 ⋈ δ2 — all-relations are post-merge (new).
+            _compile_term(ctx, target, rule, first, {second: "state"},
+                          negate=False),
+            _compile_term(ctx, target, rule, second, {first: "state"},
+                          negate=False),
+        ]
+        if accumulating:
+            # Both cross terms double-count δ1 ⋈ δ2 under accumulation;
+            # subtract it (inclusion–exclusion).  Idempotent semantics
+            # (sets, min/max) absorb the overlap instead.
+            terms.append(_compile_term(ctx, target, rule, first,
+                                       {second: "delta"}, negate=True))
+        return terms
+
+    if accumulating:
+        raise PlanningError(
+            f"rule of view {rule.view!r} has {len(rec_positions)} recursive "
+            f"references with sum/count aggregates; inclusion-exclusion "
+            f"beyond two references is not implemented")
+    return [_compile_term(ctx, target, rule, position,
+                          {p: "state" for p in rec_positions if p != position},
+                          negate=False)
+            for position in rec_positions]
+
+
+def _compile_base_rule(ctx: _TermContext, target: PhysicalView,
+                       rule: RulePlan) -> CompiledTerm | tuple:
+    """Base rules reuse the term pipeline with a scan as the driving input.
+
+    Returns either a compiled term (driven by the full rows of its first
+    FROM input) or, for FROM-less rules, the normalized constant rows.
+    """
+    if rule.join is None:
+        normalize = [a.normalize if a is not None else (lambda v: v)
+                     for a in target.aggregates]
+        return tuple(tuple(fn(v) for fn, v in zip(normalize, row))
+                     for row in rule.constant_rows)
+
+    layout = rule.layout
+    join = rule.join
+    driving = 0
+    driving_node = join.inputs[driving]
+    offset, driving_arity = _segment_of(rule, driving)
+
+    steps: list[Step] = []
+    bound_bindings = {driving_node.binding.lower()}
+    bound_slots = set(range(offset, offset + driving_arity))
+    pending = [i for i in range(len(join.inputs)) if i != driving]
+    pairs = _equi_slot_pairs(rule)
+    residual = list(join.residual)
+    consumed = [False] * len(residual)
+
+    prefilter = None
+    if isinstance(driving_node, ScanNode) and driving_node.filter is not None:
+        prefilter = compile_expr(driving_node.filter, layout)
+
+    def applicable_filters():
+        out = []
+        for i, conjunct in enumerate(residual):
+            if not consumed[i] and referenced_bindings(
+                    conjunct, layout) <= bound_bindings:
+                out.append(FilterStep(compile_expr(conjunct, layout),
+                                      conjunct.to_sql()))
+                consumed[i] = True
+        return out
+
+    steps.extend(applicable_filters())
+
+    while pending:
+        chosen = None
+        join_pairs: list[tuple[int, int]] = []
+        for index in pending:
+            o, a = _segment_of(rule, index)
+            segment = range(o, o + a)
+            matched = []
+            for x, y in pairs:
+                if x in segment and y in bound_slots:
+                    matched.append((y, x))
+                elif y in segment and x in bound_slots:
+                    matched.append((x, y))
+            if matched:
+                chosen, join_pairs = index, sorted(matched)
+                break
+        if chosen is None:
+            chosen, join_pairs = pending[0], []
+        pending.remove(chosen)
+
+        node = join.inputs[chosen]
+        if not isinstance(node, ScanNode):
+            raise PlanningError("base rule cannot reference recursive views")
+        o, a = _segment_of(rule, chosen)
+        scan_filter = (compile_expr(node.filter, layout)
+                       if node.filter is not None else None)
+        filter_sql = node.filter.to_sql() if node.filter is not None else ""
+        step_id = ctx.step_ids.take()
+        if join_pairs:
+            probe = tuple(p for p, _ in join_pairs)
+            build = tuple(b for _, b in join_pairs)
+            steps.append(HashJoinStep(step_id, "broadcast", probe, build))
+            equi = True
+        else:
+            theta = []
+            future = bound_bindings | {node.binding.lower()}
+            for i, conjunct in enumerate(residual):
+                if not consumed[i] and referenced_bindings(
+                        conjunct, layout) <= future:
+                    theta.append(conjunct)
+                    consumed[i] = True
+            predicate = compile_expr(conjoin(theta), layout) if theta else None
+            steps.append(NestedLoopStep(step_id, predicate))
+            build = ()
+            equi = False
+        ctx.base_plans.append(BaseRelationPlan(
+            step_id, node.relation, node.binding, "broadcast", o,
+            layout.arity, build, scan_filter, filter_sql, equi))
+        bound_bindings.add(node.binding.lower())
+        bound_slots.update(range(o, o + a))
+        steps.extend(applicable_filters())
+
+    compiled = [compile_expr(e, layout) for e in rule.projections]
+    project = make_projector(compiled, target.aggregates)
+    return CompiledTerm(
+        view=target.name.lower(),
+        delta_view="",  # filled from the driving scan at execution
+        delta_offset=offset,
+        arity=layout.arity,
+        steps=steps,
+        project=project,
+        delta_prefilter=prefilter,
+        rule=rule,
+    )
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlannedBaseRule:
+    """A base rule ready for one-shot evaluation at fixpoint start."""
+
+    view: str
+    #: Compiled pipeline driven by ``driving_relation`` (None → constants).
+    term: CompiledTerm | None
+    driving_relation: str | None
+    constant_rows: tuple = ()
+
+
+@dataclass
+class PlannedClique(PhysicalClique):
+    """PhysicalClique plus planned base rules (separate dataclass so the
+    engine-facing PhysicalClique stays importable without planner types).
+
+    ``maintenance_terms`` (filled when planning with ``maintenance=True``)
+    maps a base-table name to the terms that derive new facts when rows
+    are *inserted* into that table: for every rule input scanning it, a
+    term driven by the new rows, joining the other inputs — recursive
+    references through the (gathered) current state, sibling scans through
+    broadcast tables.  This is the incremental-view-maintenance machinery
+    of :mod:`repro.core.streaming`.
+    """
+
+    base_rules: list[PlannedBaseRule] = None
+    maintenance_terms: dict[str, list[CompiledTerm]] = None
+
+
+def _compile_maintenance_term(ctx: _TermContext, target: PhysicalView,
+                              rule: RulePlan, scan_index: int) -> CompiledTerm:
+    """A term driven by *inserted rows* of one base input of a rule.
+
+    Recursive references join against the gathered current state (an
+    update batch is small and unpartitioned, so per-partition alignment
+    does not apply); other scans join via broadcast tables.  State values
+    are running totals, which is exactly what a fresh base fact must
+    combine with.
+    """
+    layout = rule.layout
+    join = rule.join
+    driving = join.inputs[scan_index]
+    assert isinstance(driving, ScanNode)
+    offset, driving_arity = _segment_of(rule, scan_index)
+
+    steps: list[Step] = []
+    bound_bindings = {driving.binding.lower()}
+    bound_slots = set(range(offset, offset + driving_arity))
+    pending = [i for i in range(len(join.inputs)) if i != scan_index]
+    pairs = _equi_slot_pairs(rule)
+    residual = list(join.residual)
+    consumed = [False] * len(residual)
+
+    prefilter = (compile_expr(driving.filter, layout)
+                 if driving.filter is not None else None)
+
+    def applicable_filters():
+        out = []
+        for i, conjunct in enumerate(residual):
+            if not consumed[i] and referenced_bindings(
+                    conjunct, layout) <= bound_bindings:
+                out.append(FilterStep(compile_expr(conjunct, layout),
+                                      conjunct.to_sql()))
+                consumed[i] = True
+        return out
+
+    steps.extend(applicable_filters())
+
+    while pending:
+        chosen = None
+        join_pairs: list[tuple[int, int]] = []
+        for index in pending:
+            o, a = _segment_of(rule, index)
+            segment = range(o, o + a)
+            matched = []
+            for x, y in pairs:
+                if x in segment and y in bound_slots:
+                    matched.append((y, x))
+                elif y in segment and x in bound_slots:
+                    matched.append((x, y))
+            if matched:
+                chosen, join_pairs = index, sorted(matched)
+                break
+        if chosen is None:
+            chosen, join_pairs = pending[0], []
+        pending.remove(chosen)
+
+        node = join.inputs[chosen]
+        o, a = _segment_of(rule, chosen)
+        probe = tuple(p for p, _ in join_pairs)
+        build = tuple(b for _, b in join_pairs)
+        if isinstance(node, RecursiveScanNode):
+            if not join_pairs:
+                raise PlanningError(
+                    "maintenance terms require an equi join to every "
+                    "recursive reference")
+            steps.append(HashJoinStep(
+                ctx.step_ids.take(), "state", probe, build,
+                state_view=node.view.lower(), state_offset=o,
+                arity=layout.arity, gather=True))
+        else:
+            scan_filter = (compile_expr(node.filter, layout)
+                           if node.filter is not None else None)
+            filter_sql = node.filter.to_sql() if node.filter is not None else ""
+            step_id = ctx.step_ids.take()
+            if join_pairs:
+                steps.append(HashJoinStep(step_id, "broadcast", probe, build))
+                equi = True
+            else:
+                theta = []
+                future = bound_bindings | {node.binding.lower()}
+                for i, conjunct in enumerate(residual):
+                    if not consumed[i] and referenced_bindings(
+                            conjunct, layout) <= future:
+                        theta.append(conjunct)
+                        consumed[i] = True
+                predicate = (compile_expr(conjoin(theta), layout)
+                             if theta else None)
+                steps.append(NestedLoopStep(step_id, predicate))
+                equi = False
+            ctx.base_plans.append(BaseRelationPlan(
+                step_id, node.relation, node.binding, "broadcast", o,
+                layout.arity, build, scan_filter, filter_sql, equi))
+        bound_bindings.add(node.binding.lower())
+        bound_slots.update(range(o, o + a))
+        steps.extend(applicable_filters())
+
+    compiled = [compile_expr(e, layout) for e in rule.projections]
+    project = make_projector(compiled, target.aggregates)
+    return CompiledTerm(
+        view=target.name.lower(),
+        delta_view=f"@{driving.relation.lower()}",
+        delta_offset=offset,
+        arity=layout.arity,
+        steps=steps,
+        project=project,
+        delta_prefilter=prefilter,
+        rule=rule,
+    )
+
+
+def plan_clique(clique: CliquePlan, config: ExecutionConfig,
+                maintenance: bool = False) -> PlannedClique:
+    """Compile one recursive clique under *config*.
+
+    ``maintenance=True`` additionally compiles the insertion-maintenance
+    terms used by incremental views (see :class:`PlannedClique`)."""
+    stratified = config.evaluation == "stratified"
+    effective_aggregates = {
+        view.name.lower(): (tuple([None] * len(view.columns)) if stratified
+                            else view.aggregates)
+        for view in clique.views
+    }
+
+    keys = plan_partition_keys(clique, effective_aggregates)
+
+    decomposition = decompose_keys(clique) if config.decomposed_plans else None
+    decomposed = decomposition is not None
+    if decomposed:
+        keys.update(decomposition)
+
+    views = {
+        view.name.lower(): PhysicalView(
+            plan=view,
+            partition_key_positions=keys[view.name.lower()],
+            aggregates=effective_aggregates[view.name.lower()])
+        for view in clique.views
+    }
+
+    ctx = _TermContext(clique, views, config, decomposed, _StepIds(), [])
+
+    terms: list[CompiledTerm] = []
+    base_rules: list[PlannedBaseRule] = []
+    for view in clique.views:
+        target = views[view.name.lower()]
+        for rule in view.recursive_rules:
+            terms.extend(_expand_rule(ctx, target, rule))
+        for rule in view.base_rules:
+            compiled = _compile_base_rule(ctx, target, rule)
+            if isinstance(compiled, CompiledTerm):
+                driving = rule.join.inputs[0]
+                base_rules.append(PlannedBaseRule(
+                    view.name.lower(), compiled, driving.relation))
+            else:
+                base_rules.append(PlannedBaseRule(
+                    view.name.lower(), None, None, compiled))
+
+    maintenance_terms: dict[str, list[CompiledTerm]] = {}
+    if maintenance:
+        for view in clique.views:
+            target = views[view.name.lower()]
+            for rule in view.recursive_rules + view.base_rules:
+                if rule.join is None:
+                    continue
+                for index, node in enumerate(rule.join.inputs):
+                    if isinstance(node, ScanNode):
+                        term = _compile_maintenance_term(ctx, target, rule,
+                                                         index)
+                        maintenance_terms.setdefault(
+                            node.relation.lower(), []).append(term)
+
+    if config.codegen:
+        from repro.core.codegen import attach_generated_code
+
+        for term in terms:
+            attach_generated_code(term, views[term.view].aggregates)
+        for base_rule in base_rules:
+            if base_rule.term is not None:
+                attach_generated_code(base_rule.term,
+                                      views[base_rule.term.view].aggregates)
+        for table_terms in maintenance_terms.values():
+            for term in table_terms:
+                attach_generated_code(term, views[term.view].aggregates)
+
+    return PlannedClique(
+        views=views,
+        terms=terms,
+        base_plans=ctx.base_plans,
+        decomposable=decomposed,
+        decompose_keys=decomposition or {},
+        base_rules=base_rules,
+        maintenance_terms=maintenance_terms,
+    )

@@ -1,0 +1,233 @@
+"""Incremental maintenance of recursive views under insertions.
+
+The paper's future-work list includes extending aggregates-in-recursion
+"to continuous queries on streaming data" (Section 10, citing the ASTRO
+system).  The fixpoint machinery makes the monotone-insertion case
+natural: RaSQL's recursion is monotone in its base facts — set views only
+grow, min/max only improve, sum/count only accumulate — so inserting base
+rows is just *more delta*:
+
+1. new rows join the existing recursive state through *maintenance terms*
+   (δbase ⋈ R_all, planned once per base-table occurrence in each rule);
+2. the resulting contributions feed the ordinary semi-naive loop, which
+   runs to quiescence from wherever the state already is.
+
+Deletions and updates are out of scope (they would require non-monotone
+view maintenance, e.g. DRed); ``insert`` is the only mutation.
+
+Example::
+
+    view = IncrementalView(ctx, SSSP_QUERY)
+    view.result()                       # distances over the initial edges
+    view.insert("edge", [(4, 9, 1.0)])  # shortcut appears
+    view.result()                       # distances improved incrementally
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.analyzer import analyze
+from repro.core.executor import execute_select
+from repro.core.fixpoint import FixpointOperator
+from repro.core.logical import CliquePlan, ScanNode
+from repro.core.optimizer import optimize
+from repro.core.parser import parse
+from repro.core.physical import pad_row
+from repro.core.planner import plan_clique
+from repro.errors import AnalysisError, PlanningError
+from repro.relation import Relation
+
+
+class IncrementalView:
+    """A continuously maintained RaSQL query over growing base tables.
+
+    Restrictions (checked at construction):
+
+    - the script must be a single WITH query over one recursive clique
+      (no CREATE VIEW prelude — derived views would need their own
+      maintenance logic);
+    - the shuffle-hash join strategy (cached hash tables absorb appends;
+      sorted runs would need re-sorting);
+    - decomposed execution is disabled internally (its per-partition local
+      state is not retained between calls);
+    - a rule that references the inserted table *twice* is rejected for
+      ``sum``/``count`` heads (the δ⋈δ overlap of same-table self-joins
+      would double-count; set/min/max absorb it).
+    """
+
+    def __init__(self, ctx, query: str):
+        self.ctx = ctx
+        config = ctx.config
+        if config.join_strategy != "shuffle_hash":
+            raise PlanningError(
+                "incremental views require the shuffle_hash join strategy")
+        if config.evaluation != "dsn":
+            raise PlanningError("incremental views require DSN evaluation")
+        self.config = config.but(decomposed_plans=False)
+
+        analyzed = optimize(analyze(parse(query), ctx.catalog))
+        cliques = analyzed.cliques()
+        if len(cliques) != 1 or len(analyzed.units) != 1:
+            raise AnalysisError(
+                "incremental views support exactly one recursive clique")
+        self.clique: CliquePlan = cliques[0]
+        self.final = analyzed.final
+        self.planned = plan_clique(self.clique, self.config, maintenance=True)
+        self._check_same_table_self_joins()
+
+        # Mutable copies of the base tables this view reads, so inserts
+        # are visible to the final stratum without touching the session
+        # catalog.
+        self._tables: dict[str, Relation] = {}
+        for plan in self.planned.base_plans:
+            key = plan.relation.lower()
+            if key not in self._tables:
+                original = ctx.catalog.get(plan.relation)
+                self._tables[key] = Relation(original.name, original.columns,
+                                             list(original.rows))
+        for base_rule in self.planned.base_rules:
+            if base_rule.driving_relation:
+                key = base_rule.driving_relation.lower()
+                if key not in self._tables:
+                    original = ctx.catalog.get(base_rule.driving_relation)
+                    self._tables[key] = Relation(
+                        original.name, original.columns, list(original.rows))
+
+        self.operator = FixpointOperator(self.planned, ctx.cluster,
+                                         self.config, self._resolve)
+        initial = self.operator.execute()
+        self.iterations = initial.iterations
+
+    # ------------------------------------------------------------------
+
+    def _check_same_table_self_joins(self) -> None:
+        for view in self.clique.views:
+            target = self.planned.views[view.name.lower()]
+            accumulating = any(a is not None and a.name in ("sum", "count")
+                               for a in target.aggregates)
+            if not accumulating:
+                continue
+            for rule in view.recursive_rules + view.base_rules:
+                if rule.join is None:
+                    continue
+                tables = [n.relation.lower() for n in rule.join.inputs
+                          if isinstance(n, ScanNode)]
+                duplicated = {t for t in tables if tables.count(t) > 1}
+                if duplicated:
+                    raise PlanningError(
+                        f"incremental maintenance of sum/count view "
+                        f"{view.name!r} with a self-joined base table "
+                        f"{sorted(duplicated)} would double-count")
+
+    def _resolve(self, name: str) -> Relation:
+        key = name.lower()
+        if key in self._tables:
+            return self._tables[key]
+        return self.ctx.catalog.get(name)
+
+    # ------------------------------------------------------------------
+
+    def insert(self, table: str, rows: Iterable[Sequence]) -> int:
+        """Insert rows into a base table and repair the view.
+
+        Returns the number of fixpoint iterations the repair took (0 when
+        the insertion derived nothing new).
+        """
+        key = table.lower()
+        new_rows = [tuple(r) for r in rows]
+        if not new_rows:
+            return 0
+        if key not in self._tables:
+            raise AnalysisError(
+                f"table {table!r} is not read by this view "
+                f"(tables: {sorted(self._tables)})")
+        relation = self._tables[key]
+        for row in new_rows:
+            if len(row) != len(relation.columns):
+                raise AnalysisError(
+                    f"row {row!r} does not match {table!r} schema "
+                    f"{relation.columns}")
+
+        # 1. make the new rows visible to every cached join side (before
+        #    evaluating, so same-table multi-reference rules see them).
+        self._absorb_into_join_sides(key, new_rows)
+        relation.rows.extend(new_rows)
+
+        # 2. derive the new contributions.
+        outputs: dict[str, list[tuple]] = {}
+        for term in self.planned.maintenance_terms.get(key, ()):
+            derived = term.evaluate(new_rows, 0, self.operator.runtime)
+            if derived:
+                outputs.setdefault(term.view, []).extend(derived)
+
+        if not outputs:
+            return 0
+
+        # 3. run the ordinary semi-naive loop from the existing state.
+        incoming = self.operator._exchange_outputs(
+            {view: {0: rows} for view, rows in outputs.items()},
+            source_workers={0: 0})
+        iterations, _ = self.operator._run_to_fixpoint(incoming)
+        self.iterations += iterations
+        return iterations
+
+    def _absorb_into_join_sides(self, table_key: str,
+                                new_rows: list[tuple]) -> None:
+        runtime = self.operator.runtime
+        for plan in self.planned.base_plans:
+            if plan.relation.lower() != table_key:
+                continue
+            padded = [pad_row(r, plan.offset, plan.arity) for r in new_rows]
+            if plan.filter is not None:
+                padded = [r for r in padded if plan.filter(r)]
+            if not padded:
+                continue
+            if plan.mode == "broadcast":
+                target = runtime.broadcast_tables.get(plan.step_id)
+                if target is None:
+                    continue
+                if plan.equi:
+                    from repro.core.physical import make_slots_key
+
+                    key_fn = make_slots_key(plan.build_slots)
+                    for row in padded:
+                        target.setdefault(key_fn(row), []).append(row)
+                else:
+                    target.extend(padded)
+            else:  # copartition
+                from repro.core.physical import make_slots_key
+
+                key_fn = make_slots_key(plan.build_slots)
+                tables = runtime.base_partitions[plan.step_id]
+                partitions = self.operator._base_partition_objects[plan.step_id]
+                partitioner = self.operator.partitioner
+                for row in padded:
+                    pid = partitioner.partition_of(key_fn(row))
+                    tables[pid].setdefault(key_fn(row), []).append(row)
+                    partitions[pid].rows.append(row)
+                    partitions[pid]._size_bytes = None
+
+    # ------------------------------------------------------------------
+
+    def result(self) -> Relation:
+        """The final SELECT evaluated over the current state."""
+        states = self.operator._relations()
+
+        def resolve(name: str) -> Relation:
+            key = name.lower()
+            if key in states:
+                return states[key]
+            return self._resolve(name)
+
+        # _relations() keys by original view name; index case-insensitively.
+        states = {name.lower(): rel for name, rel in states.items()}
+        return execute_select(self.final, resolve, "result")
+
+    def view_relation(self, name: str) -> Relation:
+        """The current contents of one recursive view."""
+        states = self.operator._relations()
+        for view_name, relation in states.items():
+            if view_name.lower() == name.lower():
+                return relation
+        raise KeyError(name)

@@ -1,0 +1,26 @@
+"""Workload generators: RMAT, Appendix E synthetics, Table 1 proxies."""
+
+from repro.datagen.rmat import rmat_edges, rmat_graph
+from repro.datagen.realworld import REAL_GRAPHS, proxy_graph, proxy_table
+from repro.datagen.synthetic import (
+    Tree,
+    gn_graph,
+    grid_graph,
+    random_graph,
+    random_tree,
+    tree_tables,
+)
+
+__all__ = [
+    "REAL_GRAPHS",
+    "Tree",
+    "gn_graph",
+    "grid_graph",
+    "proxy_graph",
+    "proxy_table",
+    "random_graph",
+    "random_tree",
+    "rmat_edges",
+    "rmat_graph",
+    "tree_tables",
+]

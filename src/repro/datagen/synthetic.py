@@ -1,0 +1,142 @@
+"""Synthetic graphs of Appendix E and the Figure 10 tree datasets.
+
+- ``grid_graph(k)`` — the Grid150/Grid250 family: a (k+1)×(k+1) grid with
+  edges pointing right and down.
+- ``gn_graph(n, e)`` — the G-n-e family: Erdős–Rényi digraphs where each
+  ordered pair is an edge with probability 10^-e.
+- ``random_tree(...)`` — the Figure 10 hierarchy generator: each node has
+  5–10 children and each child is a leaf with probability 20–60%; the
+  paper's datasets are trees of height 10–13 with 40M–300M nodes (scaled
+  here, see DESIGN.md).
+- ``tree_tables(...)`` — derives the Delivery/Management/MLM base tables
+  from one generated tree.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+def grid_graph(k: int) -> list[tuple[int, int]]:
+    """A (k+1)x(k+1) directed grid: Grid150 is ``grid_graph(150)``."""
+    size = k + 1
+
+    def node(row: int, column: int) -> int:
+        return row * size + column
+
+    edges = []
+    for row in range(size):
+        for column in range(size):
+            if column + 1 < size:
+                edges.append((node(row, column), node(row, column + 1)))
+            if row + 1 < size:
+                edges.append((node(row, column), node(row + 1, column)))
+    return edges
+
+
+def gn_graph(n: int, e: int, seed: int = 42) -> list[tuple[int, int]]:
+    """G-n-e: n vertices, each ordered pair an edge w.p. ``10**-e``.
+
+    Sampled by drawing the expected number of edges rather than testing
+    all n² pairs, which matches the model for sparse settings.
+    """
+    rng = random.Random(seed)
+    probability = 10.0 ** -e
+    expected = int(n * n * probability)
+    edges = set()
+    while len(edges) < expected:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            edges.add((a, b))
+    return sorted(edges)
+
+
+@dataclass
+class Tree:
+    """A generated hierarchy: parent→child edges plus the leaf set."""
+
+    edges: list[tuple[int, int]]  # (parent, child)
+    leaves: list[int]
+    num_nodes: int
+    height: int
+
+
+def random_tree(height: int, seed: int = 42, min_children: int = 5,
+                max_children: int = 10, leaf_probability: float = 0.4,
+                max_nodes: int | None = None) -> Tree:
+    """The Figure 10 generator: 5–10 children, 20–60% leaf chance.
+
+    ``max_nodes`` caps growth so sweeps can target node counts directly.
+    """
+    rng = random.Random(seed)
+    edges: list[tuple[int, int]] = []
+    leaves: list[int] = []
+    next_id = 1
+    frontier = [(0, 0)]  # (node, depth)
+    while frontier:
+        node, depth = frontier.pop()
+        if depth >= height:
+            leaves.append(node)
+            continue
+        n_children = rng.randint(min_children, max_children)
+        became_leaf = True
+        for _ in range(n_children):
+            if max_nodes is not None and next_id >= max_nodes:
+                break
+            child = next_id
+            next_id += 1
+            edges.append((node, child))
+            became_leaf = False
+            if depth + 1 >= height or rng.random() < leaf_probability:
+                leaves.append(child)
+            else:
+                frontier.append((child, depth + 1))
+        if became_leaf:
+            leaves.append(node)
+    return Tree(edges, leaves, next_id, height)
+
+
+def tree_tables(tree: Tree, seed: int = 42) -> dict[str, tuple[list[str], list]]:
+    """Base tables for the three Figure 10 queries from one tree.
+
+    - Delivery: ``assbl(Part, SPart)`` over all edges, ``basic(Part, Days)``
+      weighting the leaves;
+    - Management: ``report(Emp, Mgr)`` (edges reversed);
+    - MLM: ``sponsor(M1, M2)`` (sponsor → member) and ``sales(M, P)``
+      weighting every node.
+    """
+    rng = random.Random(seed)
+    assbl = [(parent, child) for parent, child in tree.edges]
+    basic = [(leaf, rng.randint(1, 30)) for leaf in tree.leaves]
+    report = [(child, parent) for parent, child in tree.edges]
+    sponsor = [(parent, child) for parent, child in tree.edges]
+    nodes = {node for edge in tree.edges for node in edge} or {0}
+    sales = [(node, round(rng.uniform(10.0, 1000.0), 2)) for node in nodes]
+    return {
+        "assbl": (["Part", "SPart"], assbl),
+        "basic": (["Part", "Days"], basic),
+        "report": (["Emp", "Mgr"], report),
+        "sponsor": (["M1", "M2"], sponsor),
+        "sales": (["M", "P"], sales),
+    }
+
+
+def random_graph(n: int, m: int, seed: int = 42,
+                 weighted: bool = False,
+                 acyclic: bool = False) -> list[tuple]:
+    """Plain uniform random digraph used by tests and small demos."""
+    rng = random.Random(seed)
+    edges = set()
+    attempts = 0
+    while len(edges) < m and attempts < 20 * m:
+        attempts += 1
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b:
+            continue
+        if acyclic and a > b:
+            a, b = b, a
+        edges.add((a, b))
+    if weighted:
+        return [(a, b, rng.randint(1, 100)) for a, b in sorted(edges)]
+    return sorted(edges)

@@ -1,0 +1,25 @@
+"""A Datalog front end over the same fixpoint core.
+
+RaSQL is the SQL face of a line of work whose previous system, BigDatalog
+(SIGMOD 2016), exposed the same aggregates-in-recursion through Datalog
+with monotonic aggregates.  This package closes the loop: classic Datalog
+programs (with ``min<>``/``max<>``/``sum<>``/``count<>`` head annotations)
+translate into the RaSQL AST and run through the identical analyzer,
+optimizer, planner and fixpoint operator.
+
+    from repro import RaSQLContext
+    from repro.datalog import run_datalog
+
+    ctx = RaSQLContext()
+    ctx.register_table("edge", ["c0", "c1", "c2"], weighted_edges)
+    result = run_datalog(ctx, '''
+        path(1, 0).
+        path(Y, min<C>) <- path(X, D), edge(X, Y, W), C = D + W.
+        ?- path(X, C).
+    ''')
+"""
+
+from repro.datalog.parser import DatalogProgram, parse_datalog
+from repro.datalog.translate import datalog_to_sql, run_datalog
+
+__all__ = ["DatalogProgram", "datalog_to_sql", "parse_datalog", "run_datalog"]

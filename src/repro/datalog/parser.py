@@ -1,0 +1,284 @@
+"""Parser for the Datalog-with-monotonic-aggregates surface.
+
+Grammar (BigDatalog-flavoured)::
+
+    program    := (fact | rule | query)*
+    fact       := atom '.'
+    rule       := head '<-' body '.'
+    head       := pred '(' head_arg (',' head_arg)* ')'
+    head_arg   := term | agg '<' term '>'          (min/max/sum/count,
+                                                    mmin/mmax/msum/mcount)
+    body       := literal (',' literal)*
+    literal    := atom | comparison | assignment
+    atom       := pred '(' term (',' term)* ')'
+    comparison := term (=|!=|<>|<|<=|>|>=) expr
+    assignment := VAR '=' expr                      (VAR unbound by atoms)
+    expr       := arithmetic over terms (+ - * /)
+    term       := VARIABLE (Upper) | number | 'string' | lowercase-constant
+    query      := '?-' atom '.'
+
+``%`` starts a comment.  Variables start with an uppercase letter or
+underscore; lowercase identifiers are symbolic constants (strings).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+
+AGGREGATE_NAMES = {"min", "max", "sum", "count",
+                   "mmin", "mmax", "msum", "mcount"}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|%[^\n]*)
+  | (?P<arrow><-|:-)
+  | (?P<query>\?-)
+  | (?P<op><=|>=|!=|<>|[=<>+\-*/(),.])
+  | (?P<number>\d+(\.\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class Variable:
+    name: str
+
+
+@dataclass(frozen=True)
+class Constant:
+    value: object
+
+
+@dataclass(frozen=True)
+class Arith:
+    """An arithmetic expression tree over terms."""
+
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Atom:
+    predicate: str
+    terms: tuple
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class HeadArg:
+    term: object
+    aggregate: str | None = None
+
+
+@dataclass(frozen=True)
+class Rule:
+    head_predicate: str
+    head_args: tuple[HeadArg, ...]
+    atoms: tuple[Atom, ...]
+    constraints: tuple[Comparison, ...]
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.atoms and not self.constraints
+
+
+@dataclass
+class DatalogProgram:
+    rules: list[Rule] = field(default_factory=list)
+    query: Atom | None = None
+
+    def idb_predicates(self) -> list[str]:
+        """Head predicates, in first-appearance order."""
+        seen: list[str] = []
+        for rule in self.rules:
+            if rule.head_predicate not in seen:
+                seen.append(rule.head_predicate)
+        return seen
+
+    def edb_predicates(self) -> set[str]:
+        idb = set(self.idb_predicates())
+        out: set[str] = set()
+        for rule in self.rules:
+            for atom in rule.atoms:
+                if atom.predicate not in idb:
+                    out.add(atom.predicate)
+        return out
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.items: list[tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                raise ParseError(
+                    f"datalog: unexpected character {text[position]!r}",
+                    position)
+            position = match.end()
+            kind = match.lastgroup
+            if kind != "ws":
+                self.items.append((kind, match.group()))
+        self.position = 0
+
+    @property
+    def current(self) -> tuple[str, str]:
+        if self.position < len(self.items):
+            return self.items[self.position]
+        return ("eof", "")
+
+    def advance(self) -> tuple[str, str]:
+        token = self.current
+        self.position += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None):
+        current_kind, current_value = self.current
+        if current_kind == kind and (value is None or current_value == value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None):
+        token = self.accept(kind, value)
+        if token is None:
+            raise ParseError(
+                f"datalog: expected {value or kind!r}, found "
+                f"{self.current[1] or 'end of input'!r}")
+        return token
+
+
+def _is_variable(name: str) -> bool:
+    return name[0].isupper() or name[0] == "_"
+
+
+def _parse_term(tokens: _Tokens):
+    kind, value = tokens.current
+    if kind == "number":
+        tokens.advance()
+        return Constant(float(value) if "." in value else int(value))
+    if kind == "string":
+        tokens.advance()
+        return Constant(value[1:-1].replace("''", "'"))
+    if kind == "name":
+        tokens.advance()
+        if _is_variable(value):
+            return Variable(value)
+        return Constant(value)
+    raise ParseError(f"datalog: expected a term, found {value!r}")
+
+
+def _parse_expr(tokens: _Tokens):
+    """Arithmetic: term ((+|-|*|/) term)* with * / binding tighter."""
+    def parse_factor():
+        if tokens.accept("op", "("):
+            inner = _parse_expr(tokens)
+            tokens.expect("op", ")")
+            return inner
+        return _parse_term(tokens)
+
+    def parse_product():
+        left = parse_factor()
+        while tokens.current == ("op", "*") or tokens.current == ("op", "/"):
+            op = tokens.advance()[1]
+            left = Arith(op, left, parse_factor())
+        return left
+
+    left = parse_product()
+    while tokens.current == ("op", "+") or tokens.current == ("op", "-"):
+        op = tokens.advance()[1]
+        left = Arith(op, left, parse_product())
+    return left
+
+
+def _parse_atom(tokens: _Tokens, predicate: str) -> Atom:
+    tokens.expect("op", "(")
+    terms = [_parse_term(tokens)]
+    while tokens.accept("op", ","):
+        terms.append(_parse_term(tokens))
+    tokens.expect("op", ")")
+    return Atom(predicate, tuple(terms))
+
+
+def _parse_head(tokens: _Tokens) -> tuple[str, tuple[HeadArg, ...]]:
+    predicate = tokens.expect("name")[1]
+    tokens.expect("op", "(")
+    args: list[HeadArg] = []
+    while True:
+        kind, value = tokens.current
+        if (kind == "name" and value.lower() in AGGREGATE_NAMES
+                and tokens.items[tokens.position + 1] == ("op", "<")):
+            tokens.advance()
+            tokens.expect("op", "<")
+            term = _parse_expr(tokens)
+            tokens.expect("op", ">")
+            normalized = {"mmin": "min", "mmax": "max", "msum": "sum",
+                          "mcount": "count"}.get(value.lower(), value.lower())
+            args.append(HeadArg(term, normalized))
+        else:
+            args.append(HeadArg(_parse_expr(tokens)))
+        if not tokens.accept("op", ","):
+            break
+    tokens.expect("op", ")")
+    return predicate, tuple(args)
+
+
+_COMPARISON_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def _parse_body(tokens: _Tokens) -> tuple[tuple[Atom, ...], tuple[Comparison, ...]]:
+    atoms: list[Atom] = []
+    constraints: list[Comparison] = []
+    while True:
+        kind, value = tokens.current
+        if kind == "name" and tokens.items[tokens.position + 1] == ("op", "("):
+            tokens.advance()
+            atoms.append(_parse_atom(tokens, value))
+        else:
+            left = _parse_expr(tokens)
+            op_kind, op_value = tokens.current
+            if op_kind != "op" or op_value not in _COMPARISON_OPS:
+                raise ParseError(
+                    f"datalog: expected a comparison, found {op_value!r}")
+            tokens.advance()
+            right = _parse_expr(tokens)
+            constraints.append(Comparison(op_value, left, right))
+        if not tokens.accept("op", ","):
+            break
+    return tuple(atoms), tuple(constraints)
+
+
+def parse_datalog(text: str) -> DatalogProgram:
+    """Parse a Datalog program into rules, facts and an optional query."""
+    tokens = _Tokens(text)
+    program = DatalogProgram()
+    while tokens.current[0] != "eof":
+        if tokens.accept("query"):
+            predicate = tokens.expect("name")[1]
+            program.query = _parse_atom(tokens, predicate)
+            tokens.expect("op", ".")
+            continue
+        predicate, head_args = _parse_head(tokens)
+        if tokens.accept("arrow"):
+            atoms, constraints = _parse_body(tokens)
+            program.rules.append(Rule(predicate, head_args, atoms,
+                                      constraints))
+        else:
+            for arg in head_args:
+                if not isinstance(arg.term, Constant) or arg.aggregate:
+                    raise ParseError(
+                        f"datalog: fact for {predicate!r} must be ground")
+            program.rules.append(Rule(predicate, head_args, (), ()))
+        tokens.expect("op", ".")
+    if not program.rules:
+        raise ParseError("datalog: empty program")
+    return program

@@ -1,0 +1,248 @@
+"""Datalog → RaSQL translation.
+
+Each IDB predicate becomes a recursive view; each rule becomes one union
+branch whose FROM list is the body atoms, with shared variables turned
+into equi-join conjuncts, constant arguments into filters, and head
+aggregate annotations into the view's aggregate columns.  Assignment
+constraints (``C = D + W`` with ``C`` otherwise unbound) are substituted
+into the head, which is how Datalog expresses the arithmetic that SQL
+writes inline.
+
+The result is an ordinary :class:`repro.core.ast_nodes.WithQuery`, so the
+whole downstream pipeline — two-step analysis, optimization, the fixpoint
+operator, codegen — is shared with the SQL surface verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.core import ast_nodes as ast
+from repro.datalog.parser import (
+    Arith,
+    Atom,
+    Comparison,
+    Constant,
+    DatalogProgram,
+    HeadArg,
+    Rule,
+    Variable,
+    parse_datalog,
+)
+from repro.errors import AnalysisError
+from repro.relation import Relation
+
+
+def _idb_columns(program: DatalogProgram, predicate: str) -> list[str]:
+    """Column names for an IDB view: variable names from the first rule
+    with a fully-named head, else positional ``c0..cn``."""
+    for rule in program.rules:
+        if rule.head_predicate != predicate:
+            continue
+        names = []
+        for i, arg in enumerate(rule.head_args):
+            if isinstance(arg.term, Variable):
+                names.append(arg.term.name)
+            else:
+                names.append(f"c{i}")
+        if len(set(n.lower() for n in names)) == len(names):
+            return names
+    arity = next(len(r.head_args) for r in program.rules
+                 if r.head_predicate == predicate)
+    return [f"c{i}" for i in range(arity)]
+
+
+class _RuleTranslator:
+    """Translate one rule's body and head into a SelectQuery."""
+
+    def __init__(self, rule: Rule, schema_of, idb_columns):
+        self.rule = rule
+        self.schema_of = schema_of
+        self.idb_columns = idb_columns
+        #: variable name -> ColumnRef of its first binding occurrence
+        self.bindings: dict[str, ast.ColumnRef] = {}
+        self.conjuncts: list[ast.Expr] = []
+        #: assignment substitutions: variable -> Datalog expression
+        self.assignments: dict[str, object] = {}
+
+    def translate(self) -> ast.SelectQuery:
+        rule = self.rule
+        if rule.is_fact:
+            items = tuple(
+                ast.SelectItem(ast.Literal(arg.term.value))
+                for arg in rule.head_args)
+            return ast.SelectQuery(items)
+
+        from_tables = []
+        for index, atom in enumerate(rule.atoms):
+            binding = f"t{index}"
+            from_tables.append(ast.TableRef(atom.predicate, binding))
+            columns = self.schema_of(atom.predicate)
+            if len(columns) != len(atom.terms):
+                raise AnalysisError(
+                    f"datalog: {atom.predicate!r} used with arity "
+                    f"{len(atom.terms)}, declared {len(columns)}")
+            for position, term in enumerate(atom.terms):
+                column = ast.ColumnRef(columns[position], binding)
+                if isinstance(term, Variable):
+                    if term.name == "_":
+                        continue
+                    existing = self.bindings.get(term.name)
+                    if existing is None:
+                        self.bindings[term.name] = column
+                    else:
+                        self.conjuncts.append(
+                            ast.BinaryOp("=", existing, column))
+                else:
+                    assert isinstance(term, Constant)
+                    self.conjuncts.append(
+                        ast.BinaryOp("=", column, ast.Literal(term.value)))
+
+        # Split constraints into assignments (defining unbound vars) and
+        # genuine filters; assignments may chain, so iterate to fixpoint.
+        pending = list(rule.constraints)
+        progress = True
+        while progress:
+            progress = False
+            still_pending = []
+            for constraint in pending:
+                if (constraint.op == "="
+                        and isinstance(constraint.left, Variable)
+                        and constraint.left.name not in self.bindings
+                        and constraint.left.name not in self.assignments
+                        and self._resolvable(constraint.right)):
+                    self.assignments[constraint.left.name] = constraint.right
+                    progress = True
+                else:
+                    still_pending.append(constraint)
+            pending = still_pending
+
+        where = None
+        for constraint in pending:
+            expr = ast.BinaryOp(
+                "<>" if constraint.op == "!=" else constraint.op,
+                self._to_expr(constraint.left),
+                self._to_expr(constraint.right))
+            where = expr if where is None else ast.BinaryOp("AND", where, expr)
+        for conjunct in self.conjuncts:
+            where = conjunct if where is None else ast.BinaryOp(
+                "AND", where, conjunct)
+
+        items = tuple(ast.SelectItem(self._to_expr(arg.term))
+                      for arg in rule.head_args)
+        return ast.SelectQuery(items, tuple(from_tables), where)
+
+    def _resolvable(self, term) -> bool:
+        if isinstance(term, Variable):
+            return term.name in self.bindings or term.name in self.assignments
+        if isinstance(term, Arith):
+            return self._resolvable(term.left) and self._resolvable(term.right)
+        return True
+
+    def _to_expr(self, term) -> ast.Expr:
+        if isinstance(term, Variable):
+            if term.name in self.bindings:
+                return self.bindings[term.name]
+            if term.name in self.assignments:
+                return self._to_expr(self.assignments[term.name])
+            raise AnalysisError(
+                f"datalog: variable {term.name!r} is unbound in a rule "
+                f"for {self.rule.head_predicate!r}")
+        if isinstance(term, Constant):
+            return ast.Literal(term.value)
+        if isinstance(term, Arith):
+            return ast.BinaryOp(term.op, self._to_expr(term.left),
+                                self._to_expr(term.right))
+        raise AnalysisError(f"datalog: cannot translate term {term!r}")
+
+
+def translate(program: DatalogProgram, schema_of) -> ast.WithQuery:
+    """Translate a parsed program; ``schema_of(pred)`` yields column names
+    for EDB predicates (from the session catalog)."""
+    idb = program.idb_predicates()
+    idb_set = set(idb)
+    columns_by_predicate = {p: _idb_columns(program, p) for p in idb}
+
+    def lookup(predicate: str):
+        if predicate in idb_set:
+            return columns_by_predicate[predicate]
+        return schema_of(predicate)
+
+    views = []
+    for predicate in idb:
+        rules = [r for r in program.rules if r.head_predicate == predicate]
+        aggregates = [None] * len(rules[0].head_args)
+        for rule in rules:
+            if len(rule.head_args) != len(aggregates):
+                raise AnalysisError(
+                    f"datalog: inconsistent arity for {predicate!r}")
+            for i, arg in enumerate(rule.head_args):
+                if arg.aggregate:
+                    if aggregates[i] not in (None, arg.aggregate):
+                        raise AnalysisError(
+                            f"datalog: conflicting aggregates on column "
+                            f"{i} of {predicate!r}")
+                    aggregates[i] = arg.aggregate
+
+        column_specs = tuple(
+            ast.ColumnSpec(name, aggregate)
+            for name, aggregate in zip(columns_by_predicate[predicate],
+                                       aggregates))
+        branches = tuple(
+            _RuleTranslator(rule, lookup, columns_by_predicate).translate()
+            for rule in rules)
+        views.append(ast.ViewDef(predicate, column_specs, branches,
+                                 recursive=True))
+
+    final = _translate_query(program, columns_by_predicate, idb)
+    return ast.WithQuery(tuple(views), final)
+
+
+def _translate_query(program: DatalogProgram, columns_by_predicate,
+                     idb: list[str]) -> ast.SelectQuery:
+    query = program.query
+    if query is None:
+        predicate = idb[-1]
+        columns = columns_by_predicate[predicate]
+        return ast.SelectQuery(
+            tuple(ast.SelectItem(ast.ColumnRef(c)) for c in columns),
+            (ast.TableRef(predicate),))
+    if query.predicate not in columns_by_predicate:
+        raise AnalysisError(
+            f"datalog: query predicate {query.predicate!r} is not defined")
+    columns = columns_by_predicate[query.predicate]
+    if len(query.terms) != len(columns):
+        raise AnalysisError("datalog: query arity mismatch")
+    items = []
+    where = None
+    for term, column in zip(query.terms, columns):
+        ref = ast.ColumnRef(column)
+        if isinstance(term, Constant):
+            condition = ast.BinaryOp("=", ref, ast.Literal(term.value))
+            where = condition if where is None else ast.BinaryOp(
+                "AND", where, condition)
+        else:
+            items.append(ast.SelectItem(ref))
+    if not items:  # fully ground query: boolean-style, return the row
+        items = [ast.SelectItem(ast.ColumnRef(c)) for c in columns]
+    return ast.SelectQuery(tuple(items), (ast.TableRef(query.predicate),),
+                           where)
+
+
+def datalog_to_sql(program_text: str, schema_of) -> str:
+    """Translate Datalog source to the equivalent RaSQL text."""
+    program = parse_datalog(program_text)
+    return translate(program, schema_of).to_sql()
+
+
+def run_datalog(ctx, program_text: str) -> Relation:
+    """Parse, translate and execute a Datalog program on a session.
+
+    EDB predicates must be registered tables on ``ctx``; their column
+    names are taken from the catalog positionally.
+    """
+    program = parse_datalog(program_text)
+
+    def schema_of(predicate: str):
+        return list(ctx.catalog.schema_of(predicate))
+
+    with_query = translate(program, schema_of)
+    return ctx.sql(with_query.to_sql())

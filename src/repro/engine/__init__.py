@@ -1,0 +1,36 @@
+"""A single-process reproduction of the Spark substrate RaSQL runs on.
+
+The engine executes real work (results are exact) while *modelling* the
+distributed aspects: partitions carry a home worker, a scheduler assigns
+tasks to workers under one of two policies, data that crosses workers is
+charged against a network cost model, and a simulated cluster clock
+aggregates per-worker busy time so that parallel speedup and scheduling
+overheads are observable — this is what the paper's "Time (s)" axes measure.
+
+Public surface:
+
+- :class:`~repro.engine.cluster.Cluster` — the session's execution substrate.
+- :class:`~repro.engine.dataset.Dataset` — an immutable partitioned dataset
+  (the RDD analog).
+- :class:`~repro.engine.setrdd.SetRDD` / ``KeyedStateRDD`` — the mutable
+  *all*-relation state of Section 6.1.
+- :mod:`~repro.engine.joins` — shuffle-hash, sort-merge and broadcast joins
+  (Appendix D / Section 7.2).
+"""
+
+from repro.engine.cluster import Cluster
+from repro.engine.dataset import Dataset, Partition
+from repro.engine.metrics import CostModel, MetricsRegistry
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.setrdd import KeyedStateRDD, SetRDD
+
+__all__ = [
+    "Cluster",
+    "CostModel",
+    "Dataset",
+    "HashPartitioner",
+    "KeyedStateRDD",
+    "MetricsRegistry",
+    "Partition",
+    "SetRDD",
+]

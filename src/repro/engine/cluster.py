@@ -1,0 +1,339 @@
+"""The simulated cluster: workers, stage execution, shuffle, broadcast.
+
+All computation is performed for real inside this process, so results are
+exact.  What is *simulated* is placement and time: partitions have home
+workers, a scheduling policy assigns tasks, and a cost model converts
+measured task CPU time + modelled data movement into cluster seconds on
+``metrics.sim_time``.  Within a stage, workers run concurrently, so a stage
+contributes ``max`` over workers of their busy time.
+
+The key invariant that the partition-aware pieces of the paper rely on:
+partition ``i`` of every co-partitioned structure lives on worker
+``i % num_workers``.  Shuffles place their output this way, so when the
+scheduler also pins task ``i`` there (``partition_aware`` policy), every
+iteration's input is local — the inter-iteration locality of Section 6.1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.engine.dataset import Dataset, Partition
+from repro.engine.metrics import CostModel, MetricsRegistry
+from repro.engine.partitioner import HashPartitioner, make_key_fn
+from repro.engine.scheduler import SchedulingPolicy, TaskSpec, make_policy
+from repro.engine.serialization import CompressionCodec, rows_size
+
+
+@dataclass
+class StageTask:
+    """One task of a stage: a function over the rows of its input partitions.
+
+    ``snapshot``/``restore`` are optional hooks for tasks that mutate
+    cached state (the fixpoint's merge): under failure injection the
+    cluster snapshots before running and restores before a replay, which
+    is the simulator's rendition of recomputing from the cached
+    checkpoint (Section 6.1's fault-recovery argument).
+    """
+
+    index: int
+    inputs: list[Partition]
+    fn: Callable[..., object]
+    preferred_worker: int | None = None
+    snapshot: Callable[[], object] | None = None
+    restore: Callable[[object], None] | None = None
+
+
+@dataclass
+class TaskResult:
+    index: int
+    output: object
+    worker: int
+    cpu_seconds: float
+    remote_bytes: int
+
+
+@dataclass
+class Broadcast:
+    """A broadcast variable: the same value visible on every worker."""
+
+    value: object
+    nbytes: int
+    compressed: bool
+
+
+class Cluster:
+    """Execution substrate for one session.
+
+    Parameters
+    ----------
+    num_workers:
+        Simulated worker count (the paper uses 15 workers + 1 master).
+    num_partitions:
+        Default partition count for new datasets; the paper uses one
+        partition per core.  Defaults to ``num_workers``.
+    scheduler:
+        ``"partition_aware"`` (the paper's policy) or ``"default"``
+        (Spark-like hybrid).
+    cost_model:
+        Constants of the simulated network/scheduler; see
+        :class:`repro.engine.metrics.CostModel`.
+    """
+
+    def __init__(self, num_workers: int = 4, num_partitions: int | None = None,
+                 scheduler: str | SchedulingPolicy = "partition_aware",
+                 cost_model: CostModel | None = None,
+                 codec: CompressionCodec | None = None,
+                 seed: int = 17):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.num_partitions = num_partitions or num_workers
+        if isinstance(scheduler, SchedulingPolicy):
+            self.scheduler = scheduler
+        else:
+            self.scheduler = make_policy(scheduler, seed=seed)
+        self.cost_model = cost_model or CostModel()
+        self.codec = codec or CompressionCodec()
+        self.metrics = MetricsRegistry()
+        self.failure_injectors: list = []
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def inject_failures(self, injector) -> None:
+        """Arm a :class:`repro.engine.faults.FailureInjector`."""
+        self.failure_injectors.append(injector)
+
+    def _failures_for(self, stage_name: str, task_index: int, point: str) -> int:
+        count = 0
+        for injector in self.failure_injectors:
+            if injector.point == point and injector.should_fail(
+                    stage_name, task_index):
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+
+    def worker_for_partition(self, partition_index: int) -> int:
+        """The canonical home of a partition id (stable across iterations)."""
+        return partition_index % self.num_workers
+
+    # ------------------------------------------------------------------
+    # data ingestion
+    # ------------------------------------------------------------------
+
+    def partition_rows(self, rows: Iterable[Sequence],
+                       key_indices: tuple[int, ...],
+                       num_partitions: int | None = None) -> list[list[tuple]]:
+        """Hash-partition rows locally (no cost accounting)."""
+        n = num_partitions or self.num_partitions
+        partitioner = HashPartitioner(n)
+        key_fn = make_key_fn(key_indices)
+        buckets: list[list[tuple]] = [[] for _ in range(n)]
+        for row in rows:
+            row = tuple(row)
+            buckets[partitioner.partition_of(key_fn(row))].append(row)
+        return buckets
+
+    def parallelize(self, rows: Iterable[Sequence],
+                    key_indices: tuple[int, ...] | None = None,
+                    num_partitions: int | None = None) -> Dataset:
+        """Distribute rows into a dataset without charging load time."""
+        n = num_partitions or self.num_partitions
+        if key_indices is None:
+            materialized = [tuple(r) for r in rows]
+            chunk = max(1, -(-len(materialized) // n))
+            parts = [
+                Partition(i, materialized[i * chunk:(i + 1) * chunk],
+                          self.worker_for_partition(i))
+                for i in range(n)
+            ]
+            return Dataset(parts)
+        buckets = self.partition_rows(rows, key_indices, n)
+        parts = [Partition(i, bucket, self.worker_for_partition(i))
+                 for i, bucket in enumerate(buckets)]
+        return Dataset(parts, HashPartitioner(n), key_indices)
+
+    def load(self, rows: Iterable[Sequence],
+             key_indices: tuple[int, ...] | None = None,
+             num_partitions: int | None = None) -> Dataset:
+        """Distribute rows *and* charge data-loading time.
+
+        The paper's Figure 8/9 totals start "from the data loading"; this
+        models a parallel HDFS scan followed by the initial hash exchange.
+        """
+        t0 = time.perf_counter()
+        dataset = self.parallelize(rows, key_indices, num_partitions)
+        cpu = time.perf_counter() - t0
+        nbytes = dataset.size_bytes()
+        load_time = self.cost_model.transfer_seconds(nbytes, self.num_workers)
+        self.metrics.advance(load_time + cpu * self.cost_model.cpu_scale
+                             / self.num_workers, label="load")
+        self.metrics.inc("load_bytes", nbytes)
+        return dataset
+
+    # ------------------------------------------------------------------
+    # stage execution
+    # ------------------------------------------------------------------
+
+    def run_stage(self, name: str, tasks: list[StageTask]) -> list[TaskResult]:
+        """Execute one stage: schedule tasks, run them, advance the clock.
+
+        Each task's function is called with one ``list[tuple]`` argument per
+        input partition.  Remote fetches (input partition cached on a
+        different worker than the task ran on) are counted and charged.
+        """
+        specs = []
+        for task in tasks:
+            preferred = task.preferred_worker
+            if preferred is None and task.inputs:
+                preferred = task.inputs[0].worker
+            specs.append(TaskSpec(task.index, preferred))
+        assignments = self.scheduler.assign(specs, self.num_workers)
+
+        worker_busy = [0.0] * self.num_workers
+        injecting = bool(self.failure_injectors)
+        results: list[TaskResult] = []
+        for task, worker in zip(tasks, assignments):
+            remote_bytes = 0
+            remote_count = 0
+            for partition in task.inputs:
+                if partition.worker != worker:
+                    remote_bytes += partition.size_bytes()
+                    remote_count += 1
+
+            fetch_time = 0.0
+            if remote_count:
+                fetch_time = (self.cost_model.network_latency_s * remote_count
+                              + remote_bytes / self.cost_model.network_bandwidth_bytes_per_s)
+                self.metrics.inc("remote_fetches", remote_count)
+                self.metrics.inc("remote_fetch_bytes", remote_bytes)
+
+            task_time = 0.0
+            # Executor lost before the task ran: the attempt still paid
+            # scheduling and any input fetch.
+            for _ in range(self._failures_for(name, task.index, "before")
+                           if injecting else 0):
+                self.metrics.inc("task_failures")
+                task_time += self.cost_model.task_overhead_s + fetch_time
+
+            saved = None
+            if injecting and task.snapshot is not None:
+                saved = task.snapshot()
+
+            t0 = time.perf_counter()
+            output = task.fn(*[p.rows for p in task.inputs])
+            cpu = (time.perf_counter() - t0) * self.cost_model.cpu_scale
+
+            # Executor lost after computing but before committing: the
+            # whole attempt is wasted; replay from the cached state.
+            for _ in range(self._failures_for(name, task.index, "after")
+                           if injecting else 0):
+                self.metrics.inc("task_failures")
+                task_time += (cpu + self.cost_model.task_overhead_s
+                              + fetch_time)
+                if task.restore is not None:
+                    task.restore(saved)
+                t0 = time.perf_counter()
+                output = task.fn(*[p.rows for p in task.inputs])
+                cpu = (time.perf_counter() - t0) * self.cost_model.cpu_scale
+
+            task_time += cpu + self.cost_model.task_overhead_s + fetch_time
+            worker_busy[worker] += task_time
+            results.append(TaskResult(task.index, output, worker, cpu, remote_bytes))
+
+        stage_time = self.cost_model.stage_overhead_s + max(worker_busy, default=0.0)
+        self.metrics.advance(stage_time, label=f"stage:{name}")
+        self.metrics.inc("stages")
+        self.metrics.inc("tasks", len(tasks))
+        self.metrics.inc("task_cpu_seconds",
+                         sum(r.cpu_seconds for r in results))
+        return results
+
+    # ------------------------------------------------------------------
+    # shuffle exchange
+    # ------------------------------------------------------------------
+
+    def exchange(self, map_outputs: list[tuple[int, dict[int, list[tuple]]]],
+                 num_partitions: int,
+                 partitioner: HashPartitioner,
+                 key_indices: tuple[int, ...] | None = None) -> Dataset:
+        """The ShuffleExchange of Algorithm 4, line 22.
+
+        ``map_outputs`` is a list of ``(source_worker, buckets)`` pairs where
+        ``buckets`` maps target partition id to rows.  Output partition ``i``
+        is placed on its canonical worker; bytes whose source worker differs
+        from the target worker are charged as network transfer (streams run
+        in parallel across workers).
+        """
+        gathered: list[list[tuple]] = [[] for _ in range(num_partitions)]
+        remote_bytes = 0
+        total_bytes = 0
+        total_records = 0
+        for source_worker, buckets in map_outputs:
+            for pid, rows in buckets.items():
+                if not rows:
+                    continue
+                gathered[pid].extend(rows)
+                nbytes = rows_size(rows)
+                total_bytes += nbytes
+                total_records += len(rows)
+                if self.worker_for_partition(pid) != source_worker:
+                    remote_bytes += nbytes
+
+        self.metrics.inc("shuffle_records", total_records)
+        self.metrics.inc("shuffle_bytes", total_bytes)
+        self.metrics.inc("shuffle_remote_bytes", remote_bytes)
+        if remote_bytes:
+            self.metrics.advance(
+                self.cost_model.transfer_seconds(remote_bytes, self.num_workers),
+                label="shuffle")
+
+        parts = [Partition(i, rows, self.worker_for_partition(i))
+                 for i, rows in enumerate(gathered)]
+        return Dataset(parts, partitioner, key_indices)
+
+    # ------------------------------------------------------------------
+    # broadcast
+    # ------------------------------------------------------------------
+
+    def broadcast(self, value: object, nbytes: int | None = None,
+                  compress: bool = False,
+                  ship_hash_table: bool = False) -> Broadcast:
+        """Ship a value to every worker (Section 7.2).
+
+        ``ship_hash_table=True`` models Spark's default broadcast-hash join,
+        which serializes the *built hash table* (2–3x larger than the rows);
+        the paper's optimization instead broadcasts the compressed rows and
+        rebuilds the table on each worker.
+        """
+        from repro.engine.serialization import HASH_TABLE_BLOWUP
+
+        if nbytes is None:
+            if isinstance(value, list):
+                nbytes = rows_size(value)
+            else:
+                raise ValueError("nbytes required for non-row-list broadcasts")
+        wire_bytes = nbytes
+        extra_cpu = 0.0
+        if ship_hash_table:
+            wire_bytes = int(wire_bytes * HASH_TABLE_BLOWUP)
+        if compress:
+            extra_cpu += self.codec.cpu_seconds(wire_bytes)
+            wire_bytes = self.codec.compressed_size(wire_bytes)
+            self.metrics.inc("broadcast_bytes_compressed", wire_bytes)
+        self.metrics.inc("broadcast_bytes", wire_bytes)
+
+        receivers = max(1, self.num_workers - 1)
+        # Tree/torrent-style broadcast: cost grows with log of receivers,
+        # bounded below by pushing one full copy over the sender's link.
+        copies = max(1, receivers.bit_length())
+        transfer = self.cost_model.transfer_seconds(wire_bytes * copies, 1)
+        self.metrics.advance(transfer + extra_cpu, label="broadcast")
+        return Broadcast(value, wire_bytes, compress)

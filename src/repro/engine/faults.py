@@ -1,0 +1,60 @@
+"""Task-failure injection and stage-level recovery (Section 6.1).
+
+The paper argues SetRDD does not compromise fault recovery: because the
+all-relation's partitions are always cached ("checkpointed"), "a failure
+in any iteration will only incur the replay of the execution job belonging
+to the current stage".  This module lets tests and benchmarks exercise
+exactly that: a :class:`FailureInjector` makes chosen tasks fail, and the
+cluster replays them, charging the wasted attempt.
+
+Two failure points are modeled:
+
+- ``"before"`` — the executor is lost before the task starts (scheduling
+  charged, no work done).  Replay is trivially safe.
+- ``"after"`` — the task dies after doing its work but before committing
+  its output.  Replay must not observe the half-applied state, so tasks
+  that mutate cached state (the fixpoint's merge) provide
+  snapshot/restore hooks; the cluster restores before re-running.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+class SimulatedTaskFailure(Exception):
+    """Raised internally to unwind a failing task attempt."""
+
+
+@dataclass
+class FailureInjector:
+    """Fail matching tasks a bounded number of times.
+
+    ``stage_pattern`` is a regex matched against the stage name;
+    ``task_index`` of ``None`` targets every task of a matching stage.
+    ``times`` bounds total injected failures (a real lost executor fails a
+    bounded number of tasks before blacklisting kicks in).
+    ``point`` is ``"before"`` or ``"after"`` (see module docstring).
+    """
+
+    stage_pattern: str
+    task_index: int | None = 0
+    times: int = 1
+    point: str = "before"
+    injected: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if self.point not in ("before", "after"):
+            raise ValueError(f"unknown failure point {self.point!r}")
+        self._regex = re.compile(self.stage_pattern)
+
+    def should_fail(self, stage_name: str, task_index: int) -> bool:
+        if self.injected >= self.times:
+            return False
+        if not self._regex.search(stage_name):
+            return False
+        if self.task_index is not None and task_index != self.task_index:
+            return False
+        self.injected += 1
+        return True

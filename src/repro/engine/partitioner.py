@@ -1,0 +1,84 @@
+"""Partitioners: the hash functions of Appendix A.
+
+A partitioner maps a *key* (one value or a tuple of values drawn from a row)
+to a partition id.  Two datasets are *co-partitioned* when they share an
+equal partitioner and the same number of partitions — the precondition for
+the partition-local joins and set operations of Algorithms 4–6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _stable_hash(value) -> int:
+    """A deterministic hash (Python's ``hash`` of str is salted per process).
+
+    Determinism matters for reproducible benchmarks and for the
+    property-based tests that re-run partitioning across processes.
+    """
+    if isinstance(value, tuple):
+        h = 0x345678
+        for item in value:
+            h = (h * 1000003) ^ _stable_hash(item)
+            h &= 0xFFFFFFFFFFFFFFFF
+        return h
+    if value is True or value is False:
+        return int(value) + 0x9E3779B9
+    if isinstance(value, int):
+        return value & 0xFFFFFFFFFFFFFFFF
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value) & 0xFFFFFFFFFFFFFFFF
+        return hash(value) & 0xFFFFFFFFFFFFFFFF
+    if isinstance(value, str):
+        h = 5381
+        for ch in value:
+            h = ((h * 33) ^ ord(ch)) & 0xFFFFFFFFFFFFFFFF
+        return h
+    if value is None:
+        return 0x51ED270B
+    return hash(value) & 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass(frozen=True)
+class HashPartitioner:
+    """Hash partitioning over an explicit key, Appendix A's ``h``."""
+
+    num_partitions: int
+
+    def __post_init__(self):
+        if self.num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+
+    def partition_of(self, key) -> int:
+        # Fast path: graph workloads partition on integer vertex ids.
+        if type(key) is int:
+            return key % self.num_partitions
+        return _stable_hash(key) % self.num_partitions
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, HashPartitioner)
+                and other.num_partitions == self.num_partitions)
+
+    def __hash__(self) -> int:
+        return hash(("HashPartitioner", self.num_partitions))
+
+
+def key_of(row: tuple, key_indices: tuple[int, ...]):
+    """Extract the partition/join key from a row.
+
+    Single-column keys are unwrapped (scalar) so that hash distribution and
+    dictionary lookups avoid one-tuple allocation on the hot path.
+    """
+    if len(key_indices) == 1:
+        return row[key_indices[0]]
+    return tuple(row[i] for i in key_indices)
+
+
+def make_key_fn(key_indices: tuple[int, ...]):
+    """Return a fast ``row -> key`` callable for the given column positions."""
+    if len(key_indices) == 1:
+        idx = key_indices[0]
+        return lambda row: row[idx]
+    return lambda row: tuple(row[i] for i in key_indices)

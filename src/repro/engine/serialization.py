@@ -1,0 +1,87 @@
+"""Row serialization size model and the broadcast compression codec.
+
+The engine never actually serializes rows — everything lives in one Python
+process — but the network cost model needs byte counts.  ``row_size`` gives a
+deterministic wire-size estimate comparable to a compact binary row format
+(8 bytes per number, raw bytes per string, small per-field/row overhead).
+
+``CompressionCodec`` models the broadcast compression of Section 7.2: the
+paper broadcasts the *compressed* relation and lets each worker build its own
+hash table, instead of shipping a hash table that is "often 2X to 3X larger
+than the original".  We reproduce both effects as byte-count multipliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_NUMERIC_BYTES = 8
+_FIELD_OVERHEAD = 2
+_ROW_OVERHEAD = 4
+
+#: How much larger a serialized hash table is than the raw rows it indexes.
+#: The paper reports "2X to 3X"; we use the middle of that range.
+HASH_TABLE_BLOWUP = 2.5
+
+
+def value_size(value) -> int:
+    """Wire-size estimate of one scalar value in bytes."""
+    if isinstance(value, bool) or value is None:
+        return 1
+    if isinstance(value, (int, float)):
+        return _NUMERIC_BYTES
+    if isinstance(value, str):
+        return len(value.encode("utf-8", errors="replace"))
+    if isinstance(value, bytes):
+        return len(value)
+    # Fallback for exotic values: size of their text rendering.
+    return len(str(value))
+
+
+def row_size(row: tuple) -> int:
+    """Wire-size estimate of one row in bytes."""
+    total = _ROW_OVERHEAD
+    for value in row:
+        total += _FIELD_OVERHEAD + value_size(value)
+    return total
+
+
+_SAMPLE_THRESHOLD = 64
+
+
+def rows_size(rows) -> int:
+    """Wire-size estimate of a collection of rows in bytes.
+
+    Exact for small collections; for large ones the estimate samples 64
+    evenly spaced rows and extrapolates — this function sits on the
+    shuffle accounting hot path and the model only needs byte counts, not
+    byte-perfect sums.
+    """
+    if not isinstance(rows, (list, tuple)):
+        rows = list(rows)
+    n = len(rows)
+    if n <= _SAMPLE_THRESHOLD:
+        return sum(row_size(row) for row in rows)
+    step = n // _SAMPLE_THRESHOLD
+    sampled = sum(row_size(rows[i]) for i in range(0, step * _SAMPLE_THRESHOLD, step))
+    return int(sampled * (n / _SAMPLE_THRESHOLD))
+
+
+@dataclass(frozen=True)
+class CompressionCodec:
+    """A byte-count compression model for broadcast data.
+
+    ``ratio`` is output/input; 0.45 approximates what a general-purpose
+    codec (LZ4/Snappy) achieves on integer-heavy edge lists, which is the
+    regime of the Figure 6 experiment.  ``throughput`` charges CPU time for
+    the compression itself on the sender.
+    """
+
+    ratio: float = 0.45
+    throughput_bytes_per_s: float = 400e6
+
+    def compressed_size(self, nbytes: int) -> int:
+        return max(1, int(nbytes * self.ratio))
+
+    def cpu_seconds(self, nbytes: int) -> float:
+        return nbytes / self.throughput_bytes_per_s

@@ -1,0 +1,162 @@
+"""SetRDD — the mutable *all*-relation state of Section 6.1.
+
+Spark RDDs are immutable, so each union/set-difference copies the whole
+relation; the paper replaces the all-RDD with an append-only per-partition
+hash set that supports in-place union.  We reproduce both flavours:
+
+- :class:`SetRDD` for recursion without aggregates (REACH, TC, SG): each
+  partition is a Python ``set`` of rows; ``union_in_place`` inserts the delta
+  and returns only the genuinely new rows (set difference fused with union,
+  as in the Reduce stage of Algorithm 4).
+- :class:`KeyedStateRDD` for aggregates-in-recursion (CC, SSSP, BOM, ...):
+  each partition is a dict from group key to the current aggregate value
+  tuple; merging applies the monotonic aggregate logic of Algorithm 5
+  (insert new keys, improve existing ones, emit the delta).
+
+Both structures are deliberately *not* Datasets: they are long-lived mutable
+state cached on workers for the whole fixpoint, exactly like the paper's
+cached SetRDD partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.serialization import rows_size
+
+
+class SetRDD:
+    """Per-partition hash sets with fused union+difference."""
+
+    def __init__(self, num_partitions: int, partitioner: HashPartitioner | None = None):
+        self.partitions: list[set[tuple]] = [set() for _ in range(num_partitions)]
+        self.partitioner = partitioner or HashPartitioner(num_partitions)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def union_in_place(self, partition_index: int,
+                       rows: Iterable[tuple]) -> list[tuple]:
+        """Insert rows into one partition; return those that were new.
+
+        This is lines 14–16 of Algorithm 4 collapsed into one pass: the
+        returned list is the new delta partition ``D``.
+        """
+        target = self.partitions[partition_index]
+        fresh: list[tuple] = []
+        for row in rows:
+            if row not in target:
+                target.add(row)
+                fresh.append(row)
+        return fresh
+
+    def contains(self, partition_index: int, row: tuple) -> bool:
+        return row in self.partitions[partition_index]
+
+    def num_rows(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def collect(self) -> list[tuple]:
+        out: list[tuple] = []
+        for partition in self.partitions:
+            out.extend(partition)
+        return out
+
+    def size_bytes(self) -> int:
+        return sum(rows_size(p) for p in self.partitions)
+
+
+class KeyedStateRDD:
+    """Per-partition ``{group key: aggregate values}`` state.
+
+    ``aggregates`` holds one :class:`AggregateFunction` per value column.
+    A *row* of this state is ``key_columns + value_columns``; helpers exist
+    to reassemble full rows for the final result and for joins against the
+    all-relation (the cross terms of mutual recursion).
+    """
+
+    def __init__(self, num_partitions: int,
+                 aggregates: tuple[AggregateFunction, ...],
+                 partitioner: HashPartitioner | None = None):
+        self.partitions: list[dict] = [{} for _ in range(num_partitions)]
+        self.aggregates = aggregates
+        self.partitioner = partitioner or HashPartitioner(num_partitions)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def merge(self, partition_index: int,
+              pairs: Iterable[tuple[object, tuple]]) -> list[tuple[object, tuple]]:
+        """Merge ``(key, values)`` contributions; return the delta pairs.
+
+        Implements the Reduce stage of Algorithm 5 generalized to a tuple of
+        aggregate columns: a pair enters the delta when its key is new or
+        when at least one aggregate value changed.  For ``min``/``max`` the
+        delta carries the improved totals; for ``sum``/``count`` it carries
+        the *increments*, which is what downstream linear recursion must
+        propagate (see ``repro.engine.aggregates``).
+        """
+        state = self.partitions[partition_index]
+        aggregates = self.aggregates
+        delta: list[tuple[object, tuple]] = []
+        if len(aggregates) == 1:
+            # Hot path: every library query has a single aggregate column.
+            agg_merge = aggregates[0].merge
+            for key, values in pairs:
+                current = state.get(key)
+                if current is None:
+                    state[key] = values
+                    delta.append((key, values))
+                    continue
+                merged, changed, delta_value = agg_merge(current[0], values[0])
+                if changed:
+                    state[key] = (merged,)
+                    delta.append((key, (delta_value,)))
+            return delta
+        for key, values in pairs:
+            current = state.get(key)
+            if current is None:
+                state[key] = tuple(values)
+                delta.append((key, tuple(
+                    agg.delta_for_insert(v) for agg, v in zip(aggregates, values))))
+                continue
+            changed = False
+            new_state = []
+            delta_values = []
+            for agg, old, new in zip(aggregates, current, values):
+                merged, did_change, delta_value = agg.merge(old, new)
+                new_state.append(merged)
+                delta_values.append(delta_value)
+                changed = changed or did_change
+            if changed:
+                state[key] = tuple(new_state)
+                delta.append((key, tuple(delta_values)))
+        return delta
+
+    def num_groups(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def collect_rows(self) -> list[tuple]:
+        """All groups as full ``key + values`` rows."""
+        out: list[tuple] = []
+        for partition in self.partitions:
+            for key, values in partition.items():
+                key_part = key if isinstance(key, tuple) else (key,)
+                out.append(key_part + tuple(values))
+        return out
+
+    def partition_rows(self, partition_index: int) -> list[tuple]:
+        """Full rows of one partition (used for all-relation cross joins)."""
+        out = []
+        for key, values in self.partitions[partition_index].items():
+            key_part = key if isinstance(key, tuple) else (key,)
+            out.append(key_part + tuple(values))
+        return out
+
+    def size_bytes(self) -> int:
+        return sum(rows_size(self.partition_rows(i))
+                   for i in range(self.num_partitions))

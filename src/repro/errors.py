@@ -1,0 +1,76 @@
+"""Exception hierarchy for the RaSQL reproduction.
+
+Every error raised by the library derives from :class:`RaSQLError`, so callers
+can catch one type at the API boundary.  The sub-classes mirror the stages of
+the compilation pipeline described in Section 5 of the paper: parsing,
+analysis (reference resolution), planning, and fixpoint execution.
+"""
+
+from __future__ import annotations
+
+
+class RaSQLError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ParseError(RaSQLError):
+    """Raised when the RaSQL text cannot be tokenized or parsed.
+
+    Carries the offending position so that front-ends can point at the
+    character in the query string.
+    """
+
+    def __init__(self, message: str, position: int | None = None,
+                 line: int | None = None, column: int | None = None):
+        self.position = position
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None and column is not None:
+            location = f" (line {line}, column {column})"
+        super().__init__(message + location)
+
+
+class AnalysisError(RaSQLError):
+    """Raised when a parsed query fails semantic analysis.
+
+    Examples: unknown table or column references, a recursive view whose
+    sub-queries disagree on arity, or an aggregate that RaSQL does not
+    support inside recursion (``avg`` — see Section 3 of the paper).
+    """
+
+
+class PlanningError(RaSQLError):
+    """Raised when a valid logical plan cannot be turned into a physical one."""
+
+
+class ExecutionError(RaSQLError):
+    """Raised when a physical plan fails at run time."""
+
+
+class FixpointNotReachedError(ExecutionError):
+    """Raised when the fixpoint operator exceeds its iteration budget.
+
+    This is the runtime manifestation of a non-terminating query, e.g. the
+    stratified SSSP on a cyclic graph discussed around Figure 1 of the paper.
+    The partial state is attached so tools (and the Figure 1 benchmark) can
+    report how far the evaluation progressed.
+    """
+
+    def __init__(self, message: str, iterations: int, partial_result=None):
+        self.iterations = iterations
+        self.partial_result = partial_result
+        super().__init__(message)
+
+
+class PreMViolationError(RaSQLError):
+    """Raised by the PreM auto-validation tool when a query fails the check.
+
+    The attached ``iteration`` is the first fixpoint step at which the
+    aggregate-pushed evaluation diverged from its un-aggregated twin
+    (Appendix G of the paper).
+    """
+
+    def __init__(self, message: str, iteration: int):
+        self.iteration = iteration
+        super().__init__(message)

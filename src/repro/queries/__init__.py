@@ -1,0 +1,5 @@
+"""The paper's RaSQL query library (Sections 2, 4, Appendix C)."""
+
+from repro.queries.library import ALL_QUERIES, BY_NAME, QuerySpec, get_query
+
+__all__ = ["ALL_QUERIES", "BY_NAME", "QuerySpec", "get_query"]

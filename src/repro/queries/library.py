@@ -1,0 +1,249 @@
+"""The RaSQL query library: every example of Sections 2, 4 and Appendix C/G.
+
+Each entry records the query text, the base-table schemas it expects, and a
+short description.  The texts are verbatim from the paper except for
+documented touch-ups:
+
+- *Party Attendance*: the paper's recursive ``attend`` branch reads
+  ``SELECT Name, Ncount FROM cntfriends`` although ``attend`` has one
+  column; we select only ``Name`` (the obvious intent).
+- *SSSP/REACH/Count Paths* parameterize the source vertex via ``{source}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A named query plus the base-table schemas it runs against."""
+
+    name: str
+    sql: str
+    tables: dict[str, tuple[str, ...]]
+    description: str = ""
+
+    def formatted(self, **params) -> str:
+        """Substitute parameters such as ``source`` into the SQL text."""
+        return self.sql.format(**params) if params else self.sql
+
+
+_EDGE_W = {"edge": ("Src", "Dst", "Cost")}
+_EDGE = {"edge": ("Src", "Dst")}
+
+
+BOM_STRATIFIED = QuerySpec(
+    name="bom_stratified",
+    description="Q1: Days-till-delivery, stratified (aggregate after recursion)",
+    tables={"assbl": ("Part", "SPart"), "basic": ("Part", "Days")},
+    sql="""
+WITH recursive waitfor(Part, Days) AS
+  (SELECT Part, Days FROM basic) UNION
+  (SELECT assbl.Part, waitfor.Days
+   FROM assbl, waitfor
+   WHERE assbl.SPart = waitfor.Part)
+SELECT Part, max(Days) FROM waitfor GROUP BY Part
+""")
+
+BOM = QuerySpec(
+    name="bom",
+    description="Q2: Days-till-delivery with endo-max (aggregate in recursion)",
+    tables={"assbl": ("Part", "SPart"), "basic": ("Part", "Days")},
+    sql="""
+WITH recursive waitfor(Part, max() AS Days) AS
+  (SELECT Part, Days FROM basic) UNION
+  (SELECT assbl.Part, waitfor.Days
+   FROM assbl, waitfor
+   WHERE assbl.SPart = waitfor.Part)
+SELECT Part, Days FROM waitfor
+""")
+
+SSSP = QuerySpec(
+    name="sssp",
+    description="Example 1: single-source shortest paths",
+    tables=_EDGE_W,
+    sql="""
+WITH recursive path(Dst, min() AS Cost) AS
+  (SELECT {source}, 0) UNION
+  (SELECT edge.Dst, path.Cost + edge.Cost
+   FROM path, edge
+   WHERE path.Dst = edge.Src)
+SELECT Dst, Cost FROM path
+""")
+
+CC = QuerySpec(
+    name="cc",
+    description="Example 2: connected components via min-label propagation",
+    tables=_EDGE,
+    sql="""
+WITH recursive cc(Src, min() AS CmpId) AS
+  (SELECT Src, Src FROM edge) UNION
+  (SELECT edge.Dst, cc.CmpId FROM cc, edge
+   WHERE cc.Src = edge.Src)
+SELECT count(distinct cc.CmpId) FROM cc
+""")
+
+CC_LABELS = QuerySpec(
+    name="cc_labels",
+    description="Connected components, returning each node's component id",
+    tables=_EDGE,
+    sql="""
+WITH recursive cc(Src, min() AS CmpId) AS
+  (SELECT Src, Src FROM edge) UNION
+  (SELECT edge.Dst, cc.CmpId FROM cc, edge
+   WHERE cc.Src = edge.Src)
+SELECT Src, CmpId FROM cc
+""")
+
+COUNT_PATHS = QuerySpec(
+    name="count_paths",
+    description="Example 3: number of paths from a source to every node",
+    tables=_EDGE,
+    sql="""
+WITH recursive cpaths(Dst, sum() AS Cnt) AS
+  (SELECT {source}, 1) UNION
+  (SELECT edge.Dst, cpaths.Cnt FROM cpaths, edge
+   WHERE cpaths.Dst = edge.Src)
+SELECT Dst, Cnt FROM cpaths
+""")
+
+MANAGEMENT = QuerySpec(
+    name="management",
+    description="Example 4: employees managed directly or indirectly",
+    tables={"report": ("Emp", "Mgr")},
+    sql="""
+WITH recursive empCount(Mgr, count() AS Cnt) AS
+  (SELECT report.Emp, 1 FROM report) UNION
+  (SELECT report.Mgr, empCount.Cnt
+   FROM empCount, report
+   WHERE empCount.Mgr = report.Emp)
+SELECT Mgr, Cnt FROM empCount
+""")
+
+MLM_BONUS = QuerySpec(
+    name="mlm_bonus",
+    description="Example 5: multi-level-marketing bonus",
+    tables={"sales": ("M", "P"), "sponsor": ("M1", "M2")},
+    sql="""
+WITH recursive bonus(M, sum() AS B) AS
+  (SELECT M, P*0.1 FROM sales) UNION
+  (SELECT sponsor.M1, bonus.B*0.5 FROM bonus, sponsor
+   WHERE bonus.M = sponsor.M2)
+SELECT M, B FROM bonus
+""")
+
+INTERVAL_COALESCE = QuerySpec(
+    name="interval_coalesce",
+    description="Example 6: smallest set of intervals covering the input",
+    tables={"inter": ("S", "E")},
+    sql="""
+CREATE VIEW lstart(T) AS
+  (SELECT a.S FROM inter a, inter b
+   WHERE a.S <= b.E
+   GROUP BY a.S HAVING a.S = min(b.S));
+WITH recursive coal(S, max() AS E) AS
+  (SELECT lstart.T, inter.E FROM lstart, inter
+   WHERE lstart.T = inter.S) UNION
+  (SELECT coal.S, inter.E FROM coal, inter
+   WHERE coal.S <= inter.S AND inter.S <= coal.E)
+SELECT S, E FROM coal
+""")
+
+PARTY_ATTENDANCE = QuerySpec(
+    name="party_attendance",
+    description="Example 7: who attends the party (mutual recursion)",
+    tables={"organizer": ("OrgName",), "friend": ("Pname", "Fname")},
+    sql="""
+WITH recursive attend(Person) AS
+  (SELECT OrgName FROM organizer) UNION
+  (SELECT Name FROM cntfriends
+   WHERE Ncount >= 3),
+recursive cntfriends(Name, count() AS Ncount) AS
+  (SELECT friend.Fname, friend.Pname
+   FROM attend, friend
+   WHERE attend.Person = friend.Pname)
+SELECT Person FROM attend
+""")
+
+COMPANY_CONTROL = QuerySpec(
+    name="company_control",
+    description="Example 8: transitive company control (mutual recursion)",
+    tables={"shares": ("By", "Of", "Percent")},
+    sql="""
+WITH recursive cshares(ByCom, OfCom, sum() AS Tot) AS
+  (SELECT By, Of, Percent FROM shares) UNION
+  (SELECT control.Com1, cshares.OfCom, cshares.Tot
+   FROM control, cshares
+   WHERE control.Com2 = cshares.ByCom),
+recursive control(Com1, Com2) AS
+  (SELECT ByCom, OfCom FROM cshares WHERE Tot > 50)
+SELECT ByCom, OfCom, Tot FROM cshares
+""")
+
+SAME_GENERATION = QuerySpec(
+    name="same_generation",
+    description="Example 9 (Appendix C): same-generation pairs",
+    tables={"rel": ("Parent", "Child")},
+    sql="""
+WITH recursive sg(X, Y) AS
+  (SELECT a.Child, b.Child FROM rel a, rel b
+   WHERE a.Parent = b.Parent AND a.Child <> b.Child)
+  UNION
+  (SELECT a.Child, b.Child FROM rel a, sg, rel b
+   WHERE a.Parent = sg.X AND b.Parent = sg.Y)
+SELECT X, Y FROM sg
+""")
+
+REACH = QuerySpec(
+    name="reach",
+    description="Example 10 (Appendix C): BFS reachability from a source",
+    tables=_EDGE,
+    sql="""
+WITH recursive reach(Dst) AS
+  (SELECT {source}) UNION
+  (SELECT edge.Dst FROM reach, edge
+   WHERE reach.Dst = edge.Src)
+SELECT Dst FROM reach
+""")
+
+APSP = QuerySpec(
+    name="apsp",
+    description="Example 11 (Appendix C): all-pairs shortest paths",
+    tables=_EDGE_W,
+    sql="""
+WITH recursive path(Src, Dst, min() AS Cost) AS
+  (SELECT Src, Dst, Cost FROM edge) UNION
+  (SELECT path.Src, edge.Dst, path.Cost + edge.Cost
+   FROM path, edge WHERE path.Dst = edge.Src)
+SELECT Src, Dst, Cost FROM path
+""")
+
+TC = QuerySpec(
+    name="tc",
+    description="Transitive closure (Section 6)",
+    tables=_EDGE,
+    sql="""
+WITH recursive tc(Src, Dst) AS
+  (SELECT Src, Dst FROM edge) UNION
+  (SELECT tc.Src, edge.Dst FROM tc, edge
+   WHERE tc.Dst = edge.Src)
+SELECT Src, Dst FROM tc
+""")
+
+ALL_QUERIES: tuple[QuerySpec, ...] = (
+    BOM_STRATIFIED, BOM, SSSP, CC, CC_LABELS, COUNT_PATHS, MANAGEMENT,
+    MLM_BONUS, INTERVAL_COALESCE, PARTY_ATTENDANCE, COMPANY_CONTROL,
+    SAME_GENERATION, REACH, APSP, TC,
+)
+
+BY_NAME = {q.name: q for q in ALL_QUERIES}
+
+
+def get_query(name: str) -> QuerySpec:
+    """Look up a library query by name."""
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown query {name!r}; "
+                       f"available: {sorted(BY_NAME)}") from None

@@ -1,0 +1,121 @@
+"""Schema-carrying relations.
+
+A :class:`Relation` is the unit of data exchanged at the public API boundary:
+a named schema over a list of tuples.  Inside the engine, data travels as bare
+tuples for speed; the schema is only consulted during analysis and when
+results are rendered back to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of column names.
+
+    Column lookup is case-insensitive, matching SQL identifier rules; the
+    original spelling is preserved for display.
+    """
+
+    columns: tuple[str, ...]
+
+    def __post_init__(self):
+        lowered = [c.lower() for c in self.columns]
+        if len(set(lowered)) != len(lowered):
+            raise ValueError(f"duplicate column names in schema: {self.columns}")
+
+    def index_of(self, name: str) -> int:
+        """Return the position of *name*, case-insensitively.
+
+        Raises ``KeyError`` when the column does not exist.
+        """
+        target = name.lower()
+        for i, column in enumerate(self.columns):
+            if column.lower() == target:
+                return i
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        target = name.lower()
+        return any(column.lower() == target for column in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.columns)
+
+
+class Relation:
+    """A named, schema'd bag of tuples.
+
+    ``rows`` is stored as a list of plain tuples.  The class intentionally
+    offers only light conveniences (column projection, sorting for display,
+    equality as multisets) — heavy lifting belongs to the engine.
+    """
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 rows: Iterable[Sequence] | None = None):
+        self.name = name
+        self.schema = Schema(tuple(columns))
+        self.rows: list[tuple] = [tuple(r) for r in rows] if rows is not None else []
+        for row in self.rows:
+            if len(row) != len(self.schema):
+                raise ValueError(
+                    f"row {row!r} does not match schema {self.schema.columns} "
+                    f"of relation {name!r}")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.schema.columns
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def column(self, name: str) -> list:
+        """Return all values of one column, in row order."""
+        idx = self.schema.index_of(name)
+        return [row[idx] for row in self.rows]
+
+    def distinct(self) -> "Relation":
+        """Return a new relation with duplicate rows removed (order lost)."""
+        return Relation(self.name, self.columns, set(self.rows))
+
+    def sorted(self) -> "Relation":
+        """Return a new relation with rows in canonical sorted order."""
+        return Relation(self.name, self.columns, sorted(self.rows, key=repr))
+
+    def to_dict(self) -> dict:
+        """For two-column relations, return a ``{first: second}`` mapping.
+
+        Convenient in tests for keyed query results (e.g. SSSP distances).
+        """
+        if len(self.schema) != 2:
+            raise ValueError("to_dict() requires exactly two columns")
+        return {row[0]: row[1] for row in self.rows}
+
+    def same_rows(self, other: "Relation | Iterable[Sequence]") -> bool:
+        """Multiset equality of rows, ignoring order and schema names."""
+        other_rows = other.rows if isinstance(other, Relation) else [tuple(r) for r in other]
+        if len(self.rows) != len(other_rows):
+            return False
+        from collections import Counter
+        return Counter(self.rows) == Counter(other_rows)
+
+    def __repr__(self) -> str:
+        return (f"Relation({self.name!r}, columns={list(self.columns)}, "
+                f"rows={len(self.rows)})")
+
+    def show(self, limit: int = 20) -> str:
+        """Render an ASCII table of up to *limit* rows (for examples/demos)."""
+        header = " | ".join(self.columns)
+        separator = "-" * len(header)
+        body = [" | ".join(str(v) for v in row) for row in self.rows[:limit]]
+        suffix = [] if len(self.rows) <= limit else [f"... ({len(self.rows)} rows total)"]
+        return "\n".join([header, separator, *body, *suffix])

@@ -1,0 +1,99 @@
+"""Unit tests for the vertex-centric engine and its profiles."""
+
+import pytest
+
+from repro.baselines import algorithms, serial
+from repro.baselines.pregel import (
+    GIRAPH_PROFILE,
+    GRAPHX_PROFILE,
+    PregelEngine,
+    PregelProfile,
+)
+from repro.datagen import random_graph
+from repro.engine.cluster import Cluster
+
+EDGES_W = [(1, 2, 1.0), (2, 3, 2.0), (1, 3, 5.0), (3, 4, 1.0), (4, 2, 1.0)]
+EDGES = [(a, b) for a, b, _ in EDGES_W]
+
+
+def run(edges, program, profile=GIRAPH_PROFILE, context=None, workers=4):
+    cluster = Cluster(num_workers=workers)
+    engine = PregelEngine(cluster, profile)
+    result = engine.run(edges, program, context)
+    return result, cluster
+
+
+class TestGraphPrograms:
+    @pytest.mark.parametrize("profile", [GIRAPH_PROFILE, GRAPHX_PROFILE],
+                             ids=lambda p: p.name)
+    def test_sssp(self, profile):
+        result, _ = run(EDGES_W, algorithms.sssp_program(1), profile)
+        assert result.values == serial.sssp(EDGES_W, 1)
+
+    @pytest.mark.parametrize("profile", [GIRAPH_PROFILE, GRAPHX_PROFILE],
+                             ids=lambda p: p.name)
+    def test_cc(self, profile):
+        result, _ = run(EDGES, algorithms.cc_program(), profile)
+        assert result.values == serial.connected_components(EDGES)
+
+    def test_reach(self):
+        result, _ = run(EDGES, algorithms.reach_program(1))
+        visited = {v for v, flag in result.values.items() if flag}
+        assert visited == serial.reach(EDGES, 1)
+
+    def test_random_graph_sssp(self):
+        edges = random_graph(60, 240, seed=9, weighted=True)
+        result, _ = run(edges, algorithms.sssp_program(0))
+        assert result.values == serial.sssp(edges, 0)
+
+
+class TestTreePrograms:
+    def test_management(self):
+        report = [(2, 1), (3, 1), (4, 2), (5, 2), (6, 4)]
+        result, _ = run(report, algorithms.management_program(),
+                        context={"employees": {e for e, _ in report}})
+        assert result.values == serial.management_counts(report)
+
+    def test_mlm(self):
+        sales = [(1, 100.0), (2, 200.0), (3, 300.0)]
+        sponsor_edges = [(2, 1), (3, 2)]  # member -> sponsor
+        result, _ = run(sponsor_edges, algorithms.mlm_program(),
+                        context={"profit": dict(sales)})
+        expected = serial.mlm_bonus(sales, [(b, a) for a, b in sponsor_edges])
+        assert {k: pytest.approx(v) for k, v in expected.items()} == result.values
+
+    def test_delivery(self):
+        assbl = [("car", "engine"), ("car", "wheel"), ("engine", "piston")]
+        leaf_days = {"piston": 3, "wheel": 2}
+        edges = [(child, parent) for parent, child in assbl]
+        result, _ = run(edges, algorithms.delivery_program(),
+                        context={"leaf_days": leaf_days})
+        assert result.values == serial.bom_waitfor(assbl, leaf_days.items())
+
+
+class TestProfiles:
+    def test_graphx_runs_more_stages_than_giraph(self):
+        counts = {}
+        for profile in (GIRAPH_PROFILE, GRAPHX_PROFILE):
+            _, cluster = run(EDGES_W, algorithms.sssp_program(1), profile)
+            counts[profile.name] = cluster.metrics.get("stages")
+        assert counts["graphx"] > 2 * counts["giraph"]
+
+    def test_graphx_slower_in_sim_time(self):
+        times = {}
+        edges = random_graph(150, 600, seed=3, weighted=True)
+        for profile in (GIRAPH_PROFILE, GRAPHX_PROFILE):
+            _, cluster = run(edges, algorithms.sssp_program(0), profile)
+            times[profile.name] = cluster.metrics.sim_time
+        assert times["graphx"] > times["giraph"]
+
+    def test_supersteps_match_bfs_depth(self):
+        chain = [(i, i + 1) for i in range(10)]
+        result, _ = run(chain, algorithms.reach_program(0))
+        assert result.supersteps == 10
+
+    def test_custom_profile(self):
+        profile = PregelProfile(name="custom", stages_per_superstep=2)
+        result, cluster = run(EDGES, algorithms.cc_program(), profile)
+        assert result.values == serial.connected_components(EDGES)
+        assert cluster.metrics.get("stages") >= 2 * result.supersteps

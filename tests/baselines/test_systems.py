@@ -1,0 +1,164 @@
+"""Integration tests: every system wrapper agrees on every algorithm."""
+
+import pytest
+
+from repro.baselines import serial
+from repro.baselines.systems import (
+    BigDatalogSystem,
+    COSTSystem,
+    GAPParallelSystem,
+    GAPSerialSystem,
+    GiraphSystem,
+    GraphXSystem,
+    MyriaSystem,
+    RaSQLSystem,
+    SparkSQLNaiveSystem,
+    SparkSQLSNSystem,
+    Workload,
+)
+from repro.datagen import random_graph, random_tree, tree_tables
+
+EDGES_W = random_graph(80, 320, seed=11, weighted=True)
+EDGES = [(a, b) for a, b, _ in EDGES_W]
+GRAPH_TABLES_W = {"edge": (["Src", "Dst", "Cost"], EDGES_W)}
+GRAPH_TABLES = {"edge": (["Src", "Dst"], EDGES)}
+
+DISTRIBUTED = [RaSQLSystem, BigDatalogSystem, GiraphSystem, GraphXSystem,
+               MyriaSystem]
+
+
+def normalize(result, algorithm):
+    output = result.output
+    if algorithm == "sssp":
+        if hasattr(output, "to_dict"):
+            return output.to_dict()
+        return dict(output)
+    if algorithm == "cc":
+        if hasattr(output, "to_dict"):
+            return output.to_dict()
+        return dict(output)
+    if algorithm == "reach":
+        if hasattr(output, "rows"):
+            return {row[0] for row in output.rows}
+        return {v for v, flag in output.items() if flag}
+    raise AssertionError(algorithm)
+
+
+class TestDistributedSystemsAgree:
+    @pytest.mark.parametrize("system_cls", DISTRIBUTED,
+                             ids=lambda c: c.name)
+    def test_sssp(self, system_cls):
+        result = system_cls(num_workers=4).run(
+            Workload("sssp", GRAPH_TABLES_W, source=0))
+        assert normalize(result, "sssp") == serial.sssp(EDGES_W, 0)
+        assert result.sim_seconds > 0
+
+    @pytest.mark.parametrize("system_cls", DISTRIBUTED,
+                             ids=lambda c: c.name)
+    def test_cc(self, system_cls):
+        result = system_cls(num_workers=4).run(Workload("cc", GRAPH_TABLES))
+        assert normalize(result, "cc") == serial.connected_components(EDGES)
+
+    @pytest.mark.parametrize("system_cls", DISTRIBUTED,
+                             ids=lambda c: c.name)
+    def test_reach(self, system_cls):
+        result = system_cls(num_workers=4).run(
+            Workload("reach", GRAPH_TABLES, source=0))
+        assert normalize(result, "reach") == serial.reach(EDGES, 0)
+
+
+class TestComplexAnalyticsSystems:
+    TREE = tree_tables(random_tree(height=4, seed=7, max_nodes=300))
+
+    @pytest.mark.parametrize("system_cls",
+                             [RaSQLSystem, GraphXSystem,
+                              SparkSQLSNSystem, SparkSQLNaiveSystem],
+                             ids=lambda c: c.name)
+    def test_management(self, system_cls):
+        report = self.TREE["report"][1]
+        result = system_cls(num_workers=4).run(
+            Workload("management", {"report": self.TREE["report"]}))
+        expected = serial.management_counts(report)
+        output = result.output
+        got = (output.to_dict() if hasattr(output, "to_dict")
+               else dict(output))
+        assert got == expected
+
+    @pytest.mark.parametrize("system_cls",
+                             [RaSQLSystem, GraphXSystem,
+                              SparkSQLSNSystem, SparkSQLNaiveSystem],
+                             ids=lambda c: c.name)
+    def test_delivery(self, system_cls):
+        assbl = self.TREE["assbl"][1]
+        basic = self.TREE["basic"][1]
+        result = system_cls(num_workers=4).run(Workload(
+            "delivery", {"assbl": self.TREE["assbl"],
+                         "basic": self.TREE["basic"]}))
+        expected = serial.bom_waitfor(assbl, basic)
+        output = result.output
+        got = (output.to_dict() if hasattr(output, "to_dict")
+               else dict(output))
+        assert got == expected
+
+    @pytest.mark.parametrize("system_cls",
+                             [RaSQLSystem, GraphXSystem,
+                              SparkSQLSNSystem, SparkSQLNaiveSystem],
+                             ids=lambda c: c.name)
+    def test_mlm(self, system_cls):
+        sales = self.TREE["sales"][1]
+        sponsor = self.TREE["sponsor"][1]
+        result = system_cls(num_workers=4).run(Workload(
+            "mlm", {"sales": self.TREE["sales"],
+                    "sponsor": self.TREE["sponsor"]}))
+        expected = serial.mlm_bonus(sales, sponsor)
+        output = result.output
+        got = (output.to_dict() if hasattr(output, "to_dict")
+               else dict(output))
+        assert set(got) == set(expected)
+        for key in expected:
+            assert got[key] == pytest.approx(expected[key])
+
+
+class TestSerialSystems:
+    def test_gap_serial_cc_undirected(self):
+        result = GAPSerialSystem().run(Workload("cc", GRAPH_TABLES))
+        assert result.output == serial.undirected_components(EDGES)
+
+    def test_cost_faster_than_gap(self):
+        gap = GAPSerialSystem().run(Workload("sssp", GRAPH_TABLES_W, source=0))
+        cost = COSTSystem().run(Workload("sssp", GRAPH_TABLES_W, source=0))
+        # Same wall work, larger modeled speedup constant.
+        assert cost.sim_seconds <= gap.sim_seconds
+
+    def test_parallel_faster_than_serial(self):
+        serial_run = GAPSerialSystem().run(
+            Workload("sssp", GRAPH_TABLES_W, source=0))
+        parallel_run = GAPParallelSystem().run(
+            Workload("sssp", GRAPH_TABLES_W, source=0))
+        assert parallel_run.sim_seconds < serial_run.sim_seconds
+
+
+class TestExpectedPerformanceShape:
+    """The headline Section 8 relationships at small scale."""
+
+    def test_rasql_beats_graphx(self):
+        rasql = RaSQLSystem(num_workers=4).run(
+            Workload("sssp", GRAPH_TABLES_W, source=0))
+        graphx = GraphXSystem(num_workers=4).run(
+            Workload("sssp", GRAPH_TABLES_W, source=0))
+        assert graphx.sim_seconds > rasql.sim_seconds
+
+    def test_rasql_beats_bigdatalog(self):
+        rasql = RaSQLSystem(num_workers=4).run(
+            Workload("sssp", GRAPH_TABLES_W, source=0))
+        bigdatalog = BigDatalogSystem(num_workers=4).run(
+            Workload("sssp", GRAPH_TABLES_W, source=0))
+        assert bigdatalog.sim_seconds > rasql.sim_seconds
+
+    def test_sn_beats_naive(self):
+        tree = tree_tables(random_tree(height=5, seed=3, max_nodes=600))
+        sn = SparkSQLSNSystem(num_workers=4).run(
+            Workload("management", {"report": tree["report"]}))
+        naive = SparkSQLNaiveSystem(num_workers=4).run(
+            Workload("management", {"report": tree["report"]}))
+        assert naive.sim_seconds > sn.sim_seconds

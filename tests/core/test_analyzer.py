@@ -1,0 +1,201 @@
+"""Unit tests for semantic analysis: cliques, mark points, validation."""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.catalog import Catalog
+from repro.core.logical import CliquePlan, DerivedViewPlan, RecursiveScanNode, ScanNode
+from repro.core.optimizer import optimize
+from repro.core.parser import parse
+from repro.errors import AnalysisError
+from repro.queries.library import get_query
+
+
+def catalog_for(spec):
+    catalog = Catalog()
+    for table, columns in spec.tables.items():
+        catalog.register(table, columns)
+    return catalog
+
+
+def analyzed(name, **params):
+    spec = get_query(name)
+    return analyze(parse(spec.formatted(**params)), catalog_for(spec))
+
+
+class TestCliqueDetection:
+    def test_single_view_clique(self):
+        script = analyzed("sssp", source=1)
+        cliques = script.cliques()
+        assert len(cliques) == 1
+        assert cliques[0].view_names == ("path",)
+
+    def test_mutual_recursion_one_clique(self):
+        script = analyzed("company_control")
+        cliques = script.cliques()
+        assert len(cliques) == 1
+        assert set(cliques[0].view_names) == {"cshares", "control"}
+
+    def test_party_attendance_clique(self):
+        script = analyzed("party_attendance")
+        assert set(script.cliques()[0].view_names) == {"attend", "cntfriends"}
+
+    def test_create_view_is_derived_unit(self):
+        script = analyzed("interval_coalesce")
+        assert isinstance(script.units[0], DerivedViewPlan)
+        assert script.units[0].name == "lstart"
+        assert isinstance(script.units[1], CliquePlan)
+
+    def test_plain_with_view_not_a_clique(self):
+        catalog = Catalog()
+        catalog.register("t", ("X",))
+        script = analyze(parse(
+            "WITH v(X) AS (SELECT X FROM t) SELECT X FROM v"), catalog)
+        assert isinstance(script.units[0], DerivedViewPlan)
+
+
+class TestMarkPoints:
+    def test_recursive_reference_becomes_mark_point(self):
+        script = analyzed("sssp", source=1)
+        view = script.cliques()[0].views[0]
+        assert len(view.base_rules) == 1
+        assert len(view.recursive_rules) == 1
+        rule = view.recursive_rules[0]
+        kinds = [type(n) for n in rule.join.inputs]
+        assert RecursiveScanNode in kinds
+        assert ScanNode in kinds
+
+    def test_base_rule_constant_rows(self):
+        script = analyzed("sssp", source=7)
+        view = script.cliques()[0].views[0]
+        assert view.base_rules[0].constant_rows == ((7, 0),)
+
+    def test_same_generation_two_base_scans_one_recursive(self):
+        script = analyzed("same_generation")
+        rule = script.cliques()[0].views[0].recursive_rules[0]
+        recs = rule.recursive_inputs()
+        assert len(recs) == 1
+        assert len(rule.join.inputs) == 3
+
+    def test_cross_view_recursive_reference(self):
+        script = analyzed("company_control")
+        clique = script.cliques()[0]
+        cshares_rules = clique.view("cshares").recursive_rules
+        assert len(cshares_rules) == 1
+        # Both control and cshares references are recursive mark points.
+        assert len(cshares_rules[0].recursive_inputs()) == 2
+
+
+class TestImplicitGroupBy:
+    def test_aggregate_head_positions(self):
+        script = analyzed("bom")
+        view = script.cliques()[0].views[0]
+        assert view.group_positions == (0,)
+        assert view.aggregate_positions == (1,)
+        assert view.aggregates[1].name == "max"
+
+    def test_no_aggregate_all_group(self):
+        script = analyzed("tc")
+        view = script.cliques()[0].views[0]
+        assert view.group_positions == (0, 1)
+        assert not view.has_aggregates
+
+
+class TestValidation:
+    def test_avg_in_recursion_rejected(self):
+        catalog = Catalog()
+        catalog.register("t", ("X", "V"))
+        with pytest.raises(AnalysisError, match="avg"):
+            analyze(parse("""
+            WITH recursive r(X, avg() AS V) AS (SELECT X, V FROM t)
+            SELECT X FROM r"""), catalog)
+
+    def test_arity_mismatch_rejected(self):
+        catalog = Catalog()
+        catalog.register("t", ("X", "Y"))
+        with pytest.raises(AnalysisError, match="columns"):
+            analyze(parse("""
+            WITH recursive r(X) AS (SELECT X, Y FROM t)
+            SELECT X FROM r"""), catalog)
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown table"):
+            analyze(parse("SELECT X FROM missing"), Catalog())
+
+    def test_unknown_column_rejected(self):
+        catalog = Catalog()
+        catalog.register("t", ("X",))
+        with pytest.raises(AnalysisError, match="unknown column"):
+            analyze(parse("""
+            WITH recursive r(X) AS (SELECT Zap FROM t) UNION (SELECT r.X FROM r, t WHERE r.X = t.X)
+            SELECT X FROM r"""), catalog)
+
+    def test_no_base_case_rejected(self):
+        catalog = Catalog()
+        catalog.register("t", ("X",))
+        with pytest.raises(AnalysisError, match="base case"):
+            analyze(parse("""
+            WITH recursive r(X) AS (SELECT r.X FROM r, t WHERE r.X = t.X)
+            SELECT X FROM r"""), catalog)
+
+    def test_group_by_inside_recursion_rejected(self):
+        catalog = Catalog()
+        catalog.register("t", ("X",))
+        with pytest.raises(AnalysisError, match="GROUP BY"):
+            analyze(parse("""
+            WITH recursive r(X) AS (SELECT X FROM t GROUP BY X)
+            SELECT X FROM r"""), catalog)
+
+    def test_explicit_aggregate_in_branch_rejected(self):
+        catalog = Catalog()
+        catalog.register("t", ("X",))
+        with pytest.raises(AnalysisError, match="implicit group-by"):
+            analyze(parse("""
+            WITH recursive r(X, max() AS M) AS (SELECT X, max(X) FROM t)
+            SELECT X FROM r"""), catalog)
+
+
+class TestOptimizer:
+    def test_equi_conjuncts_extracted(self):
+        script = optimize(analyzed("sssp", source=1))
+        rule = script.cliques()[0].views[0].recursive_rules[0]
+        assert len(rule.join.equi_conjuncts) == 1
+        assert rule.join.residual == []
+
+    def test_filter_pushdown_to_scan(self):
+        catalog = Catalog()
+        catalog.register("e", ("S", "D", "W"))
+        script = optimize(analyze(parse("""
+        WITH recursive r(D) AS (SELECT 1) UNION
+          (SELECT e.D FROM r, e WHERE r.D = e.S AND e.W > 5)
+        SELECT D FROM r"""), catalog))
+        rule = script.cliques()[0].views[0].recursive_rules[0]
+        scan = [n for n in rule.join.inputs if isinstance(n, ScanNode)][0]
+        assert scan.filter is not None
+        assert "W" in scan.filter.to_sql()
+        assert rule.join.residual == []
+
+    def test_filter_on_recursive_ref_stays_residual(self):
+        # Company Control: ``Tot > 50`` applies to the recursive cshares.
+        script = optimize(analyzed("company_control"))
+        control = script.cliques()[0].view("control")
+        rule = (control.base_rules + control.recursive_rules)[0]
+        assert len(rule.join.residual) == 1
+
+    def test_constant_folding(self):
+        catalog = Catalog()
+        catalog.register("t", ("X",))
+        script = optimize(analyze(parse("""
+        WITH recursive r(X) AS (SELECT X FROM t) UNION
+          (SELECT r.X + 1 + 1 FROM r, t WHERE r.X = t.X AND 1 = 1)
+        SELECT X FROM r"""), catalog))
+        rule = script.cliques()[0].views[0].recursive_rules[0]
+        # ``1 = 1`` folded away entirely.
+        assert rule.join.residual == []
+
+    def test_explain_mentions_clique(self):
+        script = optimize(analyzed("bom"))
+        text = script.explain()
+        assert "RecursiveRelation waitfor" in text
+        assert "max(Days)" in text
+        assert "ScanRecRelation" in text

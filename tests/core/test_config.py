@@ -1,0 +1,30 @@
+"""Unit tests for ExecutionConfig."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, ExecutionConfig
+
+
+class TestConfig:
+    def test_defaults_match_paper_reference_setup(self):
+        # Section 8: shuffle-hash join, optimized DSN, stage combination,
+        # code generation.
+        assert DEFAULT_CONFIG.evaluation == "dsn"
+        assert DEFAULT_CONFIG.join_strategy == "shuffle_hash"
+        assert DEFAULT_CONFIG.stage_combination
+        assert DEFAULT_CONFIG.codegen
+        assert DEFAULT_CONFIG.partial_aggregation
+        assert DEFAULT_CONFIG.use_setrdd
+
+    def test_but_returns_modified_copy(self):
+        changed = DEFAULT_CONFIG.but(codegen=False)
+        assert not changed.codegen
+        assert DEFAULT_CONFIG.codegen  # original untouched
+
+    def test_invalid_evaluation_rejected(self):
+        with pytest.raises(ValueError, match="evaluation"):
+            ExecutionConfig(evaluation="bogus")
+
+    def test_invalid_join_strategy_rejected(self):
+        with pytest.raises(ValueError, match="join strategy"):
+            ExecutionConfig(join_strategy="bogus")

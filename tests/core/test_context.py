@@ -1,0 +1,136 @@
+"""Unit tests for the RaSQLContext session API."""
+
+import pytest
+
+from repro import ExecutionConfig, RaSQLContext
+from repro.errors import AnalysisError
+
+EDGES = [(1, 2, 1.0), (2, 3, 2.0)]
+SSSP = """
+WITH recursive path(Dst, min() AS Cost) AS
+  (SELECT 1, 0) UNION
+  (SELECT edge.Dst, path.Cost + edge.Cost
+   FROM path, edge WHERE path.Dst = edge.Src)
+SELECT Dst, Cost FROM path
+"""
+
+
+def make_ctx(**kwargs):
+    ctx = RaSQLContext(num_workers=2, **kwargs)
+    ctx.register_table("edge", ["Src", "Dst", "Cost"], EDGES)
+    return ctx
+
+
+class TestSessionApi:
+    def test_sql_returns_relation(self):
+        result = make_ctx().sql(SSSP)
+        assert result.columns == ("Dst", "Cost")
+        assert sorted(result.rows) == [(1, 0), (2, 1.0), (3, 3.0)]
+
+    def test_last_run_populated(self):
+        ctx = make_ctx()
+        ctx.sql(SSSP)
+        assert ctx.last_run.iterations > 0
+        assert "path" in ctx.last_run.clique_iterations
+        assert ctx.last_run.sim_time > 0
+        assert ctx.last_run.metrics["stages"] > 0
+
+    def test_per_call_config_override(self):
+        ctx = make_ctx()
+        baseline = ctx.sql(SSSP)
+        override = ctx.sql(SSSP, config=ExecutionConfig(codegen=False,
+                                                        stage_combination=False))
+        assert sorted(baseline.rows) == sorted(override.rows)
+
+    def test_register_replaces_table(self):
+        ctx = make_ctx()
+        ctx.register_table("edge", ["Src", "Dst", "Cost"], [(1, 9, 1.0)])
+        result = ctx.sql(SSSP)
+        assert sorted(result.rows) == [(1, 0), (9, 1.0)]
+
+    def test_unknown_table_raises_analysis_error(self):
+        ctx = RaSQLContext(num_workers=2)
+        with pytest.raises(AnalysisError):
+            ctx.sql(SSSP)
+
+    def test_reset_metrics(self):
+        ctx = make_ctx()
+        ctx.sql(SSSP)
+        assert ctx.metrics.sim_time > 0
+        ctx.reset_metrics()
+        assert ctx.metrics.sim_time == 0
+
+    def test_load_table_charges_time(self):
+        ctx = RaSQLContext(num_workers=2)
+        ctx.load_table("edge", ["Src", "Dst", "Cost"], EDGES)
+        assert ctx.metrics.get("load_bytes") > 0
+
+    def test_plain_select_without_recursion(self):
+        ctx = make_ctx()
+        result = ctx.sql("SELECT Src, Dst FROM edge WHERE Cost > 1.5")
+        assert result.rows == [(2, 3)]
+        assert ctx.last_run.iterations == 0
+
+    def test_multiple_statements_create_view(self):
+        ctx = make_ctx()
+        result = ctx.sql("""
+        CREATE VIEW big(S, D) AS (SELECT Src, Dst FROM edge WHERE Cost > 1.5);
+        SELECT S FROM big
+        """)
+        assert result.rows == [(2,)]
+
+
+class TestProfile:
+    def test_time_breakdown_recorded(self):
+        ctx = make_ctx()
+        ctx.sql(SSSP)
+        breakdown = ctx.last_run.time_breakdown
+        assert any(label.startswith("stage:fixpoint")
+                   for label in breakdown)
+        assert sum(breakdown.values()) == pytest.approx(
+            ctx.last_run.sim_time, rel=1e-6)
+
+    def test_breakdown_is_per_call(self):
+        ctx = make_ctx()
+        ctx.sql(SSSP)
+        first = dict(ctx.last_run.time_breakdown)
+        ctx.sql("SELECT Src FROM edge")
+        second = ctx.last_run.time_breakdown
+        assert not any(label.startswith("stage:fixpoint")
+                       for label in second)
+        assert first  # untouched by the second call
+
+    def test_profile_report_renders(self):
+        ctx = make_ctx()
+        ctx.sql(SSSP)
+        report = ctx.last_run.profile_report()
+        assert "stage:fixpoint" in report
+        assert "%" in report
+        assert "total" in report
+
+
+class TestExplain:
+    def test_explain_contains_all_layers(self):
+        text = make_ctx().explain(SSSP)
+        assert "RecursiveClique path" in text
+        assert "FixPoint" in text
+        assert "Final: SELECT" in text
+
+    def test_explain_does_not_execute(self):
+        ctx = make_ctx()
+        ctx.explain(SSSP)
+        assert ctx.metrics.get("iterations") == 0
+
+    def test_explain_reflects_config(self):
+        ctx = RaSQLContext(num_workers=2)
+        ctx.register_table("edge", ["Src", "Dst"], [(1, 2)])
+        tc = """
+        WITH recursive tc(Src, Dst) AS
+          (SELECT Src, Dst FROM edge) UNION
+          (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
+        SELECT Src, Dst FROM tc
+        """
+        decomposed = ctx.explain(tc)
+        flat = ctx.explain(tc, config=ExecutionConfig(decomposed_plans=False))
+        assert "decomposable" in decomposed
+        assert "decomposable" not in flat

@@ -1,0 +1,179 @@
+"""Tests for the Datalog front end (parser + translation + execution)."""
+
+import pytest
+
+from repro import RaSQLContext
+from repro.baselines import serial
+from repro.datagen import random_graph
+from repro.datalog import datalog_to_sql, parse_datalog, run_datalog
+from repro.datalog.parser import Constant, Variable
+from repro.errors import AnalysisError, ParseError
+
+TC = """
+  tc(X, Y) <- edge(X, Y).
+  tc(X, Z) <- tc(X, Y), edge(Y, Z).
+  ?- tc(X, Y).
+"""
+
+SSSP = """
+  path(1, 0).
+  path(Y, min<C>) <- path(X, D), edge(X, Y, W), C = D + W.
+  ?- path(X, C).
+"""
+
+
+def graph_ctx(weighted=False, n=40, m=150, seed=2):
+    ctx = RaSQLContext(num_workers=2)
+    edges = random_graph(n, m, seed=seed, weighted=weighted)
+    if weighted:
+        edges = [(a, b, float(w)) for a, b, w in edges]
+        ctx.register_table("edge", ["Src", "Dst", "Cost"], edges)
+    else:
+        ctx.register_table("edge", ["Src", "Dst"], edges)
+    return ctx, edges
+
+
+class TestParser:
+    def test_rules_and_facts(self):
+        program = parse_datalog(TC)
+        assert len(program.rules) == 2
+        assert program.query.predicate == "tc"
+        assert program.idb_predicates() == ["tc"]
+        assert program.edb_predicates() == {"edge"}
+
+    def test_fact_terms_ground(self):
+        program = parse_datalog("p(1, 'x'). q(Y) <- p(Y, _).")
+        fact = program.rules[0]
+        assert fact.is_fact
+        assert fact.head_args[0].term == Constant(1)
+        assert fact.head_args[1].term == Constant("x")
+
+    def test_non_ground_fact_rejected(self):
+        with pytest.raises(ParseError, match="ground"):
+            parse_datalog("p(X).")
+
+    def test_aggregate_annotations(self):
+        program = parse_datalog(
+            "p(X, min<C>) <- q(X, C). p(X, mmin<C>) <- r(X, C).")
+        assert program.rules[0].head_args[1].aggregate == "min"
+        assert program.rules[1].head_args[1].aggregate == "min"  # mmin alias
+
+    def test_comments_and_strings(self):
+        program = parse_datalog("""
+          % a comment
+          p('it''s', 2.5).
+        """)
+        assert program.rules[0].head_args[0].term == Constant("it's")
+        assert program.rules[0].head_args[1].term == Constant(2.5)
+
+    def test_lowercase_names_are_constants(self):
+        program = parse_datalog("p(alice) <- q(alice, X), r(X).")
+        assert program.rules[0].head_args[0].term == Constant("alice")
+        assert program.rules[0].atoms[0].terms[1] == Variable("X")
+
+    def test_arithmetic_precedence(self):
+        program = parse_datalog("p(C) <- q(A, B), C = A + B * 2.")
+        assignment = program.rules[0].constraints[0]
+        assert assignment.right.op == "+"
+        assert assignment.right.right.op == "*"
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_datalog("% nothing")
+
+
+class TestTranslation:
+    def test_tc_sql_shape(self):
+        sql = datalog_to_sql(TC, lambda p: ["Src", "Dst"])
+        assert "WITH recursive tc" in sql
+        # The shared variable Y joins the recursive ref to the edge scan.
+        assert "t0.Y = t1.Src" in sql.replace("(", "").replace(")", "")
+
+    def test_aggregate_becomes_head_column(self):
+        sql = datalog_to_sql(SSSP, lambda p: ["Src", "Dst", "Cost"])
+        assert "min() AS" in sql
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(AnalysisError, match="unbound"):
+            datalog_to_sql("p(X, Y) <- q(X).", lambda p: ["A"])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(AnalysisError, match="arity"):
+            datalog_to_sql("p(X) <- edge(X).", lambda p: ["Src", "Dst"])
+
+    def test_conflicting_aggregates_rejected(self):
+        with pytest.raises(AnalysisError, match="conflicting"):
+            datalog_to_sql("""
+              p(X, min<C>) <- q(X, C).
+              p(X, sum<C>) <- p(X, C), q(X, _).
+            """, lambda p: ["A", "B"])
+
+
+class TestExecution:
+    def test_tc_matches_oracle(self):
+        ctx, edges = graph_ctx(n=20, m=45)
+        result = run_datalog(ctx, TC)
+        assert set(result.rows) == serial.transitive_closure(edges)
+
+    def test_sssp_matches_oracle(self):
+        ctx, edges = graph_ctx(weighted=True)
+        result = run_datalog(ctx, SSSP)
+        assert result.to_dict() == serial.sssp(edges, 1)
+
+    def test_datalog_equals_sql_surface(self):
+        """The two surfaces must compile to the same answers."""
+        from repro.queries import get_query
+
+        ctx, edges = graph_ctx(weighted=True)
+        via_datalog = sorted(run_datalog(ctx, SSSP).rows)
+        via_sql = sorted(ctx.sql(get_query("sssp").formatted(source=1)).rows)
+        assert via_datalog == via_sql
+
+    def test_point_query_constant(self):
+        ctx, edges = graph_ctx(n=20, m=45)
+        result = run_datalog(ctx, """
+          tc(X, Y) <- edge(X, Y).
+          tc(X, Z) <- tc(X, Y), edge(Y, Z).
+          ?- tc(3, Y).
+        """)
+        expected = {b for a, b in serial.transitive_closure(edges) if a == 3}
+        assert {y for (y,) in result.rows} == expected
+
+    def test_management_with_mcount(self):
+        report = [(2, 1), (3, 1), (4, 2), (5, 2)]
+        ctx = RaSQLContext(num_workers=2)
+        ctx.register_table("report", ["Emp", "Mgr"], report)
+        result = run_datalog(ctx, """
+          empCount(E, mcount<N>) <- report(E, _), N = 1.
+          empCount(M, mcount<N>) <- empCount(E, N), report(E, M).
+          ?- empCount(M, N).
+        """)
+        assert dict(result.rows) == serial.management_counts(report)
+
+    def test_same_generation_with_inequality(self):
+        rel = [(1, 2), (1, 3), (2, 4), (3, 5)]
+        ctx = RaSQLContext(num_workers=2)
+        ctx.register_table("rel", ["Parent", "Child"], rel)
+        result = run_datalog(ctx, """
+          sg(X, Y) <- rel(P, X), rel(P, Y), X != Y.
+          sg(X, Y) <- rel(A, X), sg(A, B), rel(B, Y).
+          ?- sg(X, Y).
+        """)
+        assert set(result.rows) == {(2, 3), (3, 2), (4, 5), (5, 4)}
+
+    def test_default_query_is_last_predicate(self):
+        ctx, edges = graph_ctx(n=10, m=20)
+        result = run_datalog(ctx, """
+          tc(X, Y) <- edge(X, Y).
+          tc(X, Z) <- tc(X, Y), edge(Y, Z).
+        """)
+        assert set(result.rows) == serial.transitive_closure(edges)
+
+    def test_chained_assignments(self):
+        ctx, _ = graph_ctx(weighted=True, n=6, m=10)
+        result = run_datalog(ctx, """
+          p(Y, min<C>) <- edge(X, Y, W), D = W * 2, C = D + 1.
+          ?- p(Y, C).
+        """)
+        assert all(cost == int(cost) or True for _, cost in result.rows)
+        assert len(result.rows) > 0

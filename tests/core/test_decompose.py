@@ -1,0 +1,49 @@
+"""Unit tests for decomposable-plan analysis (Section 7.2)."""
+
+from repro.core.analyzer import analyze
+from repro.core.catalog import Catalog
+from repro.core.decompose import decompose_keys
+from repro.core.optimizer import optimize
+from repro.core.parser import parse
+from repro.queries.library import get_query
+
+
+def clique_for(name, **params):
+    spec = get_query(name)
+    catalog = Catalog()
+    for table, columns in spec.tables.items():
+        catalog.register(table, columns)
+    script = optimize(analyze(parse(spec.formatted(**params)), catalog))
+    return script.cliques()[0]
+
+
+class TestDecomposability:
+    def test_tc_is_decomposable_on_src(self):
+        # The paper's canonical example: tc(X, Z) <- tc(X, Y), edge(Y, Z)
+        # preserves X.
+        keys = decompose_keys(clique_for("tc"))
+        assert keys == {"tc": (0,)}
+
+    def test_apsp_is_decomposable_on_src(self):
+        keys = decompose_keys(clique_for("apsp"))
+        assert keys == {"path": (0,)}
+
+    def test_sssp_is_not_decomposable(self):
+        # path's head key (Dst) comes from the edge side of the join.
+        assert decompose_keys(clique_for("sssp", source=1)) is None
+
+    def test_reach_is_not_decomposable(self):
+        assert decompose_keys(clique_for("reach", source=1)) is None
+
+    def test_cc_is_not_decomposable(self):
+        assert decompose_keys(clique_for("cc")) is None
+
+    def test_same_generation_is_not_decomposable(self):
+        assert decompose_keys(clique_for("same_generation")) is None
+
+    def test_mutual_recursion_is_not_decomposable(self):
+        assert decompose_keys(clique_for("company_control")) is None
+
+    def test_management_not_decomposable(self):
+        # empCount's head key is report.Mgr, not the delta's Mgr.
+        assert decompose_keys(clique_for("management")) is None

@@ -1,0 +1,154 @@
+"""Unit + property tests for expression resolution and compilation,
+including CASE WHEN and interpreted-vs-generated agreement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RaSQLContext
+from repro.core import ast_nodes as ast
+from repro.core.expressions import (
+    Layout,
+    compile_expr,
+    conjoin,
+    fold_constants,
+    split_conjuncts,
+)
+from repro.core.parser import Parser, parse_query
+from repro.errors import AnalysisError
+
+
+def expr_of(text: str) -> ast.Expr:
+    return Parser(text).parse_expr()
+
+
+LAYOUT = Layout([("t", ("A", "B")), ("u", ("C",))])
+
+
+class TestLayout:
+    def test_qualified_resolution(self):
+        assert LAYOUT.slot_of(ast.ColumnRef("B", "t")) == 1
+        assert LAYOUT.slot_of(ast.ColumnRef("C", "u")) == 2
+
+    def test_unqualified_unique(self):
+        assert LAYOUT.slot_of(ast.ColumnRef("C")) == 2
+
+    def test_duplicate_binding_rejected(self):
+        with pytest.raises(AnalysisError, match="duplicate"):
+            Layout([("t", ("A",)), ("T", ("B",))])
+
+    def test_binding_of_slot(self):
+        assert LAYOUT.binding_of_slot(0) == "t"
+        assert LAYOUT.binding_of_slot(2) == "u"
+        with pytest.raises(AnalysisError):
+            LAYOUT.binding_of_slot(9)
+
+
+class TestCompile:
+    def test_arithmetic(self):
+        fn = compile_expr(expr_of("t.A + u.C * 2"), LAYOUT)
+        assert fn((1, 0, 10)) == 21
+
+    def test_boolean_short_circuit(self):
+        fn = compile_expr(expr_of("t.A > 0 OR u.C / t.A > 1"), LAYOUT)
+        # Division by zero on the right is never reached when left is true.
+        assert fn((1, 0, 5)) is True
+
+    def test_case_when(self):
+        fn = compile_expr(expr_of(
+            "CASE WHEN t.A > 10 THEN 'big' WHEN t.A > 5 THEN 'mid' "
+            "ELSE 'small' END"), LAYOUT)
+        assert fn((20, 0, 0)) == "big"
+        assert fn((7, 0, 0)) == "mid"
+        assert fn((1, 0, 0)) == "small"
+
+    def test_case_without_else_yields_none(self):
+        fn = compile_expr(expr_of("CASE WHEN t.A > 0 THEN 1 END"), LAYOUT)
+        assert fn((0, 0, 0)) is None
+
+    def test_aggregate_rejected(self):
+        with pytest.raises(AnalysisError, match="not allowed"):
+            compile_expr(expr_of("max(t.A)"), LAYOUT)
+
+
+class TestFolding:
+    def test_arithmetic_folds(self):
+        folded = fold_constants(expr_of("1 + 2 * 3"))
+        assert folded == ast.Literal(7)
+
+    def test_boolean_folds(self):
+        assert fold_constants(expr_of("1 = 1 AND 2 > 3")) == ast.Literal(False)
+
+    def test_division_by_zero_left_for_runtime(self):
+        folded = fold_constants(expr_of("1 / 0"))
+        assert isinstance(folded, ast.BinaryOp)
+
+    def test_case_arms_folded(self):
+        folded = fold_constants(expr_of(
+            "CASE WHEN t.A > 1 + 1 THEN 2 * 3 END"))
+        assert folded.whens[0][1] == ast.Literal(6)
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_folding_preserves_value(self, a, b):
+        expr = expr_of(f"({a} + {b}) * 2 - {a}")
+        folded = fold_constants(expr)
+        assert isinstance(folded, ast.Literal)
+        assert folded.value == (a + b) * 2 - a
+
+
+class TestConjuncts:
+    def test_split_and_rejoin(self):
+        expr = expr_of("t.A = 1 AND t.B = 2 AND u.C = 3")
+        parts = split_conjuncts(expr)
+        assert len(parts) == 3
+        rebuilt = conjoin(parts)
+        fn = compile_expr(rebuilt, LAYOUT)
+        assert fn((1, 2, 3)) is True
+        assert fn((1, 2, 4)) is False
+
+    def test_empty(self):
+        assert split_conjuncts(None) == []
+        assert conjoin([]) is None
+
+
+class TestCaseEndToEnd:
+    def test_case_in_final_select(self):
+        ctx = RaSQLContext(num_workers=2)
+        ctx.register_table("edge", ["Src", "Dst", "Cost"],
+                           [(1, 2, 1.0), (2, 3, 8.0)])
+        result = ctx.sql("""
+            SELECT Dst, CASE WHEN Cost > 5 THEN 'slow' ELSE 'fast' END
+            FROM edge ORDER BY Dst
+        """)
+        assert result.rows == [(2, "fast"), (3, "slow")]
+
+    def test_case_inside_recursion_with_codegen(self):
+        # Road tolls: crossing into the 100s zone doubles the cost.
+        query = """
+        WITH recursive path(Dst, min() AS Cost) AS
+          (SELECT 1, 0) UNION
+          (SELECT edge.Dst,
+                  path.Cost + CASE WHEN edge.Dst >= 100
+                              THEN edge.Cost * 2 ELSE edge.Cost END
+           FROM path, edge WHERE path.Dst = edge.Src)
+        SELECT Dst, Cost FROM path
+        """
+        edges = [(1, 2, 1.0), (2, 100, 3.0), (100, 101, 5.0)]
+        results = {}
+        from repro import ExecutionConfig
+
+        for codegen in (True, False):
+            ctx = RaSQLContext(num_workers=2,
+                               config=ExecutionConfig(codegen=codegen))
+            ctx.register_table("edge", ["Src", "Dst", "Cost"], edges)
+            results[codegen] = sorted(ctx.sql(query).rows)
+        assert results[True] == results[False]
+        assert results[True] == [(1, 0), (2, 1.0), (100, 7.0), (101, 17.0)]
+
+    def test_case_round_trips(self):
+        sql = ("SELECT CASE WHEN Src > 1 THEN 'a' ELSE 'b' END FROM edge")
+        query = parse_query(sql)
+        from repro.core.parser import parse
+
+        assert parse(query.to_sql()).statements[0] == query

@@ -1,0 +1,75 @@
+"""Unit tests for the RaSQL tokenizer."""
+
+import pytest
+
+from repro.core.lexer import Token, tokenize
+from repro.errors import ParseError
+
+
+def kinds_values(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != "EOF"]
+
+
+class TestBasics:
+    def test_keywords_recognized_case_insensitively(self):
+        tokens = tokenize("select FROM")
+        assert tokens[0].matches("KEYWORD", "SELECT")
+        assert tokens[1].matches("KEYWORD", "from")
+
+    def test_identifiers_preserve_case(self):
+        assert kinds_values("waitFor") == [("IDENT", "waitFor")]
+
+    def test_numbers_int_and_float(self):
+        assert kinds_values("42 0.5 3.14") == [
+            ("NUMBER", "42"), ("NUMBER", "0.5"), ("NUMBER", "3.14")]
+
+    def test_string_literal(self):
+        assert kinds_values("'hello'") == [("STRING", "hello")]
+
+    def test_string_escape_doubles_quote(self):
+        assert kinds_values("'it''s'") == [("STRING", "it's")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators_longest_match(self):
+        assert kinds_values("a<=b <> c >= d") == [
+            ("IDENT", "a"), ("OP", "<="), ("IDENT", "b"), ("OP", "<>"),
+            ("IDENT", "c"), ("OP", ">="), ("IDENT", "d")]
+
+    def test_qualified_name_tokens(self):
+        assert kinds_values("edge.Dst") == [
+            ("IDENT", "edge"), ("OP", "."), ("IDENT", "Dst")]
+
+    def test_number_then_dot_ident_not_float(self):
+        # ``1.Dst`` should not eat the dot into the number.
+        assert kinds_values("t1.Dst")[1] == ("OP", ".")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds_values("SELECT -- comment\n 1") == [
+            ("KEYWORD", "SELECT"), ("NUMBER", "1")]
+
+    def test_block_comment_skipped(self):
+        assert kinds_values("SELECT /* hi\n there */ 1") == [
+            ("KEYWORD", "SELECT"), ("NUMBER", "1")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError, match="block comment"):
+            tokenize("SELECT /* nope")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("SELECT\n  x")
+        x = [t for t in tokens if t.kind == "IDENT"][0]
+        assert (x.line, x.column) == (2, 3)
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("SELECT @")

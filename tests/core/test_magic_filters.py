@@ -1,0 +1,97 @@
+"""Tests for the magic-set-style filter seeding of the optimizer."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ExecutionConfig, RaSQLContext
+from repro.datagen import random_graph
+
+TC_FROM = """
+WITH recursive tc(Src, Dst) AS
+  (SELECT Src, Dst FROM edge) UNION
+  (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
+SELECT Src, Dst FROM tc WHERE Src = {source}
+"""
+
+APSP_FROM = """
+WITH recursive path(Src, Dst, min() AS Cost) AS
+  (SELECT Src, Dst, Cost FROM edge) UNION
+  (SELECT path.Src, edge.Dst, path.Cost + edge.Cost
+   FROM path, edge WHERE path.Dst = edge.Src)
+SELECT Src, Dst, Cost FROM path WHERE Src = {source}
+"""
+
+SSSP_FILTERED = """
+WITH recursive path(Dst, min() AS Cost) AS
+  (SELECT 1, 0) UNION
+  (SELECT edge.Dst, path.Cost + edge.Cost
+   FROM path, edge WHERE path.Dst = edge.Src)
+SELECT Dst, Cost FROM path WHERE Dst = 3
+"""
+
+EDGES = random_graph(80, 320, seed=19)
+EDGES_W = random_graph(80, 320, seed=19, weighted=True)
+
+
+def run(sql, weighted=False, magic=True):
+    ctx = RaSQLContext(num_workers=2,
+                       config=ExecutionConfig(magic_filters=magic))
+    if weighted:
+        ctx.register_table("edge", ["Src", "Dst", "Cost"], EDGES_W)
+    else:
+        ctx.register_table("edge", ["Src", "Dst"], EDGES)
+    result = ctx.sql(sql)
+    return sorted(result.rows), ctx
+
+
+class TestMagicFilters:
+    def test_tc_results_unchanged(self):
+        with_magic, _ = run(TC_FROM.format(source=5))
+        without, _ = run(TC_FROM.format(source=5), magic=False)
+        assert with_magic == without
+
+    def test_tc_less_work(self):
+        _, magic_ctx = run(TC_FROM.format(source=5))
+        _, plain_ctx = run(TC_FROM.format(source=5), magic=False)
+        assert (magic_ctx.metrics.get("shuffle_records")
+                < plain_ctx.metrics.get("shuffle_records"))
+
+    def test_apsp_preserved_aggregate_view(self):
+        with_magic, _ = run(APSP_FROM.format(source=7), weighted=True)
+        without, _ = run(APSP_FROM.format(source=7), weighted=True,
+                         magic=False)
+        assert with_magic == without
+
+    def test_not_applied_to_unpreserved_column(self):
+        # SSSP's Dst is derived from the edge side, not preserved from the
+        # delta — seeding it would be unsound, so results must still match
+        # the unfiltered run's subset.
+        with_magic, magic_ctx = run(SSSP_FILTERED, weighted=True)
+        without, plain_ctx = run(SSSP_FILTERED, weighted=True, magic=False)
+        assert with_magic == without
+        # And the optimizer must NOT have shrunk the work (same records).
+        assert (magic_ctx.metrics.get("shuffle_records")
+                == plain_ctx.metrics.get("shuffle_records"))
+
+    def test_constant_base_rows_filtered(self):
+        # A FROM-less base case on a preserved column: seeding filters the
+        # constant rows themselves.
+        sql = """
+        WITH recursive r(X, Y) AS
+          (SELECT 1, 1) UNION (SELECT 2, 2) UNION
+          (SELECT r.X, r.Y + 1 FROM r, edge WHERE r.Y = edge.Src)
+        SELECT X, Y FROM r WHERE X = 2
+        """
+        with_magic, _ = run(sql)
+        without, _ = run(sql, magic=False)
+        assert with_magic == without
+        assert all(row[0] == 2 for row in with_magic)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=79))
+    def test_equivalence_property_over_sources(self, source):
+        with_magic, _ = run(TC_FROM.format(source=source))
+        without, _ = run(TC_FROM.format(source=source), magic=False)
+        assert with_magic == without

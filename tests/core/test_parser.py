@@ -1,0 +1,166 @@
+"""Unit + property tests for the RaSQL parser."""
+
+import pytest
+
+from repro.core import ast_nodes as ast
+from repro.core.parser import parse, parse_query
+from repro.errors import ParseError
+from repro.queries.library import ALL_QUERIES
+
+
+class TestSelect:
+    def test_simple_select(self):
+        q = parse_query("SELECT Src, Dst FROM edge")
+        assert isinstance(q, ast.SelectQuery)
+        assert [i.output_name(n) for n, i in enumerate(q.items)] == ["Src", "Dst"]
+        assert q.from_tables[0].name == "edge"
+
+    def test_constant_select_without_from(self):
+        q = parse_query("SELECT 1, 0")
+        assert q.from_tables == ()
+        assert [i.expr.value for i in q.items] == [1, 0]
+
+    def test_where_predicate_tree(self):
+        q = parse_query("SELECT x FROM t WHERE a = 1 AND b <> 2 OR NOT c < 3")
+        assert isinstance(q.where, ast.BinaryOp)
+        assert q.where.op == "OR"
+        assert q.where.left.op == "AND"
+        assert isinstance(q.where.right, ast.UnaryOp)
+
+    def test_arithmetic_precedence(self):
+        q = parse_query("SELECT a + b * c FROM t")
+        expr = q.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parenthesized_expression(self):
+        q = parse_query("SELECT (a + b) * c FROM t")
+        assert q.items[0].expr.op == "*"
+
+    def test_alias_with_and_without_as(self):
+        q = parse_query("SELECT a AS x, b y FROM t")
+        assert q.items[0].alias == "x"
+        assert q.items[1].alias == "y"
+
+    def test_table_alias(self):
+        q = parse_query("SELECT a.S FROM inter a, inter b")
+        assert [(t.name, t.alias) for t in q.from_tables] == [
+            ("inter", "a"), ("inter", "b")]
+
+    def test_group_by_having(self):
+        q = parse_query(
+            "SELECT a.S FROM inter a GROUP BY a.S HAVING a.S = min(a.E)")
+        assert len(q.group_by) == 1
+        assert isinstance(q.having, ast.BinaryOp)
+
+    def test_count_distinct(self):
+        q = parse_query("SELECT count(distinct cc.CmpId) FROM cc")
+        call = q.items[0].expr
+        assert isinstance(call, ast.FunctionCall)
+        assert call.distinct
+        assert call.name == "count"
+
+    def test_count_star(self):
+        q = parse_query("SELECT count(*) FROM t")
+        call = q.items[0].expr
+        assert isinstance(call.args[0], ast.Star)
+
+    def test_negative_literal(self):
+        q = parse_query("SELECT -5 FROM t")
+        assert isinstance(q.items[0].expr, ast.UnaryOp)
+
+    def test_string_and_float_literals(self):
+        q = parse_query("SELECT 'abc', 2.5 FROM t")
+        assert q.items[0].expr.value == "abc"
+        assert q.items[1].expr.value == 2.5
+
+    def test_select_distinct(self):
+        assert parse_query("SELECT DISTINCT x FROM t").distinct
+
+
+class TestWithQuery:
+    SSSP = """
+    WITH recursive path(Dst, min() AS Cost) AS
+      (SELECT 1, 0) UNION
+      (SELECT edge.Dst, path.Cost + edge.Cost
+       FROM path, edge WHERE path.Dst = edge.Src)
+    SELECT Dst, Cost FROM path
+    """
+
+    def test_recursive_view_with_aggregate_head(self):
+        q = parse_query(self.SSSP)
+        assert isinstance(q, ast.WithQuery)
+        view = q.views[0]
+        assert view.recursive
+        assert view.columns[0] == ast.ColumnSpec("Dst", None)
+        assert view.columns[1] == ast.ColumnSpec("Cost", "min")
+        assert len(view.branches) == 2
+
+    def test_multiple_views_mutual_recursion(self):
+        q = parse_query("""
+        WITH recursive a(X) AS (SELECT X FROM base) UNION (SELECT Y FROM b),
+        recursive b(Y, count() AS N) AS (SELECT X, 1 FROM a)
+        SELECT X FROM a
+        """)
+        assert [v.name for v in q.views] == ["a", "b"]
+        assert q.views[1].columns[1].aggregate == "count"
+
+    def test_non_recursive_view_keyword_optional(self):
+        q = parse_query("""
+        WITH v(X) AS (SELECT X FROM t)
+        SELECT X FROM v
+        """)
+        assert not q.views[0].recursive
+
+    def test_create_view_statement(self):
+        script = parse("""
+        CREATE VIEW lstart(T) AS (SELECT a.S FROM inter a);
+        SELECT T FROM lstart
+        """)
+        assert isinstance(script.statements[0], ast.CreateView)
+        assert script.statements[0].columns == ("T",)
+        assert len(script.statements) == 2
+
+
+class TestErrors:
+    def test_missing_from_table(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT x FROM")
+
+    def test_garbage_statement(self):
+        with pytest.raises(ParseError, match="statement"):
+            parse("DROP TABLE t")
+
+    def test_empty_script(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse("   ")
+
+    def test_unclosed_view_head(self):
+        with pytest.raises(ParseError):
+            parse("WITH v(X AS (SELECT 1) SELECT X FROM v")
+
+    def test_error_carries_location(self):
+        try:
+            parse_query("SELECT x FROM t WHERE ~")
+        except ParseError as e:
+            assert e.line == 1
+            assert e.column is not None
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestLibraryCorpus:
+    """Every query of the paper must parse; the AST must round-trip."""
+
+    @pytest.mark.parametrize("spec", ALL_QUERIES, ids=lambda s: s.name)
+    def test_parses(self, spec):
+        script = parse(spec.formatted(source=1))
+        assert script.statements
+
+    @pytest.mark.parametrize("spec", ALL_QUERIES, ids=lambda s: s.name)
+    def test_to_sql_round_trip(self, spec):
+        """Rendering the AST back to SQL and re-parsing yields the same AST."""
+        script = parse(spec.formatted(source=1))
+        rendered = script.to_sql()
+        reparsed = parse(rendered)
+        assert reparsed == script

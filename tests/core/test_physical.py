@@ -1,0 +1,96 @@
+"""Unit tests for the physical step primitives."""
+
+from repro.core.physical import (
+    FilterStep,
+    HashJoinStep,
+    NestedLoopStep,
+    TermRuntime,
+    TotalizeStep,
+    make_projector,
+    make_slots_key,
+    merge_padded,
+    pad_row,
+)
+from repro.engine.aggregates import COUNT, MIN
+from repro.engine.joins import build_hash_table
+
+
+class TestPaddedRows:
+    def test_pad_places_segment(self):
+        assert pad_row((1, 2), 3, 7) == (None, None, None, 1, 2, None, None)
+
+    def test_merge_coalesces_disjoint_segments(self):
+        left = pad_row((1, 2), 0, 5)
+        right = pad_row((8, 9), 2, 5)
+        assert merge_padded(left, right) == (1, 2, 8, 9, None)
+
+    def test_slots_key_scalar_and_tuple(self):
+        row = (10, 20, 30)
+        assert make_slots_key((1,))(row) == 20
+        assert make_slots_key((2, 0))(row) == (30, 10)
+
+
+class TestSteps:
+    def test_hash_join_broadcast(self):
+        step = HashJoinStep(0, "broadcast", probe_slots=(0,), build_slots=(2,))
+        runtime = TermRuntime()
+        build_rows = [pad_row((1, "a"), 2, 4)]
+        runtime.broadcast_tables[0] = build_hash_table(
+            build_rows, make_slots_key((2,)))
+        rows = [pad_row((1, "x"), 0, 4)]
+        out = step.apply(rows, 0, runtime)
+        assert out == [(1, "x", 1, "a")]
+
+    def test_hash_join_state_gather(self):
+        step = HashJoinStep(0, "state", probe_slots=(0,), build_slots=(2,),
+                            state_view="v", state_offset=2, arity=4,
+                            gather=True)
+        runtime = TermRuntime()
+        calls = []
+
+        def state_rows(view, partition):
+            calls.append((view, partition))
+            return [(1, "s")]
+
+        runtime.state_rows = state_rows
+        out = step.apply([pad_row((1, "x"), 0, 4)], 3, runtime)
+        assert calls == [("v", -1)]  # gather reads all partitions
+        assert out == [(1, "x", 1, "s")]
+
+    def test_nested_loop_with_predicate(self):
+        step = NestedLoopStep(0, predicate=lambda row: row[0] <= row[2])
+        runtime = TermRuntime()
+        runtime.broadcast_tables[0] = [pad_row((5, 6), 2, 4),
+                                       pad_row((0, 1), 2, 4)]
+        out = step.apply([pad_row((3, 4), 0, 4)], 0, runtime)
+        assert out == [(3, 4, 5, 6)]
+
+    def test_filter_step(self):
+        step = FilterStep(lambda row: row[0] > 1, "x > 1")
+        assert step.apply([(1,), (2,)], 0, TermRuntime()) == [(2,)]
+
+    def test_totalize_replaces_increments(self):
+        step = TotalizeStep("v", 0, group_slots=(0,),
+                            agg_slot_to_position=((1, 0),))
+        runtime = TermRuntime()
+        runtime.state_total = lambda view, p, key: (100,) if key == "a" else None
+        out = step.apply([("a", 5), ("b", 7)], 0, runtime)
+        assert out == [("a", 100)]  # total substituted; unknown group dropped
+
+
+class TestProjector:
+    def test_plain_projection(self):
+        project = make_projector([lambda r: r[0] + 1, lambda r: r[1]],
+                                 (None, None))
+        assert project((1, "x")) == (2, "x")
+
+    def test_count_normalization(self):
+        project = make_projector([lambda r: r[0], lambda r: r[1]],
+                                 (None, COUNT))
+        assert project(("k", "alice")) == ("k", 1)
+        assert project(("k", 7)) == ("k", 7)
+
+    def test_min_no_normalization(self):
+        project = make_projector([lambda r: r[0], lambda r: r[1]],
+                                 (None, MIN))
+        assert project(("k", 3)) == ("k", 3)

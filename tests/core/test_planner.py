@@ -1,0 +1,198 @@
+"""Unit tests for physical planning: keys, terms, join strategies.
+
+Includes the Figure 2 plan-shape checks: the clique plan (a) and the
+physical fixpoint plan (b) for the BOM query must expose the paper's
+structure through ``explain()``.
+"""
+
+import pytest
+
+from repro.core.analyzer import analyze
+from repro.core.catalog import Catalog
+from repro.core.config import ExecutionConfig
+from repro.core.optimizer import optimize
+from repro.core.parser import parse
+from repro.core.physical import (
+    HashJoinStep,
+    NestedLoopStep,
+    SortMergeJoinStep,
+    TotalizeStep,
+)
+from repro.core.planner import plan_clique
+from repro.errors import PlanningError
+from repro.queries.library import get_query
+
+
+def planned(name, config=None, **params):
+    spec = get_query(name)
+    catalog = Catalog()
+    for table, columns in spec.tables.items():
+        catalog.register(table, columns)
+    script = optimize(analyze(parse(spec.formatted(**params)), catalog))
+    return plan_clique(script.cliques()[0], config or ExecutionConfig())
+
+
+class TestPartitionKeys:
+    def test_sssp_partitions_on_join_column(self):
+        plan = planned("sssp", source=1)
+        assert plan.view("path").partition_key_positions == (0,)  # Dst
+
+    def test_tc_decomposed_partitions_on_preserved_column(self):
+        plan = planned("tc")
+        assert plan.decomposable
+        assert plan.view("tc").partition_key_positions == (0,)  # Src
+
+    def test_tc_global_partitions_on_join_column(self):
+        plan = planned("tc", ExecutionConfig(decomposed_plans=False))
+        assert not plan.decomposable
+        assert plan.view("tc").partition_key_positions == (1,)  # Dst
+
+    def test_company_control_keys_align_with_cross_join(self):
+        plan = planned("company_control")
+        # control.Com2 = cshares.ByCom: control keyed on Com2 (pos 1),
+        # cshares on ByCom (pos 0).
+        assert plan.view("control").partition_key_positions == (1,)
+        assert plan.view("cshares").partition_key_positions == (0,)
+
+    def test_aggregate_key_must_be_group_subset(self):
+        # APSP global plan: join on Dst (a group column), never on Cost.
+        plan = planned("apsp", ExecutionConfig(decomposed_plans=False))
+        positions = plan.view("path").partition_key_positions
+        assert set(positions) <= {0, 1}
+
+
+class TestTermShapes:
+    def test_single_recursive_ref_one_term(self):
+        plan = planned("sssp", source=1)
+        assert len(plan.terms) == 1
+        assert plan.terms[0].delta_view == "path"
+
+    def test_copartitioned_hash_join_is_default(self):
+        plan = planned("sssp", source=1)
+        steps = plan.terms[0].steps
+        assert any(isinstance(s, HashJoinStep)
+                   and s.source == "base_partition" for s in steps)
+
+    def test_sort_merge_when_configured(self):
+        plan = planned("sssp", ExecutionConfig(join_strategy="sort_merge"),
+                       source=1)
+        assert any(isinstance(s, SortMergeJoinStep)
+                   for s in plan.terms[0].steps)
+
+    def test_broadcast_when_forced(self):
+        plan = planned("sssp", ExecutionConfig(broadcast_bases=True),
+                       source=1)
+        steps = plan.terms[0].steps
+        assert any(isinstance(s, HashJoinStep) and s.source == "broadcast"
+                   for s in steps)
+
+    def test_same_generation_multi_base_broadcast(self):
+        # SG joins the delta with two base scans: the second scan cannot
+        # be co-partitioned with the intermediate result.
+        plan = planned("same_generation")
+        sources = [s.source for s in plan.terms[0].steps
+                   if isinstance(s, HashJoinStep)]
+        assert sources.count("broadcast") >= 1
+
+    def test_theta_join_nested_loop(self):
+        plan = planned("interval_coalesce")
+        assert any(isinstance(s, NestedLoopStep)
+                   for s in plan.terms[0].steps)
+
+    def test_mutual_recursion_cross_terms_with_correction(self):
+        plan = planned("company_control")
+        cshares_terms = [t for t in plan.terms if t.view == "cshares"]
+        # δcontrol⋈cshares, control⋈δcshares, and the negated δ⋈δ.
+        assert len(cshares_terms) == 3
+        assert sum(t.negate for t in cshares_terms) == 1
+        negated = next(t for t in cshares_terms if t.negate)
+        assert any(isinstance(s, HashJoinStep) and s.source == "delta"
+                   for s in negated.steps)
+
+    def test_min_max_mutual_recursion_no_correction(self):
+        catalog = Catalog()
+        catalog.register("e", ("S", "D", "W"))
+        script = optimize(analyze(parse("""
+        WITH recursive a(X, min() AS V) AS
+          (SELECT S, W FROM e) UNION
+          (SELECT b.Y, a.V FROM a, b WHERE a.X = b.Y),
+        recursive b(Y) AS (SELECT X FROM a WHERE V < 5)
+        SELECT X, V FROM a"""), catalog))
+        plan = plan_clique(script.cliques()[0], ExecutionConfig())
+        a_terms = [t for t in plan.terms if t.view == "a"]
+        assert len(a_terms) == 2  # min absorbs the overlap, no δ⋈δ term
+        assert not any(t.negate for t in a_terms)
+
+
+class TestValueModes:
+    def test_filter_on_sum_column_totalizes(self):
+        plan = planned("company_control")
+        control_terms = [t for t in plan.terms if t.view == "control"]
+        assert any(isinstance(s, TotalizeStep)
+                   for t in control_terms for s in t.steps)
+
+    def test_linear_propagation_keeps_increments(self):
+        plan = planned("count_paths", source=1)
+        assert not any(isinstance(s, TotalizeStep)
+                       for t in plan.terms for s in t.steps)
+
+    def test_mixed_use_rejected(self):
+        catalog = Catalog()
+        catalog.register("e", ("S", "D"))
+        script = optimize(analyze(parse("""
+        WITH recursive r(X, sum() AS V) AS
+          (SELECT S, 1 FROM e) UNION
+          (SELECT e.D, r.V FROM r, e WHERE r.X = e.S AND r.V > 2)
+        SELECT X, V FROM r"""), catalog))
+        with pytest.raises(PlanningError, match="filters on and propagates"):
+            plan_clique(script.cliques()[0], ExecutionConfig())
+
+
+class TestFigure2PlanShape:
+    """The BOM plan must match the structure of Figure 2."""
+
+    def test_clique_plan_shape(self):
+        spec = get_query("bom")
+        catalog = Catalog()
+        for table, columns in spec.tables.items():
+            catalog.register(table, columns)
+        script = optimize(analyze(parse(spec.sql), catalog))
+        text = script.explain()
+        # Figure 2(a): the Recursive Clique with base and recursive rules,
+        # the recursive mark point, and the join condition.
+        assert "RecursiveClique waitfor" in text
+        assert "ScanRecRelation waitfor" in text
+        assert "Scan assbl" in text
+        assert "Scan basic" in text
+        assert "max(Days)" in text
+
+    def test_physical_plan_shape(self):
+        plan = planned("bom")
+        text = plan.explain()
+        # Figure 2(b): the FixPoint operator over a hash join whose build
+        # side is the base relation.
+        assert "FixPoint" in text
+        assert "HashJoin" in text
+        assert "delta(waitfor)" in text
+
+
+class TestBaseRules:
+    def test_constant_base_rule(self):
+        plan = planned("sssp", source=9)
+        constant_rules = [b for b in plan.base_rules if b.term is None]
+        assert constant_rules[0].constant_rows == ((9, 0),)
+
+    def test_scan_driven_base_rule(self):
+        plan = planned("cc")
+        driven = [b for b in plan.base_rules if b.term is not None]
+        assert driven[0].driving_relation == "edge"
+
+    def test_party_attendance_rule_distribution(self):
+        # cntfriends is defined purely from its clique sibling: its only
+        # rule is recursive, so the clique's sole base rule seeds attend
+        # from the organizer table.  (The count() normalization of the
+        # name-valued contributions is exercised end to end in
+        # tests/integration/test_queries.py.)
+        plan = planned("party_attendance")
+        assert [b.view for b in plan.base_rules] == ["attend"]
+        assert any(t.view == "cntfriends" for t in plan.terms)

@@ -1,0 +1,127 @@
+"""Unit tests for the PreM checker (Section 3, Appendix G)."""
+
+import pytest
+
+from repro import RaSQLContext
+from repro.core.prem import check_prem, prem_checking_query
+from repro.errors import AnalysisError, PreMViolationError
+from repro.queries.library import get_query
+
+EDGES_W = ([(1, 2, 1), (2, 3, 2), (1, 3, 5), (3, 4, 1), (4, 2, 1)])
+
+#: A deliberately non-PreM query: min over ``10 - Cost`` is not
+#: pre-mappable because discarding the larger cost can discard the row
+#: that minimizes after the non-monotonic transform.
+NON_PREM = """
+WITH recursive path(Dst, min() AS Cost) AS
+  (SELECT 1, 0) UNION
+  (SELECT edge.Dst, 10 - path.Cost
+   FROM path, edge WHERE path.Dst = edge.Src)
+SELECT Dst, Cost FROM path
+"""
+
+
+class TestStepwiseChecker:
+    def test_sssp_prem_holds(self):
+        report = check_prem(get_query("sssp").formatted(source=1),
+                            {"edge": (["Src", "Dst", "Cost"], EDGES_W)})
+        assert report.holds
+
+    def test_bom_prem_holds(self):
+        report = check_prem(
+            get_query("bom").sql,
+            {"assbl": (["Part", "SPart"],
+                       [("a", "b"), ("a", "c"), ("b", "d")]),
+             "basic": (["Part", "Days"], [("d", 5), ("c", 2)])})
+        assert report.holds
+        assert report.reached_fixpoint
+
+    def test_cc_prem_holds(self):
+        report = check_prem(
+            get_query("cc_labels").sql,
+            {"edge": (["Src", "Dst"], [(1, 2), (2, 3), (3, 1), (4, 5)])})
+        assert report.holds
+
+    def test_apsp_prem_holds(self):
+        report = check_prem(get_query("apsp").sql,
+                            {"edge": (["Src", "Dst", "Cost"], EDGES_W)})
+        assert report.holds
+
+    def test_non_prem_query_flagged(self):
+        report = check_prem(
+            NON_PREM,
+            {"edge": (["Src", "Dst", "Cost"],
+                      [(1, 2, 1), (1, 3, 1), (3, 2, 1), (2, 4, 1)])})
+        assert not report.holds
+        assert report.failed_step is not None
+        assert report.counterexample
+
+    def test_non_prem_query_raises_when_asked(self):
+        with pytest.raises(PreMViolationError):
+            check_prem(
+                NON_PREM,
+                {"edge": (["Src", "Dst", "Cost"],
+                          [(1, 2, 1), (1, 3, 1), (3, 2, 1), (2, 4, 1)])},
+                raise_on_violation=True)
+
+    def test_budget_reported_when_unaggregated_runs_long(self):
+        # Cyclic graph: the un-aggregated state grows for many steps.
+        report = check_prem(get_query("sssp").formatted(source=1),
+                            {"edge": (["Src", "Dst", "Cost"], EDGES_W)},
+                            max_steps=3)
+        assert report.holds
+        assert report.steps_checked == 3
+
+    def test_rejects_non_aggregated_queries(self):
+        with pytest.raises(AnalysisError):
+            check_prem(get_query("tc").sql,
+                       {"edge": (["Src", "Dst"], [(1, 2)])})
+
+    def test_trace_records_every_step(self):
+        report = check_prem(get_query("sssp").formatted(source=1),
+                            {"edge": (["Src", "Dst", "Cost"], EDGES_W)},
+                            max_steps=4)
+        assert len(report.trace) == report.steps_checked
+        assert all(entry.matched for entry in report.trace)
+        # The un-aggregated fact set grows monotonically.
+        facts = [entry.unaggregated_facts for entry in report.trace]
+        assert facts == sorted(facts)
+
+    def test_trace_marks_violation_step(self):
+        report = check_prem(
+            NON_PREM,
+            {"edge": (["Src", "Dst", "Cost"],
+                      [(1, 2, 1), (1, 3, 1), (3, 2, 1), (2, 4, 1)])})
+        assert not report.trace[-1].matched
+        assert report.trace[-1].step == report.failed_step
+        text = report.format_trace()
+        assert "VIOLATED" in text
+
+
+class TestAppendixGRewrite:
+    def test_rewrite_structure(self):
+        rewritten = prem_checking_query(get_query("apsp").sql)
+        assert "all_path" in rewritten
+        # The twin's recursion must go through the twin, the aggregated
+        # view's recursion through the twin too.
+        assert rewritten.count("all_path") >= 3
+
+    def test_rewritten_query_same_result(self):
+        original = get_query("sssp").formatted(source=1)
+        rewritten = prem_checking_query(original)
+        results = []
+        for sql in (original, rewritten):
+            ctx = RaSQLContext()
+            # Acyclic data: the un-aggregated twin must terminate.
+            ctx.register_table("edge", ["Src", "Dst", "Cost"],
+                               [(1, 2, 1), (2, 3, 2), (1, 3, 5), (3, 4, 1)])
+            results.append(sorted(ctx.sql(sql).rows))
+        assert results[0] == results[1]
+
+    def test_rewrite_requires_aggregated_view(self):
+        with pytest.raises(AnalysisError):
+            prem_checking_query(get_query("tc").sql)
+
+    def test_rewrite_requires_with_query(self):
+        with pytest.raises(AnalysisError):
+            prem_checking_query("SELECT 1")

@@ -1,0 +1,42 @@
+"""Unit tests for the query library metadata."""
+
+import pytest
+
+from repro.queries import ALL_QUERIES, get_query
+from repro.queries.library import QuerySpec
+
+
+class TestLibrary:
+    def test_all_fifteen_queries_present(self):
+        names = {q.name for q in ALL_QUERIES}
+        assert names == {
+            "bom_stratified", "bom", "sssp", "cc", "cc_labels",
+            "count_paths", "management", "mlm_bonus", "interval_coalesce",
+            "party_attendance", "company_control", "same_generation",
+            "reach", "apsp", "tc",
+        }
+
+    def test_lookup(self):
+        assert get_query("sssp").name == "sssp"
+
+    def test_unknown_query_helpful_error(self):
+        with pytest.raises(KeyError, match="available"):
+            get_query("pagerank")
+
+    def test_parameterized_queries_format(self):
+        sql = get_query("sssp").formatted(source=42)
+        assert "SELECT 42, 0" in sql
+
+    def test_tables_declared_for_every_query(self):
+        for spec in ALL_QUERIES:
+            assert spec.tables, spec.name
+            for table, columns in spec.tables.items():
+                assert columns, (spec.name, table)
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            get_query("tc").name = "other"
+
+    def test_descriptions_reference_paper(self):
+        described = [q for q in ALL_QUERIES if q.description]
+        assert len(described) == len(ALL_QUERIES)

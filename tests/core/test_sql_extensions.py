@@ -1,0 +1,122 @@
+"""Tests for the dialect conveniences: ORDER BY, LIMIT, BETWEEN, IN."""
+
+import pytest
+
+from repro import RaSQLContext
+from repro.core.parser import parse, parse_query
+from repro.errors import AnalysisError, ParseError
+
+
+def make_ctx():
+    ctx = RaSQLContext(num_workers=2)
+    ctx.register_table("edge", ["Src", "Dst", "Cost"],
+                       [(1, 2, 3.0), (2, 3, 1.0), (1, 3, 9.0), (3, 4, 2.0)])
+    return ctx
+
+
+class TestOrderByLimit:
+    def test_order_by_column(self):
+        result = make_ctx().sql("SELECT Src, Cost FROM edge ORDER BY Cost")
+        assert [r[1] for r in result.rows] == [1.0, 2.0, 3.0, 9.0]
+
+    def test_order_by_desc(self):
+        result = make_ctx().sql("SELECT Cost FROM edge ORDER BY Cost DESC")
+        assert [r[0] for r in result.rows] == [9.0, 3.0, 2.0, 1.0]
+
+    def test_order_by_position(self):
+        result = make_ctx().sql("SELECT Src, Cost FROM edge ORDER BY 2 ASC")
+        assert [r[1] for r in result.rows] == [1.0, 2.0, 3.0, 9.0]
+
+    def test_multi_key_order(self):
+        result = make_ctx().sql(
+            "SELECT Src, Dst FROM edge ORDER BY Src ASC, Dst DESC")
+        assert result.rows == [(1, 3), (1, 2), (2, 3), (3, 4)]
+
+    def test_limit(self):
+        result = make_ctx().sql(
+            "SELECT Cost FROM edge ORDER BY Cost DESC LIMIT 2")
+        assert result.rows == [(9.0,), (3.0,)]
+
+    def test_order_by_alias(self):
+        result = make_ctx().sql(
+            "SELECT Src + Dst AS total FROM edge ORDER BY total LIMIT 1")
+        assert result.rows == [(3,)]
+
+    def test_order_by_on_recursive_final_select(self):
+        ctx = make_ctx()
+        result = ctx.sql("""
+        WITH recursive path(Dst, min() AS Cost) AS
+          (SELECT 1, 0) UNION
+          (SELECT edge.Dst, path.Cost + edge.Cost
+           FROM path, edge WHERE path.Dst = edge.Src)
+        SELECT Dst, Cost FROM path ORDER BY Cost DESC LIMIT 3
+        """)
+        assert len(result) == 3
+        costs = [r[1] for r in result.rows]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_order_by_unknown_column(self):
+        with pytest.raises(AnalysisError, match="not in the output"):
+            make_ctx().sql("SELECT Src FROM edge ORDER BY Nope")
+
+    def test_order_by_position_out_of_range(self):
+        with pytest.raises(AnalysisError, match="out of range"):
+            make_ctx().sql("SELECT Src FROM edge ORDER BY 5")
+
+    def test_order_by_rejected_inside_recursion(self):
+        with pytest.raises(AnalysisError, match="ORDER BY/LIMIT"):
+            make_ctx().sql("""
+            WITH recursive r(Dst) AS
+              (SELECT 1) UNION
+              (SELECT edge.Dst FROM r, edge
+               WHERE r.Dst = edge.Src ORDER BY Dst)
+            SELECT Dst FROM r""")
+
+
+class TestBetweenIn:
+    def test_between_desugars(self):
+        query = parse_query("SELECT Src FROM edge WHERE Cost BETWEEN 2 AND 4")
+        assert "(2 <= Cost)" in query.where.to_sql()
+        assert "(Cost <= 4)" in query.where.to_sql()
+
+    def test_between_executes(self):
+        result = make_ctx().sql(
+            "SELECT Cost FROM edge WHERE Cost BETWEEN 2 AND 4 ORDER BY Cost")
+        assert result.rows == [(2.0,), (3.0,)]
+
+    def test_not_between(self):
+        result = make_ctx().sql(
+            "SELECT Cost FROM edge WHERE Cost NOT BETWEEN 2 AND 4 "
+            "ORDER BY Cost")
+        assert result.rows == [(1.0,), (9.0,)]
+
+    def test_in_list(self):
+        result = make_ctx().sql(
+            "SELECT Src, Dst FROM edge WHERE Dst IN (2, 4) ORDER BY Dst")
+        assert result.rows == [(1, 2), (3, 4)]
+
+    def test_not_in(self):
+        result = make_ctx().sql(
+            "SELECT Dst FROM edge WHERE Dst NOT IN (2, 3)")
+        assert result.rows == [(4,)]
+
+    def test_in_inside_recursion(self):
+        # Desugared to OR-equalities, so it works anywhere WHERE works.
+        ctx = make_ctx()
+        result = ctx.sql("""
+        WITH recursive reach(Dst) AS
+          (SELECT 1) UNION
+          (SELECT edge.Dst FROM reach, edge
+           WHERE reach.Dst = edge.Src AND edge.Dst IN (2, 3))
+        SELECT Dst FROM reach
+        """)
+        assert sorted(result.rows) == [(1,), (2,), (3,)]
+
+    def test_dangling_not_rejected(self):
+        with pytest.raises(ParseError, match="BETWEEN or IN"):
+            parse_query("SELECT Src FROM edge WHERE Cost NOT 3")
+
+    def test_round_trip_with_order_limit(self):
+        sql = "SELECT Src FROM edge ORDER BY Src DESC LIMIT 5"
+        script = parse(sql)
+        assert parse(script.to_sql()) == script

@@ -1,0 +1,174 @@
+"""Unit tests for the simulated cluster: stages, shuffle, broadcast, load."""
+
+import pytest
+
+from repro.engine.cluster import Cluster, StageTask
+from repro.engine.metrics import CostModel
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.scheduler import DefaultPolicy, PartitionAwarePolicy
+
+
+def make_cluster(**kwargs):
+    kwargs.setdefault("num_workers", 4)
+    return Cluster(**kwargs)
+
+
+class TestPlacement:
+    def test_canonical_worker_is_stable(self):
+        cluster = make_cluster()
+        assert cluster.worker_for_partition(5) == 5 % 4
+        assert cluster.worker_for_partition(5) == cluster.worker_for_partition(5)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            Cluster(num_workers=0)
+
+
+class TestParallelize:
+    def test_keyed_rows_land_with_partitioner(self):
+        cluster = make_cluster(num_partitions=8)
+        rows = [(i, i * 10) for i in range(100)]
+        ds = cluster.parallelize(rows, key_indices=(0,))
+        partitioner = HashPartitioner(8)
+        for partition in ds.partitions:
+            for row in partition.rows:
+                assert partitioner.partition_of(row[0]) == partition.index
+
+    def test_partitions_live_on_canonical_workers(self):
+        cluster = make_cluster(num_partitions=8)
+        ds = cluster.parallelize([(i,) for i in range(20)], key_indices=(0,))
+        for partition in ds.partitions:
+            assert partition.worker == cluster.worker_for_partition(partition.index)
+
+    def test_unkeyed_rows_round_robin_chunks(self):
+        cluster = make_cluster(num_partitions=4)
+        ds = cluster.parallelize([(i,) for i in range(10)])
+        assert ds.num_rows() == 10
+        assert ds.partitioner is None
+
+    def test_no_rows_lost(self):
+        cluster = make_cluster(num_partitions=5)
+        rows = [(i, str(i)) for i in range(77)]
+        ds = cluster.parallelize(rows, key_indices=(1,))
+        assert sorted(ds.collect()) == sorted(rows)
+
+    def test_load_charges_time(self):
+        cluster = make_cluster()
+        before = cluster.metrics.sim_time
+        cluster.load([(i, i) for i in range(1000)], key_indices=(0,))
+        assert cluster.metrics.sim_time > before
+        assert cluster.metrics.get("load_bytes") > 0
+
+
+class TestRunStage:
+    def test_executes_tasks_and_counts(self):
+        cluster = make_cluster()
+        ds = cluster.parallelize([(i,) for i in range(40)], key_indices=(0,))
+        tasks = [StageTask(p.index, [p], lambda rows: len(rows))
+                 for p in ds.partitions]
+        results = cluster.run_stage("count", tasks)
+        assert sum(r.output for r in results) == 40
+        assert cluster.metrics.get("stages") == 1
+        assert cluster.metrics.get("tasks") == len(tasks)
+
+    def test_partition_aware_policy_causes_no_remote_fetches(self):
+        cluster = make_cluster(scheduler="partition_aware", num_partitions=8)
+        ds = cluster.parallelize([(i, i) for i in range(200)], key_indices=(0,))
+        tasks = [StageTask(p.index, [p], lambda rows: rows,
+                           preferred_worker=p.worker)
+                 for p in ds.partitions]
+        cluster.run_stage("identity", tasks)
+        assert cluster.metrics.get("remote_fetches") == 0
+
+    def test_default_policy_causes_remote_fetches_eventually(self):
+        cluster = make_cluster(scheduler="default", num_partitions=8)
+        ds = cluster.parallelize([(i, i) for i in range(200)], key_indices=(0,))
+        for _ in range(10):
+            tasks = [StageTask(p.index, [p], lambda rows: rows,
+                               preferred_worker=p.worker)
+                     for p in ds.partitions]
+            cluster.run_stage("identity", tasks)
+        assert cluster.metrics.get("remote_fetches") > 0
+
+    def test_stage_advances_sim_clock(self):
+        cluster = make_cluster()
+        before = cluster.metrics.sim_time
+        cluster.run_stage("noop", [StageTask(0, [], lambda: None)])
+        assert cluster.metrics.sim_time >= before + cluster.cost_model.stage_overhead_s
+
+
+class TestExchange:
+    def test_rows_arrive_at_target_partitions(self):
+        cluster = make_cluster(num_partitions=4)
+        partitioner = HashPartitioner(4)
+        buckets = {}
+        rows = [(i, f"v{i}") for i in range(50)]
+        for row in rows:
+            buckets.setdefault(partitioner.partition_of(row[0]), []).append(row)
+        ds = cluster.exchange([(0, buckets)], 4, partitioner, key_indices=(0,))
+        assert sorted(ds.collect()) == sorted(rows)
+        for partition in ds.partitions:
+            for row in partition.rows:
+                assert partitioner.partition_of(row[0]) == partition.index
+
+    def test_local_buckets_are_free_of_network(self):
+        cluster = make_cluster(num_partitions=4)
+        partitioner = HashPartitioner(4)
+        # All data already on the target's worker: source worker == target.
+        buckets = {1: [(1, "x")]}
+        source = cluster.worker_for_partition(1)
+        cluster.exchange([(source, buckets)], 4, partitioner)
+        assert cluster.metrics.get("shuffle_remote_bytes") == 0
+
+    def test_cross_worker_buckets_charged(self):
+        cluster = make_cluster(num_partitions=4)
+        partitioner = HashPartitioner(4)
+        source = (cluster.worker_for_partition(1) + 1) % 4
+        cluster.exchange([(source, {1: [(1, "x")] * 10})], 4, partitioner)
+        assert cluster.metrics.get("shuffle_remote_bytes") > 0
+
+
+class TestBroadcast:
+    def test_plain_broadcast_counts_bytes(self):
+        cluster = make_cluster()
+        rows = [(i, i) for i in range(100)]
+        b = cluster.broadcast(rows)
+        assert b.value is rows
+        assert cluster.metrics.get("broadcast_bytes") == b.nbytes
+
+    def test_compressed_broadcast_is_smaller(self):
+        c1, c2 = make_cluster(), make_cluster()
+        rows = [(i, i) for i in range(1000)]
+        plain = c1.broadcast(rows)
+        compressed = c2.broadcast(rows, compress=True)
+        assert compressed.nbytes < plain.nbytes
+
+    def test_hash_table_shipping_is_larger(self):
+        c1, c2 = make_cluster(), make_cluster()
+        rows = [(i, i) for i in range(1000)]
+        raw = c1.broadcast(rows)
+        shipped = c2.broadcast(rows, ship_hash_table=True)
+        assert shipped.nbytes > raw.nbytes
+
+    def test_broadcast_advances_clock(self):
+        cluster = make_cluster()
+        before = cluster.metrics.sim_time
+        cluster.broadcast([(1, 2)] * 10)
+        assert cluster.metrics.sim_time > before
+
+
+class TestSimulatedParallelism:
+    def test_more_workers_reduce_stage_time(self):
+        """A stage of N equal tasks takes ~N/W worker time: the scale-out
+        mechanism behind Figure 12."""
+        def busy(rows):
+            return sum(i * i for i in range(3000))
+
+        times = {}
+        for workers in (1, 4):
+            cluster = Cluster(num_workers=workers, num_partitions=8)
+            ds = cluster.parallelize([(i,) for i in range(8)], key_indices=(0,))
+            tasks = [StageTask(p.index, [p], busy) for p in ds.partitions]
+            cluster.run_stage("busy", tasks)
+            times[workers] = cluster.metrics.sim_time
+        assert times[4] < times[1]

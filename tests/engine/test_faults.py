@@ -1,0 +1,119 @@
+"""Failure injection + stage replay (Section 6.1's fault-recovery claim)."""
+
+import pytest
+
+from repro import ExecutionConfig, RaSQLContext
+from repro.baselines import serial
+from repro.engine.cluster import Cluster, StageTask
+from repro.engine.faults import FailureInjector
+from repro.queries import get_query
+
+EDGES = [(1, 2, 1.0), (2, 3, 2.0), (1, 3, 5.0), (3, 4, 1.0), (4, 2, 1.0)]
+
+
+class TestInjector:
+    def test_matches_stage_and_task(self):
+        injector = FailureInjector("shufflemap", task_index=2, times=3)
+        assert not injector.should_fail("fixpoint-base", 2)
+        assert not injector.should_fail("fixpoint-shufflemap", 1)
+        assert injector.should_fail("fixpoint-shufflemap", 2)
+        assert injector.injected == 1
+
+    def test_bounded_times(self):
+        injector = FailureInjector("stage", times=2, task_index=None)
+        assert injector.should_fail("stage", 0)
+        assert injector.should_fail("stage", 1)
+        assert not injector.should_fail("stage", 2)
+
+    def test_rejects_bad_point(self):
+        with pytest.raises(ValueError):
+            FailureInjector("x", point="middle")
+
+
+class TestClusterReplay:
+    def test_before_failure_charges_and_retries(self):
+        cluster = Cluster(num_workers=2)
+        cluster.inject_failures(FailureInjector("work", point="before"))
+        calls = []
+        tasks = [StageTask(0, [], lambda: calls.append(1) or "ok")]
+        results = cluster.run_stage("work", tasks)
+        assert results[0].output == "ok"
+        assert len(calls) == 1  # before-failure never ran the body
+        assert cluster.metrics.get("task_failures") == 1
+
+    def test_after_failure_restores_and_reruns(self):
+        cluster = Cluster(num_workers=2)
+        cluster.inject_failures(FailureInjector("work", point="after"))
+        state = {"value": 0}
+        tasks = [StageTask(
+            0, [],
+            lambda: state.__setitem__("value", state["value"] + 1),
+            snapshot=lambda: dict(state),
+            restore=lambda saved: state.update(saved))]
+        cluster.run_stage("work", tasks)
+        # Ran twice, but the first attempt's mutation was rolled back.
+        assert state["value"] == 1
+        assert cluster.metrics.get("task_failures") == 1
+
+    def test_failure_costs_simulated_time(self):
+        baseline = Cluster(num_workers=2)
+        baseline.run_stage("work", [StageTask(0, [], lambda: None)])
+        failing = Cluster(num_workers=2)
+        failing.inject_failures(FailureInjector("work", point="before"))
+        failing.run_stage("work", [StageTask(0, [], lambda: None)])
+        assert failing.metrics.sim_time > baseline.metrics.sim_time
+
+
+class TestFixpointRecovery:
+    """Injected failures must never change query results."""
+
+    def run_sssp(self, injector=None, **config_kwargs):
+        ctx = RaSQLContext(num_workers=4,
+                           config=ExecutionConfig(**config_kwargs))
+        if injector is not None:
+            ctx.cluster.inject_failures(injector)
+        ctx.register_table("edge", ["Src", "Dst", "Cost"], EDGES)
+        result = ctx.sql(get_query("sssp").formatted(source=1))
+        return result.to_dict(), ctx
+
+    def test_before_failure_every_iteration(self):
+        injector = FailureInjector("fixpoint", task_index=None, times=50,
+                                   point="before")
+        result, ctx = self.run_sssp(injector)
+        assert result == serial.sssp(EDGES, 1)
+        assert ctx.metrics.get("task_failures") > 0
+
+    def test_after_failure_mid_merge(self):
+        # The hard case: the task dies after mutating the cached state;
+        # replay must restore the snapshot or sums/mins would re-merge.
+        injector = FailureInjector("fixpoint-shufflemap", task_index=None,
+                                   times=8, point="after")
+        result, ctx = self.run_sssp(injector)
+        assert result == serial.sssp(EDGES, 1)
+        assert ctx.metrics.get("task_failures") == 8
+
+    def test_after_failure_two_stage_mode(self):
+        injector = FailureInjector("fixpoint-reduce", task_index=None,
+                                   times=5, point="after")
+        result, ctx = self.run_sssp(injector, stage_combination=False)
+        assert result == serial.sssp(EDGES, 1)
+        assert ctx.metrics.get("task_failures") == 5
+
+    def test_after_failure_with_sum_aggregates(self):
+        # Re-merging increments would double-count without the rollback.
+        dag = [(1, 2), (1, 3), (2, 4), (3, 4)]
+        ctx = RaSQLContext(num_workers=4)
+        ctx.cluster.inject_failures(FailureInjector(
+            "fixpoint-shufflemap", task_index=None, times=10, point="after"))
+        ctx.register_table("edge", ["Src", "Dst"], dag)
+        result = ctx.sql(get_query("count_paths").formatted(source=1))
+        assert result.to_dict() == serial.count_paths(dag, 1)
+        assert ctx.metrics.get("task_failures") == 10
+
+    def test_recovery_slows_but_preserves(self):
+        clean_result, clean_ctx = self.run_sssp()
+        injector = FailureInjector("fixpoint", task_index=None, times=20,
+                                   point="after")
+        failed_result, failed_ctx = self.run_sssp(injector)
+        assert failed_result == clean_result
+        assert failed_ctx.metrics.sim_time > clean_ctx.metrics.sim_time

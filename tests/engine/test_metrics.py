@@ -1,0 +1,64 @@
+"""Unit tests for the metrics registry and cost model."""
+
+import pytest
+
+from repro.engine.metrics import CostModel, MetricsRegistry
+
+
+class TestRegistry:
+    def test_counters_lazy(self):
+        metrics = MetricsRegistry()
+        assert metrics.get("anything") == 0
+        metrics.inc("stages")
+        metrics.inc("stages", 2)
+        assert metrics.get("stages") == 3
+
+    def test_clock_advances_with_labels(self):
+        metrics = MetricsRegistry()
+        metrics.advance(0.5, label="stage:x")
+        metrics.advance(0.25, label="shuffle")
+        assert metrics.sim_time == pytest.approx(0.75)
+        assert metrics.events() == [("stage:x", 0.5), ("shuffle", 0.25)]
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().advance(-1)
+
+    def test_snapshot_includes_clock(self):
+        metrics = MetricsRegistry()
+        metrics.inc("tasks", 7)
+        metrics.advance(1.0)
+        snapshot = metrics.snapshot()
+        assert snapshot["tasks"] == 7
+        assert snapshot["sim_time"] == 1.0
+
+    def test_reset(self):
+        metrics = MetricsRegistry()
+        metrics.inc("x")
+        metrics.advance(1, label="y")
+        metrics.reset()
+        assert metrics.sim_time == 0
+        assert metrics.get("x") == 0
+        assert metrics.events() == []
+
+
+class TestCostModel:
+    def test_transfer_includes_latency(self):
+        model = CostModel(network_bandwidth_bytes_per_s=1e6,
+                          network_latency_s=0.01)
+        assert model.transfer_seconds(1_000_000) == pytest.approx(1.01)
+
+    def test_parallel_streams_divide_bandwidth_time(self):
+        model = CostModel(network_bandwidth_bytes_per_s=1e6,
+                          network_latency_s=0.0)
+        single = model.transfer_seconds(1_000_000, 1)
+        quad = model.transfer_seconds(1_000_000, 4)
+        assert quad == pytest.approx(single / 4)
+
+    def test_default_bandwidth_is_gigabit(self):
+        # 1 Gbit/s = 125e6 bytes/s, the paper's testbed network.
+        assert CostModel().network_bandwidth_bytes_per_s == 125e6
+
+    def test_zero_streams_clamped(self):
+        model = CostModel()
+        assert model.transfer_seconds(1000, 0) == model.transfer_seconds(1000, 1)

@@ -1,0 +1,60 @@
+"""Unit tests for hash partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.partitioner import HashPartitioner, key_of, make_key_fn
+
+
+class TestHashPartitioner:
+    def test_partition_in_range(self):
+        p = HashPartitioner(7)
+        for value in [0, 1, -5, "abc", (1, "x"), 3.5, None, True]:
+            assert 0 <= p.partition_of(value) < 7
+
+    def test_deterministic(self):
+        p1 = HashPartitioner(16)
+        p2 = HashPartitioner(16)
+        for value in ["node-1", 42, (1, 2, 3), 2.5]:
+            assert p1.partition_of(value) == p2.partition_of(value)
+
+    def test_int_and_integral_float_collocate(self):
+        # Join keys may arrive as int on one side and float on the other
+        # (SQL numeric widening); they must land in the same partition.
+        p = HashPartitioner(13)
+        assert p.partition_of(10) == p.partition_of(10.0)
+
+    def test_equality_by_num_partitions(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(5)
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    @given(st.lists(st.one_of(st.integers(), st.text(max_size=10)), min_size=50,
+                    max_size=300),
+           st.integers(min_value=2, max_value=16))
+    def test_reasonable_balance(self, values, n):
+        """No partition should swallow everything for diverse keys."""
+        p = HashPartitioner(n)
+        buckets = [0] * n
+        for v in set(values):
+            buckets[p.partition_of(v)] += 1
+        distinct = len(set(values))
+        if distinct >= 10 * n:
+            assert max(buckets) < distinct  # not all in one bucket
+
+
+class TestKeyExtraction:
+    def test_single_column_key_is_scalar(self):
+        assert key_of((10, 20, 30), (1,)) == 20
+
+    def test_multi_column_key_is_tuple(self):
+        assert key_of((10, 20, 30), (2, 0)) == (30, 10)
+
+    def test_make_key_fn_matches_key_of(self):
+        row = ("a", "b", "c")
+        for indices in [(0,), (1, 2), (2, 0, 1)]:
+            assert make_key_fn(indices)(row) == key_of(row, indices)

@@ -1,0 +1,74 @@
+"""Unit tests for the scheduling policies (Section 6.1)."""
+
+import pytest
+
+from repro.engine.scheduler import (
+    DefaultPolicy,
+    PartitionAwarePolicy,
+    TaskSpec,
+    make_policy,
+)
+
+
+def specs(n, preferred=None):
+    return [TaskSpec(i, preferred[i] if preferred else i) for i in range(n)]
+
+
+class TestPartitionAware:
+    def test_always_honours_preference(self):
+        policy = PartitionAwarePolicy()
+        preferred = [3, 1, 0, 2]
+        assert policy.assign(specs(4, preferred), 4) == preferred
+
+    def test_wraps_preference_modulo_workers(self):
+        policy = PartitionAwarePolicy()
+        tasks = [TaskSpec(0, 7)]
+        assert policy.assign(tasks, 4) == [3]
+
+    def test_no_preference_falls_back_to_index(self):
+        policy = PartitionAwarePolicy()
+        tasks = [TaskSpec(5, None)]
+        assert policy.assign(tasks, 4) == [1]
+
+
+class TestDefaultPolicy:
+    def test_deterministic_per_seed(self):
+        a = DefaultPolicy(seed=3).assign(specs(100), 4)
+        b = DefaultPolicy(seed=3).assign(specs(100), 4)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = DefaultPolicy(seed=3).assign(specs(100), 4)
+        b = DefaultPolicy(seed=4).assign(specs(100), 4)
+        assert a != b
+
+    def test_miss_rate_near_configured(self):
+        policy = DefaultPolicy(miss_probability=0.35, seed=1)
+        preferred = list(range(4)) * 250
+        tasks = [TaskSpec(i, p) for i, p in enumerate(preferred)]
+        assignments = policy.assign(tasks, 4)
+        misses = sum(1 for got, want in zip(assignments, preferred)
+                     if got != want)
+        # A miss re-rolls uniformly, so ~1/4 of misses land home anyway:
+        # expected observable miss rate = 0.35 * 3/4 ≈ 0.26.
+        assert 0.15 < misses / len(tasks) < 0.40
+
+    def test_zero_miss_probability_equals_partition_aware(self):
+        policy = DefaultPolicy(miss_probability=0.0, seed=1)
+        preferred = [2, 0, 3, 1]
+        assert policy.assign(specs(4, preferred), 4) == preferred
+
+    def test_workers_in_range(self):
+        policy = DefaultPolicy(seed=9)
+        for worker in policy.assign(specs(200), 5):
+            assert 0 <= worker < 5
+
+
+class TestFactory:
+    def test_makes_both_policies(self):
+        assert isinstance(make_policy("partition_aware"), PartitionAwarePolicy)
+        assert isinstance(make_policy("default"), DefaultPolicy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("round_robin")

@@ -1,0 +1,51 @@
+"""Unit tests for the wire-size model and compression codec."""
+
+from repro.engine.serialization import (
+    CompressionCodec,
+    HASH_TABLE_BLOWUP,
+    row_size,
+    rows_size,
+    value_size,
+)
+
+
+class TestSizeModel:
+    def test_numeric_values(self):
+        assert value_size(42) == 8
+        assert value_size(3.14) == 8
+
+    def test_string_values_scale_with_length(self):
+        assert value_size("abcd") == 4
+        assert value_size("") == 0
+        assert value_size("ab" * 100) == 200
+
+    def test_unicode_measured_in_bytes(self):
+        assert value_size("é") == 2
+
+    def test_none_and_bool_are_one_byte(self):
+        assert value_size(None) == 1
+        assert value_size(True) == 1
+
+    def test_row_size_includes_overheads(self):
+        assert row_size((1, 2)) == 4 + 2 * (2 + 8)
+
+    def test_rows_size_sums(self):
+        rows = [(1, 2), (3, 4), (5, 6)]
+        assert rows_size(rows) == 3 * row_size((1, 2))
+
+    def test_hash_table_blowup_in_paper_range(self):
+        assert 2.0 <= HASH_TABLE_BLOWUP <= 3.0
+
+
+class TestCompressionCodec:
+    def test_compression_shrinks(self):
+        codec = CompressionCodec()
+        assert codec.compressed_size(10_000) < 10_000
+
+    def test_compression_never_zero(self):
+        codec = CompressionCodec()
+        assert codec.compressed_size(1) >= 1
+
+    def test_cpu_seconds_proportional(self):
+        codec = CompressionCodec()
+        assert codec.cpu_seconds(2_000_000) == 2 * codec.cpu_seconds(1_000_000)

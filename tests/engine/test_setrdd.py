@@ -1,0 +1,111 @@
+"""Unit + property tests for SetRDD / KeyedStateRDD (Section 6.1)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.aggregates import MIN, SUM
+from repro.engine.setrdd import KeyedStateRDD, SetRDD
+
+
+class TestSetRDD:
+    def test_union_returns_only_new_rows(self):
+        s = SetRDD(2)
+        fresh = s.union_in_place(0, [(1,), (2,)])
+        assert sorted(fresh) == [(1,), (2,)]
+        fresh = s.union_in_place(0, [(2,), (3,)])
+        assert fresh == [(3,)]
+
+    def test_partitions_are_independent(self):
+        s = SetRDD(2)
+        s.union_in_place(0, [(1,)])
+        fresh = s.union_in_place(1, [(1,)])
+        assert fresh == [(1,)]  # same row, different partition: still new
+
+    def test_contains(self):
+        s = SetRDD(1)
+        s.union_in_place(0, [(5, 6)])
+        assert s.contains(0, (5, 6))
+        assert not s.contains(0, (6, 5))
+
+    def test_num_rows_and_collect(self):
+        s = SetRDD(3)
+        s.union_in_place(0, [(1,), (2,)])
+        s.union_in_place(2, [(3,)])
+        assert s.num_rows() == 3
+        assert sorted(s.collect()) == [(1,), (2,), (3,)]
+
+    @given(st.lists(st.tuples(st.integers(0, 20)), max_size=100))
+    def test_idempotent_union(self, rows):
+        """Re-inserting the full contents yields an empty delta."""
+        s = SetRDD(1)
+        s.union_in_place(0, rows)
+        assert s.union_in_place(0, rows) == []
+
+    @given(st.lists(st.tuples(st.integers(0, 50)), max_size=100),
+           st.lists(st.tuples(st.integers(0, 50)), max_size=100))
+    def test_union_models_set_union(self, a, b):
+        s = SetRDD(1)
+        s.union_in_place(0, a)
+        s.union_in_place(0, b)
+        assert set(s.collect()) == set(a) | set(b)
+
+
+class TestKeyedStateRDD:
+    def test_insert_then_improve_min(self):
+        state = KeyedStateRDD(1, (MIN,))
+        delta = state.merge(0, [("a", (10,))])
+        assert delta == [("a", (10,))]
+        delta = state.merge(0, [("a", (5,))])
+        assert delta == [("a", (5,))]
+        assert state.partitions[0]["a"] == (5,)
+
+    def test_worse_min_produces_no_delta(self):
+        state = KeyedStateRDD(1, (MIN,))
+        state.merge(0, [("a", (5,))])
+        assert state.merge(0, [("a", (9,))]) == []
+
+    def test_sum_delta_carries_increment(self):
+        state = KeyedStateRDD(1, (SUM,))
+        state.merge(0, [("a", (10,))])
+        delta = state.merge(0, [("a", (4,))])
+        assert delta == [("a", (4,))]
+        assert state.partitions[0]["a"] == (14,)
+
+    def test_mixed_aggregate_columns(self):
+        state = KeyedStateRDD(1, (MIN, SUM))
+        state.merge(0, [("a", (10, 1))])
+        delta = state.merge(0, [("a", (12, 2))])
+        # min not improved (delta keeps state value), sum incremented.
+        assert delta == [("a", (10, 2))]
+        assert state.partitions[0]["a"] == (10, 3)
+
+    def test_collect_rows_scalar_key(self):
+        state = KeyedStateRDD(1, (MIN,))
+        state.merge(0, [("a", (1,)), ("b", (2,))])
+        assert sorted(state.collect_rows()) == [("a", 1), ("b", 2)]
+
+    def test_collect_rows_tuple_key(self):
+        state = KeyedStateRDD(1, (MIN,))
+        state.merge(0, [(("x", "y"), (1,))])
+        assert state.collect_rows() == [("x", "y", 1)]
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(-50, 50)),
+                    min_size=1, max_size=80))
+    def test_min_state_matches_builtin_min(self, pairs):
+        state = KeyedStateRDD(1, (MIN,))
+        state.merge(0, [(k, (v,)) for k, v in pairs])
+        expected = {}
+        for k, v in pairs:
+            expected[k] = min(expected.get(k, v), v)
+        assert state.partitions[0] == {k: (v,) for k, v in expected.items()}
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(1, 50)),
+                    min_size=1, max_size=80))
+    def test_sum_state_matches_builtin_sum(self, pairs):
+        state = KeyedStateRDD(1, (SUM,))
+        for k, v in pairs:
+            state.merge(0, [(k, (v,))])
+        expected: dict = {}
+        for k, v in pairs:
+            expected[k] = expected.get(k, 0) + v
+        assert state.partitions[0] == {k: (v,) for k, v in expected.items()}

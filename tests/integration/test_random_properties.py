@@ -1,0 +1,132 @@
+"""Property tests: full-engine results vs independent oracles on
+hypothesis-generated structured inputs (trees, hierarchies, intervals,
+share networks)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import RaSQLContext
+from repro.baselines import serial
+from repro.queries import get_query
+
+SETTINGS = settings(max_examples=12, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def run(query, tables, **params):
+    ctx = RaSQLContext(num_workers=3)
+    for name, (columns, rows) in tables.items():
+        ctx.register_table(name, columns, rows)
+    spec = get_query(query)
+    return ctx.sql(spec.formatted(**params) if params else spec.sql)
+
+
+@st.composite
+def forests(draw):
+    """Random forests as parent assignments: node i>0 gets parent < i."""
+    n = draw(st.integers(min_value=2, max_value=25))
+    edges = []
+    for child in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=child - 1))
+        edges.append((parent, child))
+    # Randomly drop some edges to create a forest.
+    keep = draw(st.lists(st.booleans(), min_size=len(edges),
+                         max_size=len(edges)))
+    return [e for e, k in zip(edges, keep) if k] or edges[:1]
+
+
+@st.composite
+def interval_sets(draw):
+    raw = draw(st.lists(st.tuples(st.integers(0, 40), st.integers(1, 15)),
+                        min_size=1, max_size=20))
+    return sorted({(start, start + length) for start, length in raw})
+
+
+class TestHierarchies:
+    @SETTINGS
+    @given(forests())
+    def test_bom_matches_oracle(self, tree_edges):
+        leaves = ({child for _, child in tree_edges}
+                  - {parent for parent, _ in tree_edges})
+        basic = [(leaf, (leaf * 31) % 17 + 1) for leaf in leaves]
+        result = run("bom", {
+            "assbl": (["Part", "SPart"], tree_edges),
+            "basic": (["Part", "Days"], basic)})
+        assert result.to_dict() == serial.bom_waitfor(tree_edges, basic)
+
+    @SETTINGS
+    @given(forests())
+    def test_management_matches_oracle(self, tree_edges):
+        report = [(child, parent) for parent, child in tree_edges]
+        result = run("management", {"report": (["Emp", "Mgr"], report)})
+        assert result.to_dict() == serial.management_counts(report)
+
+    @SETTINGS
+    @given(forests())
+    def test_mlm_matches_oracle(self, tree_edges):
+        members = {node for edge in tree_edges for node in edge}
+        sales = [(member, float((member * 13) % 50 + 10))
+                 for member in members]
+        result = run("mlm_bonus", {
+            "sales": (["M", "P"], sales),
+            "sponsor": (["M1", "M2"], tree_edges)})
+        expected = serial.mlm_bonus(sales, tree_edges)
+        got = result.to_dict()
+        assert set(got) == set(expected)
+        for member, bonus in expected.items():
+            assert got[member] == pytest.approx(bonus)
+
+
+class TestIntervals:
+    @SETTINGS
+    @given(interval_sets())
+    def test_coalesce_matches_sweep(self, intervals):
+        result = run("interval_coalesce", {"inter": (["S", "E"], intervals)})
+        assert sorted(result.rows) == serial.coalesce_intervals(intervals)
+
+
+class TestCompanyControl:
+    @st.composite
+    @staticmethod
+    def share_networks(draw):
+        # Acyclic ownership (holders own lower-numbered... higher only):
+        # cyclic majority control makes the classic program diverge (sum
+        # contributions circulate forever), a stated precondition of the
+        # Mumick-Pirahesh-Ramakrishnan query.
+        n = draw(st.integers(min_value=2, max_value=8))
+        companies = [f"c{i}" for i in range(n)]
+        m = draw(st.integers(min_value=1, max_value=14))
+        shares = []
+        for _ in range(m):
+            i = draw(st.integers(0, n - 2))
+            j = draw(st.integers(i + 1, n - 1))
+            shares.append((companies[i], companies[j],
+                           draw(st.integers(1, 60))))
+        return shares or [("c0", "c1", 51)]
+
+    @SETTINGS
+    @given(share_networks())
+    def test_company_control_matches_oracle(self, shares):
+        result = run("company_control",
+                     {"shares": (["By", "Of", "Percent"], shares)})
+        got = {(a, b): t for a, b, t in result.rows}
+        expected = serial.company_control(shares)
+        assert set(got) == set(expected)
+        for pair in expected:
+            assert got[pair] == pytest.approx(expected[pair])
+
+
+class TestPartyAttendance:
+    @SETTINGS
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                    max_size=40),
+           st.sets(st.integers(0, 9), min_size=1, max_size=3))
+    def test_matches_oracle(self, friend_pairs, organizers):
+        friendships = [(f"p{a}", f"p{b}") for a, b in friend_pairs if a != b]
+        organizer_names = [f"p{o}" for o in organizers]
+        result = run("party_attendance", {
+            "organizer": (["OrgName"], [(o,) for o in organizer_names]),
+            "friend": (["Pname", "Fname"], friendships)})
+        got = {row[0] for row in result.rows}
+        assert got == serial.party_attendance(organizer_names, friendships)

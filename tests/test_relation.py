@@ -1,0 +1,63 @@
+"""Unit tests for the Relation/Schema public types."""
+
+import pytest
+
+from repro.relation import Relation, Schema
+
+
+class TestSchema:
+    def test_case_insensitive_lookup(self):
+        schema = Schema(("Src", "Dst"))
+        assert schema.index_of("src") == 0
+        assert schema.index_of("DST") == 1
+
+    def test_contains(self):
+        schema = Schema(("Part", "Days"))
+        assert "part" in schema
+        assert "cost" not in schema
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema(("A", "a"))
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            Schema(("A",)).index_of("B")
+
+
+class TestRelation:
+    def test_rows_coerced_to_tuples(self):
+        relation = Relation("t", ["A", "B"], [[1, 2], (3, 4)])
+        assert relation.rows == [(1, 2), (3, 4)]
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError, match="schema"):
+            Relation("t", ["A", "B"], [(1,)])
+
+    def test_column_extraction(self):
+        relation = Relation("t", ["A", "B"], [(1, "x"), (2, "y")])
+        assert relation.column("b") == ["x", "y"]
+
+    def test_distinct(self):
+        relation = Relation("t", ["A"], [(1,), (1,), (2,)])
+        assert sorted(relation.distinct().rows) == [(1,), (2,)]
+
+    def test_to_dict_two_columns_only(self):
+        assert Relation("t", ["K", "V"], [(1, 9)]).to_dict() == {1: 9}
+        with pytest.raises(ValueError):
+            Relation("t", ["A"], [(1,)]).to_dict()
+
+    def test_same_rows_multiset(self):
+        left = Relation("a", ["X"], [(1,), (1,), (2,)])
+        assert left.same_rows([(2,), (1,), (1,)])
+        assert not left.same_rows([(1,), (2,)])
+
+    def test_show_truncates(self):
+        relation = Relation("t", ["A"], [(i,) for i in range(30)])
+        text = relation.show(limit=3)
+        assert "30 rows total" in text
+
+    def test_len_and_iter(self):
+        relation = Relation("t", ["A"], [(1,), (2,)])
+        assert len(relation) == 2
+        assert list(relation) == [(1,), (2,)]
