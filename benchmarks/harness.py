@@ -14,6 +14,7 @@ the paper's upper sizes).
 from __future__ import annotations
 
 import functools
+import json
 import os
 import pathlib
 import time
@@ -95,6 +96,26 @@ def report(figure_id: str, title: str, headers: list[str],
     (RESULTS_DIR / f"{figure_id}.txt").write_text(text + "\n")
     print("\n" + text)
     return text
+
+
+def dump_trace(figure_id: str, trace: dict | None,
+               label: str | None = None) -> pathlib.Path | None:
+    """Persist one run's span-tree trace next to the figure's table.
+
+    ``trace`` is the serialized span tree from ``RunInfo.trace`` /
+    ``SystemResult.trace`` (see ``repro.engine.tracing``); the artifact
+    lands at ``benchmarks/results/<figure_id>[.<label>].trace.json`` so
+    every benchmark can ship the raw per-iteration evidence behind its
+    summary table.  Returns the path, or ``None`` when no trace was
+    recorded (non-RaSQL systems, tracing disabled).
+    """
+    if not trace:
+        return None
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stem = figure_id if label is None else f"{figure_id}.{label}"
+    path = RESULTS_DIR / f"{stem}.trace.json"
+    path.write_text(json.dumps(trace, indent=2) + "\n")
+    return path
 
 
 def once(benchmark, fn):

@@ -11,7 +11,15 @@ import pytest
 from repro import ExecutionConfig
 from repro.baselines.systems import RaSQLSystem
 
-from harness import RMAT_SIZES, once, report, rmat_label, rmat_tables, run_system
+from harness import (
+    RMAT_SIZES,
+    dump_trace,
+    once,
+    report,
+    rmat_label,
+    rmat_tables,
+    run_system,
+)
 
 QUERIES = ["cc", "reach", "sssp"]
 
@@ -20,6 +28,8 @@ def test_fig5_stage_combination(benchmark):
     def experiment():
         rows = []
         ratios = {}
+        traces = {}
+        largest = max(RMAT_SIZES)
         for n in RMAT_SIZES:
             tables = rmat_tables(n)
             for query in QUERIES:
@@ -32,13 +42,18 @@ def test_fig5_stage_combination(benchmark):
                         source=0 if query in ("reach", "sssp") else None,
                         config=config)
                     times[combined] = result.sim_seconds
+                    if n == largest:
+                        label = "combined" if combined else "twostage"
+                        traces[f"{query}-{label}"] = result.trace
                 rows.append([rmat_label(n), query.upper(),
                              times[True], times[False],
                              times[False] / times[True]])
                 ratios[(n, query)] = times[False] / times[True]
-        return rows, ratios
+        return rows, ratios, traces
 
-    rows, ratios = once(benchmark, experiment)
+    rows, ratios, traces = once(benchmark, experiment)
+    for label, trace in traces.items():
+        dump_trace("fig5", trace, label=label)
     report("fig5", "Figure 5: Effect of Stage Combination (sim seconds)",
            ["dataset", "query", "with_combination", "without", "speedup"],
            rows,

@@ -35,6 +35,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulated worker count (default 4)")
     parser.add_argument("--explain", action="store_true",
                         help="print the plan instead of executing")
+    parser.add_argument("--explain-analyze", action="store_true",
+                        help="execute, then print the per-iteration trace "
+                             "timeline (delta sizes, stage time, bytes)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write the query's span-tree trace as JSON")
     parser.add_argument("--check-prem", action="store_true",
                         help="run the PreM validator (Appendix G) on the "
                              "query instead of executing it")
@@ -97,6 +102,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"-- {len(result)} rows; {stats.iterations} fixpoint iterations; "
           f"{stats.sim_time:.4f} simulated cluster seconds",
           file=sys.stderr)
+    if args.explain_analyze:
+        print()
+        print(stats.explain_analyze())
+    if args.trace:
+        import json
+
+        pathlib.Path(args.trace).write_text(
+            json.dumps(stats.trace, indent=2) + "\n")
+        print(f"-- wrote trace {args.trace}", file=sys.stderr)
     if args.output:
         write_csv(result, args.output)
         print(f"-- wrote {args.output}", file=sys.stderr)

@@ -67,7 +67,6 @@ class SQLLoopEngine:
 
         aggregates = [c.aggregate for c in view.columns]
         accumulating = any(a in ("sum", "count") for a in aggregates)
-        group_names = [c.name for c in view.columns if c.aggregate is None]
 
         base_branches = []
         recursive_branches = []

@@ -67,6 +67,10 @@ class SystemResult:
     output: object
     iterations: int = 0
     metrics: dict = field(default_factory=dict)
+    #: Serialized span tree of the run (``RunInfo.trace``), populated by
+    #: systems built on the RaSQL context; benchmarks hand it to
+    #: ``harness.dump_trace`` to ship a per-iteration trace artifact.
+    trace: dict | None = None
 
 
 _QUERY_FOR = {
@@ -121,7 +125,8 @@ class RaSQLSystem:
         return SystemResult(self.name, workload.algorithm,
                             cluster.metrics.sim_time, wall, result,
                             ctx.last_run.iterations,
-                            cluster.metrics.snapshot())
+                            cluster.metrics.snapshot(),
+                            trace=ctx.last_run.trace)
 
 
 class BigDatalogSystem(RaSQLSystem):

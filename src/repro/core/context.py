@@ -51,6 +51,22 @@ class RunInfo:
     #: Simulated seconds attributed to each clock label during this call
     #: (``stage:fixpoint-shufflemap``, ``shuffle``, ``broadcast``, ...).
     time_breakdown: dict[str, float] = field(default_factory=dict)
+    #: Serialized span tree of this call (see ``repro.engine.tracing``):
+    #: query -> fixpoint -> iteration -> stage -> task, each with
+    #: simulated duration, counter deltas, and per-view delta sizes.
+    trace: dict | None = None
+
+    def explain_analyze(self) -> str:
+        """Per-iteration timeline of the traced run (EXPLAIN ANALYZE)."""
+        from repro.engine.tracing import format_explain_analyze
+
+        return format_explain_analyze(self.trace)
+
+    def iteration_timeline(self) -> list[dict]:
+        """One dict per fixpoint iteration: delta sizes, times, bytes."""
+        from repro.engine.tracing import iteration_timeline
+
+        return iteration_timeline(self.trace) if self.trace else []
 
     def profile_report(self) -> str:
         """An EXPLAIN-ANALYZE-style breakdown of where the time went."""
@@ -63,6 +79,13 @@ class RunInfo:
             lines.append(f"{label:32s} {seconds:8.4f}s  {share:5.1f}%")
         lines.append(f"{'total':32s} {total:8.4f}s")
         return "\n".join(lines)
+
+
+def _query_label(query: str) -> str:
+    """A short one-line identifier for a query's trace span."""
+    first_line = next((line.strip() for line in query.strip().splitlines()
+                       if line.strip()), "query")
+    return first_line[:72]
 
 
 class RaSQLContext:
@@ -118,39 +141,59 @@ class RaSQLContext:
 
         run = RunInfo()
         events_before = len(self.cluster.metrics.events())
-        for unit in analyzed.units:
-            if isinstance(unit, DerivedViewPlan):
-                rows: list[tuple] = []
-                seen: set[tuple] = set()
-                for branch in unit.branches:
-                    branch_result = execute_select(branch, resolve, unit.name)
-                    for row in branch_result.rows:
-                        if row not in seen:
-                            seen.add(row)
-                            rows.append(row)
-                materialized[unit.name.lower()] = Relation(
-                    unit.name, unit.columns, rows)
-            else:
-                assert isinstance(unit, CliquePlan)
-                planned = plan_clique(unit, effective)
-                operator = FixpointOperator(planned, self.cluster, effective,
-                                            resolve)
-                result = operator.execute()
-                for view_name, relation in result.relations.items():
-                    materialized[view_name.lower()] = relation
-                clique_key = ",".join(unit.view_names)
-                run.clique_iterations[clique_key] = result.iterations
-                run.delta_history[clique_key] = result.delta_history
-                run.iterations += result.iterations
+        tracer = self.cluster.tracer
+        with tracer.span("query", _query_label(query)) as query_span:
+            for unit in analyzed.units:
+                if isinstance(unit, DerivedViewPlan):
+                    rows: list[tuple] = []
+                    seen: set[tuple] = set()
+                    for branch in unit.branches:
+                        branch_result = execute_select(branch, resolve,
+                                                       unit.name, tracer=tracer)
+                        for row in branch_result.rows:
+                            if row not in seen:
+                                seen.add(row)
+                                rows.append(row)
+                    materialized[unit.name.lower()] = Relation(
+                        unit.name, unit.columns, rows)
+                else:
+                    assert isinstance(unit, CliquePlan)
+                    planned = plan_clique(unit, effective)
+                    operator = FixpointOperator(planned, self.cluster,
+                                                effective, resolve)
+                    result = operator.execute()
+                    for view_name, relation in result.relations.items():
+                        materialized[view_name.lower()] = relation
+                    clique_key = ",".join(unit.view_names)
+                    run.clique_iterations[clique_key] = result.iterations
+                    run.delta_history[clique_key] = result.delta_history
+                    run.iterations += result.iterations
 
-        final = execute_select(analyzed.final, resolve, "result")
+            final = execute_select(analyzed.final, resolve, "result",
+                                   tracer=tracer)
+            query_span.annotate(iterations=run.iterations,
+                                result_rows=len(final.rows))
         run.sim_time = self.cluster.metrics.sim_time
         run.metrics = self.cluster.metrics.snapshot()
-        for label, seconds in self.cluster.metrics.events()[events_before:]:
-            run.time_breakdown[label] = (
-                run.time_breakdown.get(label, 0.0) + seconds)
+        for event in self.cluster.metrics.events()[events_before:]:
+            run.time_breakdown[event.label] = (
+                run.time_breakdown.get(event.label, 0.0) + event.seconds)
+        if tracer.enabled:
+            run.trace = query_span.to_dict()
         self.last_run = run
         return final
+
+    def explain_analyze(self, query: str,
+                        config: ExecutionConfig | None = None) -> str:
+        """Execute a query and render its per-iteration trace timeline.
+
+        The report's iteration counts, per-view delta sizes, and total
+        simulated time come from the same span tree exposed on
+        :attr:`RunInfo.trace`, so they match ``FixpointResult`` and the
+        :class:`MetricsRegistry` exactly.
+        """
+        self.sql(query, config=config)
+        return self.last_run.explain_analyze()
 
     def explain(self, query: str, config: ExecutionConfig | None = None) -> str:
         """Render the analyzed/optimized plan, including fixpoint physical

@@ -208,13 +208,28 @@ def _join_from_list(query: ast.SelectQuery,
 
 def execute_select(query: ast.SelectQuery,
                    resolve: Callable[[str], Relation],
-                   result_name: str = "result") -> Relation:
+                   result_name: str = "result",
+                   tracer=None) -> Relation:
     """Execute one SELECT block against materialized relations.
 
     ``resolve`` maps a table/view name to its :class:`Relation`; it raises
     ``KeyError`` for unknown names, which is converted to a friendly
-    :class:`AnalysisError`.
+    :class:`AnalysisError`.  When a :class:`repro.engine.tracing.Tracer`
+    is supplied, the block runs under a ``select`` span annotated with
+    its output cardinality, so EXPLAIN ANALYZE covers the non-recursive
+    strata too.
     """
+    if tracer is not None:
+        with tracer.span("select", result_name) as span:
+            relation = _execute_select(query, resolve, result_name)
+            span.annotate(output_rows=len(relation.rows))
+            return relation
+    return _execute_select(query, resolve, result_name)
+
+
+def _execute_select(query: ast.SelectQuery,
+                    resolve: Callable[[str], Relation],
+                    result_name: str = "result") -> Relation:
     def safe_resolve(name: str) -> Relation:
         try:
             return resolve(name)

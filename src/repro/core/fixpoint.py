@@ -256,15 +256,29 @@ class FixpointOperator:
     # base case
     # ------------------------------------------------------------------
 
+    #: Synthetic shuffle-source id for constant base rows, which are
+    #: emitted by the driver rather than by any ``fixpoint-base`` task.
+    _DRIVER_SOURCE = -1
+
     def _evaluate_base_rules(self) -> dict[str, Dataset]:
-        """Run every base rule once and shuffle results into initial deltas."""
-        outputs: dict[str, list[tuple]] = defaultdict(list)
+        """Run every base rule once and shuffle results into initial deltas.
+
+        Each ``fixpoint-base`` task is its own shuffle source, attributed
+        to the worker that actually ran it, so the initial exchange
+        charges ``shuffle_remote_bytes`` per producing worker instead of
+        pretending every base delta originated on worker 0.
+        """
+        outputs: dict[str, dict[int, list[tuple]]] = defaultdict(
+            lambda: defaultdict(list))
+        source_workers: dict[int, int] = {}
         tasks: list[StageTask] = []
         chunk_views: list[str] = []
 
         for base_rule in self.planned.base_rules:
             if base_rule.term is None:
-                outputs[base_rule.view].extend(base_rule.constant_rows)
+                outputs[base_rule.view][self._DRIVER_SOURCE].extend(
+                    base_rule.constant_rows)
+                source_workers[self._DRIVER_SOURCE] = 0
                 continue
             relation = self.resolve(base_rule.driving_relation)
             rows = relation.rows
@@ -285,11 +299,10 @@ class FixpointOperator:
         if tasks:
             results = self.cluster.run_stage("fixpoint-base", tasks)
             for result, view in zip(results, chunk_views):
-                outputs[view].extend(result.output)
+                outputs[view][result.index].extend(result.output)
+                source_workers[result.index] = result.worker
 
-        return self._exchange_outputs(
-            {view: {0: rows} for view, rows in outputs.items()},
-            source_workers={0: 0})
+        return self._exchange_outputs(outputs, source_workers)
 
     # ------------------------------------------------------------------
     # shuffles
@@ -343,7 +356,6 @@ class FixpointOperator:
     def _merge_into_state(self, view_name: str, partition: int,
                           rows: list[tuple]) -> list[tuple]:
         """Union/aggregate incoming rows into the state; return fresh delta."""
-        view = self.planned.views[view_name]
         state = self.states[view_name]
         if not self.config.use_setrdd:
             # Immutable-RDD ablation: every union copies the partition.
@@ -419,16 +431,22 @@ class FixpointOperator:
     # ------------------------------------------------------------------
 
     def execute(self) -> FixpointResult:
-        self._setup_states()
-        self._setup_base_relations()
-        incoming = self._evaluate_base_rules()
+        tracer = self.cluster.tracer
+        with tracer.span("fixpoint", ",".join(self.planned.views)) as span:
+            self._setup_states()
+            self._setup_base_relations()
+            incoming = self._evaluate_base_rules()
 
-        if self.planned.decomposable and self.config.evaluation == "dsn":
-            iterations = self._execute_decomposed(incoming)
-            return self._finish(iterations, [])
+            if self.planned.decomposable and self.config.evaluation == "dsn":
+                iterations = self._execute_decomposed(incoming)
+                span.annotate(iterations=iterations, mode="decomposed")
+                return self._finish(iterations, [])
 
-        iterations, delta_history = self._run_to_fixpoint(incoming)
-        return self._finish(iterations, delta_history)
+            iterations, delta_history = self._run_to_fixpoint(incoming)
+            span.annotate(iterations=iterations,
+                          mode=self.config.evaluation,
+                          delta_history=list(delta_history))
+            return self._finish(iterations, delta_history)
 
     def _run_to_fixpoint(self, incoming: dict[str, Dataset]
                          ) -> tuple[int, list[int]]:
@@ -443,6 +461,7 @@ class FixpointOperator:
         # evaluation D empty coincides with empty incoming shuffles, but
         # under naive evaluation every round re-derives (and re-ships) the
         # full relation, so only the merge can detect the fixpoint.
+        tracer = self.cluster.tracer
         while True:
             iterations += 1
             if iterations > self.config.max_iterations:
@@ -451,13 +470,20 @@ class FixpointOperator:
                     f"{self.config.max_iterations} iterations",
                     iterations - 1, partial_result=self._relations())
 
-            if combine:
-                incoming, d_total = self._iterate_combined(incoming, naive)
-            else:
-                incoming, d_total = self._iterate_two_stage(incoming, naive)
-            if not self.config.use_setrdd:
-                self._charge_immutable_union()
-            self.cluster.metrics.inc("iterations")
+            with tracer.span("iteration", f"iteration-{iterations}",
+                             index=iterations) as span:
+                if combine:
+                    incoming, d_total = self._iterate_combined(incoming, naive)
+                else:
+                    incoming, d_total = self._iterate_two_stage(incoming, naive)
+                if not self.config.use_setrdd:
+                    self._charge_immutable_union()
+                self.cluster.metrics.inc("iterations")
+                span.annotate(
+                    delta_total=d_total,
+                    delta_by_view={
+                        name: sum(len(rows) for rows in partitions)
+                        for name, partitions in self._current_d.items()})
             if d_total == 0:
                 break
             delta_history.append(d_total)
@@ -497,8 +523,13 @@ class FixpointOperator:
         return inputs
 
     def _iterate_combined(self, incoming: dict[str, Dataset],
-                          naive: bool) -> dict[str, Dataset]:
-        """Algorithm 6: one ShuffleMap stage per iteration."""
+                          naive: bool) -> tuple[dict[str, Dataset], int]:
+        """Algorithm 6: one ShuffleMap stage per iteration.
+
+        Returns the next iteration's incoming shuffled datasets together
+        with the total post-merge delta size ``|D|`` across views and
+        partitions, which is what the fixpoint loop keys termination off.
+        """
         view_names = list(self.planned.views)
 
         def task_fn(partition):
@@ -539,7 +570,7 @@ class FixpointOperator:
         return self._exchange_outputs(merged, source_workers=workers), d_total
 
     def _iterate_two_stage(self, incoming: dict[str, Dataset],
-                           naive: bool) -> dict[str, Dataset]:
+                           naive: bool) -> tuple[dict[str, Dataset], int]:
         """Algorithm 4/5: separate Reduce and Map stages per iteration."""
         view_names = list(self.planned.views)
 
@@ -656,11 +687,18 @@ class FixpointOperator:
         ]
         results = self.cluster.run_stage("fixpoint-decomposed", tasks)
         iterations = 0
+        per_partition: dict[int, int] = {}
         for result in results:
             local_partition, local_iterations = result.output
             global_state.partitions[result.index] = local_partition
+            per_partition[result.index] = local_iterations
             iterations = max(iterations, local_iterations)
         self.cluster.metrics.inc("iterations", iterations)
+        span = self.cluster.tracer.current
+        if span is not None:
+            # Decomposed fixpoints have no global iteration barrier; record
+            # each partition's local iteration count on the enclosing span.
+            span.annotate(local_iterations=per_partition)
         return iterations
 
     # ------------------------------------------------------------------

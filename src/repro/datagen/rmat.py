@@ -50,7 +50,6 @@ def rmat_edges(num_vertices: int, num_edges: int | None = None,
         src = dst = 0
         for _ in range(scale):
             # Perturb quadrant probabilities per level (Chakrabarti et al.).
-            ab = a + b
             noise = 0.1
             a_n = a * (0.95 + noise * rng.random())
             b_n = b * (0.95 + noise * rng.random())

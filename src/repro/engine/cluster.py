@@ -25,6 +25,7 @@ from repro.engine.metrics import CostModel, MetricsRegistry
 from repro.engine.partitioner import HashPartitioner, make_key_fn
 from repro.engine.scheduler import SchedulingPolicy, TaskSpec, make_policy
 from repro.engine.serialization import CompressionCodec, rows_size
+from repro.engine.tracing import Tracer
 
 
 @dataclass
@@ -86,7 +87,7 @@ class Cluster:
                  scheduler: str | SchedulingPolicy = "partition_aware",
                  cost_model: CostModel | None = None,
                  codec: CompressionCodec | None = None,
-                 seed: int = 17):
+                 seed: int = 17, trace: bool = True):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
@@ -98,6 +99,7 @@ class Cluster:
         self.cost_model = cost_model or CostModel()
         self.codec = codec or CompressionCodec()
         self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self.metrics, enabled=trace)
         self.failure_injectors: list = []
 
     # ------------------------------------------------------------------
@@ -197,6 +199,14 @@ class Cluster:
             specs.append(TaskSpec(task.index, preferred))
         assignments = self.scheduler.assign(specs, self.num_workers)
 
+        stage_span = self.tracer.begin("stage", name, tasks=len(tasks))
+        try:
+            return self._run_stage_body(name, tasks, assignments, stage_span)
+        finally:
+            self.tracer.end(stage_span)
+
+    def _run_stage_body(self, name: str, tasks: list[StageTask],
+                        assignments: list[int], stage_span) -> list[TaskResult]:
         worker_busy = [0.0] * self.num_workers
         injecting = bool(self.failure_injectors)
         results: list[TaskResult] = []
@@ -247,6 +257,10 @@ class Cluster:
             task_time += cpu + self.cost_model.task_overhead_s + fetch_time
             worker_busy[worker] += task_time
             results.append(TaskResult(task.index, output, worker, cpu, remote_bytes))
+            self.tracer.leaf("task", f"{name}[{task.index}]",
+                             index=task.index, worker=worker,
+                             cpu_seconds=cpu, remote_bytes=remote_bytes,
+                             busy_seconds=task_time)
 
         stage_time = self.cost_model.stage_overhead_s + max(worker_busy, default=0.0)
         self.metrics.advance(stage_time, label=f"stage:{name}")
@@ -254,6 +268,7 @@ class Cluster:
         self.metrics.inc("tasks", len(tasks))
         self.metrics.inc("task_cpu_seconds",
                          sum(r.cpu_seconds for r in results))
+        stage_span.annotate(stage_seconds=stage_time)
         return results
 
     # ------------------------------------------------------------------
@@ -287,13 +302,16 @@ class Cluster:
                 if self.worker_for_partition(pid) != source_worker:
                     remote_bytes += nbytes
 
-        self.metrics.inc("shuffle_records", total_records)
-        self.metrics.inc("shuffle_bytes", total_bytes)
-        self.metrics.inc("shuffle_remote_bytes", remote_bytes)
-        if remote_bytes:
-            self.metrics.advance(
-                self.cost_model.transfer_seconds(remote_bytes, self.num_workers),
-                label="shuffle")
+        with self.tracer.span("exchange", "shuffle") as span:
+            self.metrics.inc("shuffle_records", total_records)
+            self.metrics.inc("shuffle_bytes", total_bytes)
+            self.metrics.inc("shuffle_remote_bytes", remote_bytes)
+            if remote_bytes:
+                self.metrics.advance(
+                    self.cost_model.transfer_seconds(remote_bytes, self.num_workers),
+                    label="shuffle")
+            span.annotate(records=total_records, bytes=total_bytes,
+                          remote_bytes=remote_bytes)
 
         parts = [Partition(i, rows, self.worker_for_partition(i))
                  for i, rows in enumerate(gathered)]
@@ -320,20 +338,23 @@ class Cluster:
                 nbytes = rows_size(value)
             else:
                 raise ValueError("nbytes required for non-row-list broadcasts")
-        wire_bytes = nbytes
-        extra_cpu = 0.0
-        if ship_hash_table:
-            wire_bytes = int(wire_bytes * HASH_TABLE_BLOWUP)
-        if compress:
-            extra_cpu += self.codec.cpu_seconds(wire_bytes)
-            wire_bytes = self.codec.compressed_size(wire_bytes)
-            self.metrics.inc("broadcast_bytes_compressed", wire_bytes)
-        self.metrics.inc("broadcast_bytes", wire_bytes)
+        with self.tracer.span("broadcast", "broadcast") as span:
+            wire_bytes = nbytes
+            extra_cpu = 0.0
+            if ship_hash_table:
+                wire_bytes = int(wire_bytes * HASH_TABLE_BLOWUP)
+            if compress:
+                extra_cpu += self.codec.cpu_seconds(wire_bytes)
+                wire_bytes = self.codec.compressed_size(wire_bytes)
+                self.metrics.inc("broadcast_bytes_compressed", wire_bytes)
+            self.metrics.inc("broadcast_bytes", wire_bytes)
 
-        receivers = max(1, self.num_workers - 1)
-        # Tree/torrent-style broadcast: cost grows with log of receivers,
-        # bounded below by pushing one full copy over the sender's link.
-        copies = max(1, receivers.bit_length())
-        transfer = self.cost_model.transfer_seconds(wire_bytes * copies, 1)
-        self.metrics.advance(transfer + extra_cpu, label="broadcast")
+            receivers = max(1, self.num_workers - 1)
+            # Tree/torrent-style broadcast: cost grows with log of receivers,
+            # bounded below by pushing one full copy over the sender's link.
+            copies = max(1, receivers.bit_length())
+            transfer = self.cost_model.transfer_seconds(wire_bytes * copies, 1)
+            self.metrics.advance(transfer + extra_cpu, label="broadcast")
+            span.annotate(raw_bytes=nbytes, wire_bytes=wire_bytes,
+                          compressed=compress)
         return Broadcast(value, wire_bytes, compress)

@@ -18,6 +18,22 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import NamedTuple
+
+
+class ClockEvent(NamedTuple):
+    """One labelled advance of the simulated clock.
+
+    ``span_id`` is the innermost open tracing span at the time of the
+    advance (``None`` when no tracer is attached or no span is open),
+    which is how post-hoc analysis joins the flat event log back onto
+    the span tree.  Being a NamedTuple, an event still unpacks as the
+    historical ``(label, seconds)`` pair plus the extra field.
+    """
+
+    label: str
+    seconds: float
+    span_id: int | None = None
 
 
 @dataclass(frozen=True)
@@ -61,7 +77,10 @@ class MetricsRegistry:
     def __init__(self):
         self.counters: dict[str, float] = defaultdict(float)
         self.sim_time: float = 0.0
-        self._events: list[tuple[str, float]] = []
+        self._events: list[ClockEvent] = []
+        #: Optional :class:`repro.engine.tracing.Tracer`; when attached,
+        #: labelled advances are also attributed to its open spans.
+        self.tracer = None
 
     def inc(self, name: str, amount: float = 1) -> None:
         self.counters[name] += amount
@@ -75,7 +94,11 @@ class MetricsRegistry:
             raise ValueError(f"cannot advance clock by {seconds}")
         self.sim_time += seconds
         if label:
-            self._events.append((label, seconds))
+            span_id = None
+            if self.tracer is not None:
+                span_id = self.tracer.current_span_id
+                self.tracer.record_time(label, seconds)
+            self._events.append(ClockEvent(label, seconds, span_id))
 
     def snapshot(self) -> dict[str, float]:
         """A plain-dict copy of all counters plus the simulated clock."""
@@ -88,7 +111,7 @@ class MetricsRegistry:
         self.sim_time = 0.0
         self._events.clear()
 
-    def events(self) -> list[tuple[str, float]]:
+    def events(self) -> list[ClockEvent]:
         """Labelled clock advances, for debugging cost attribution."""
         return list(self._events)
 

@@ -106,11 +106,12 @@ class KeyedStateRDD:
         if len(aggregates) == 1:
             # Hot path: every library query has a single aggregate column.
             agg_merge = aggregates[0].merge
+            agg_insert = aggregates[0].delta_for_insert
             for key, values in pairs:
                 current = state.get(key)
                 if current is None:
                     state[key] = values
-                    delta.append((key, values))
+                    delta.append((key, (agg_insert(values[0]),)))
                     continue
                 merged, changed, delta_value = agg_merge(current[0], values[0])
                 if changed:

@@ -1,0 +1,318 @@
+"""Structured tracing: the span tree behind EXPLAIN ANALYZE.
+
+The paper tells its whole performance story through per-stage and
+per-iteration observation (Figures 5-9; the four Section 6-7
+optimizations are each justified by where the time went).  The flat
+counters of :class:`repro.engine.metrics.MetricsRegistry` cannot
+attribute simulated time to a stage, an iteration or a view, so this
+module adds a hierarchical layer on top of them:
+
+    query -> fixpoint -> iteration -> stage -> task
+                      \\-> exchange / broadcast
+          \\-> select (the final stratum / derived views)
+
+A :class:`Span` brackets a region of execution.  On entry it snapshots
+the registry's simulated clock and counters; on exit it records the
+deltas, so every span carries — with no extra bookkeeping at the
+instrumentation sites — its inclusive simulated duration and the
+counter traffic (shuffle/remote/broadcast bytes, task CPU seconds, ...)
+that happened inside it.  Labelled clock advances are additionally
+attributed to every open span (``Span.time_by_label``), which is what
+lets EXPLAIN ANALYZE split an iteration into stage time vs. shuffle
+time.
+
+Spans serialize to plain dicts (:meth:`Span.to_dict`), which is the
+trace JSON schema documented in DESIGN.md; the renderers at the bottom
+of this module (:func:`format_explain_analyze`) work off those dicts so
+a trace loaded back from a benchmark artifact renders identically.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "format_explain_analyze",
+    "iteration_timeline",
+]
+
+
+@dataclass
+class Span:
+    """One bracketed region of execution on the simulated cluster.
+
+    ``start``/``end`` are simulated-clock readings; ``duration`` is
+    therefore inclusive simulated time (children are not subtracted).
+    ``metrics`` holds counter deltas observed between entry and exit;
+    ``time_by_label`` splits the duration by clock-advance label.
+    """
+
+    kind: str
+    name: str
+    start: float = 0.0
+    end: float | None = None
+    span_id: int = 0
+    attrs: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    time_by_label: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def annotate(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def find(self, kind: str) -> Iterator["Span"]:
+        """All descendant spans (including self) of one kind, pre-order."""
+        if self.kind == kind:
+            yield self
+        for child in self.children:
+            yield from child.find(kind)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "span_id": self.span_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "metrics": dict(self.metrics),
+            "time_by_label": dict(self.time_by_label),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+#: Shared sink for disabled tracers: instrumentation sites may annotate
+#: it freely; nothing is retained.
+_NULL_SPAN = Span(kind="null", name="null")
+
+
+class Tracer:
+    """Builds the span tree for one simulated cluster.
+
+    The tracer wraps a :class:`MetricsRegistry`: span boundaries read the
+    registry's clock and counters, and the registry calls back
+    :meth:`record_time` on every labelled advance so open spans can
+    attribute time by label.  Disabled tracers keep the full API but
+    record nothing.
+    """
+
+    def __init__(self, metrics, enabled: bool = True):
+        self.metrics = metrics
+        self.enabled = enabled
+        metrics.tracer = self
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._counter_marks: dict[int, dict[str, float]] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # span lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def current_span_id(self) -> int | None:
+        return self._stack[-1].span_id if self._stack else None
+
+    def begin(self, kind: str, name: str, **attrs) -> Span:
+        if not self.enabled:
+            return _NULL_SPAN
+        span = Span(kind=kind, name=name, start=self.metrics.sim_time,
+                    span_id=self._next_id, attrs=dict(attrs))
+        self._next_id += 1
+        self._counter_marks[span.span_id] = dict(self.metrics.counters)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> None:
+        if not self.enabled or span is _NULL_SPAN:
+            return
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.kind}:{span.name} is not the innermost open span")
+        self._stack.pop()
+        span.end = self.metrics.sim_time
+        mark = self._counter_marks.pop(span.span_id, {})
+        for counter, value in self.metrics.counters.items():
+            delta = value - mark.get(counter, 0.0)
+            if delta:
+                span.metrics[counter] = delta
+
+    @contextmanager
+    def span(self, kind: str, name: str, **attrs):
+        span = self.begin(kind, name, **attrs)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    def leaf(self, kind: str, name: str, **attrs) -> Span:
+        """Record an instantaneous child span (e.g. one task of a stage)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        now = self.metrics.sim_time
+        span = Span(kind=kind, name=name, start=now, end=now,
+                    span_id=self._next_id, attrs=dict(attrs))
+        self._next_id += 1
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # clock attribution (called by MetricsRegistry.advance)
+    # ------------------------------------------------------------------
+
+    def record_time(self, label: str, seconds: float) -> None:
+        if not self.enabled:
+            return
+        for span in self._stack:
+            span.time_by_label[label] = (
+                span.time_by_label.get(label, 0.0) + seconds)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+        self._counter_marks.clear()
+
+    def to_dict(self) -> dict:
+        return {"spans": [span.to_dict() for span in self.roots]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# ----------------------------------------------------------------------
+# rendering (operates on the serialized dict form)
+# ----------------------------------------------------------------------
+
+def _find_dict(span: dict, kind: str) -> Iterator[dict]:
+    if span.get("kind") == kind:
+        yield span
+    for child in span.get("children", ()):
+        yield from _find_dict(child, kind)
+
+
+def _stage_seconds(span: dict) -> float:
+    return sum(seconds for label, seconds in span.get("time_by_label", {}).items()
+               if label.startswith("stage:"))
+
+
+def _shuffle_seconds(span: dict) -> float:
+    return span.get("time_by_label", {}).get("shuffle", 0.0)
+
+
+def _remote_bytes(span: dict) -> int:
+    metrics = span.get("metrics", {})
+    return int(metrics.get("shuffle_remote_bytes", 0)
+               + metrics.get("remote_fetch_bytes", 0))
+
+
+def iteration_timeline(trace: dict) -> list[dict]:
+    """Flatten a trace into one row per fixpoint iteration.
+
+    Each row carries ``clique``, ``iteration``, ``delta_total``,
+    ``delta_by_view``, ``stage_seconds``, ``shuffle_seconds``,
+    ``remote_bytes`` and ``seconds`` (inclusive simulated time) — the
+    columns of the EXPLAIN ANALYZE table and of the JSON artifact the
+    benchmark harness writes.
+    """
+    rows: list[dict] = []
+    for fixpoint in _find_dict(trace, "fixpoint"):
+        for iteration in _find_dict(fixpoint, "iteration"):
+            attrs = iteration.get("attrs", {})
+            rows.append({
+                "clique": fixpoint.get("name", ""),
+                "iteration": attrs.get("index"),
+                "delta_total": attrs.get("delta_total", 0),
+                "delta_by_view": attrs.get("delta_by_view", {}),
+                "stage_seconds": _stage_seconds(iteration),
+                "shuffle_seconds": _shuffle_seconds(iteration),
+                "remote_bytes": _remote_bytes(iteration),
+                "seconds": iteration.get("duration", 0.0),
+            })
+    return rows
+
+
+def _format_table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+              else len(headers[i]) for i in range(len(headers))]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+def format_explain_analyze(trace: dict | None) -> str:
+    """Render a trace as a per-iteration EXPLAIN ANALYZE report."""
+    if not trace:
+        return "EXPLAIN ANALYZE: no trace recorded"
+    lines: list[str] = []
+    total = trace.get("duration", 0.0)
+    lines.append(f"EXPLAIN ANALYZE  [{trace.get('name', 'query')}]")
+    lines.append(f"total simulated time: {total:.4f}s")
+
+    for fixpoint in _find_dict(trace, "fixpoint"):
+        attrs = fixpoint.get("attrs", {})
+        iterations = list(_find_dict(fixpoint, "iteration"))
+        lines.append("")
+        lines.append(
+            f"fixpoint [{fixpoint.get('name')}]  "
+            f"iterations={attrs.get('iterations', len(iterations))}  "
+            f"mode={attrs.get('mode', 'dsn')}  "
+            f"time={fixpoint.get('duration', 0.0):.4f}s")
+        if not iterations:
+            continue
+        view_names = sorted({
+            view for span in iterations
+            for view in span.get("attrs", {}).get("delta_by_view", {})})
+        headers = (["iter"] + [f"delta({v})" for v in view_names]
+                   + ["delta", "stage_s", "shuffle_s", "remote_B", "time_s"])
+        table_rows: list[list[str]] = []
+        for span in iterations:
+            span_attrs = span.get("attrs", {})
+            by_view = span_attrs.get("delta_by_view", {})
+            table_rows.append(
+                [str(span_attrs.get("index", "?"))]
+                + [str(by_view.get(v, 0)) for v in view_names]
+                + [str(span_attrs.get("delta_total", 0)),
+                   f"{_stage_seconds(span):.4f}",
+                   f"{_shuffle_seconds(span):.4f}",
+                   str(_remote_bytes(span)),
+                   f"{span.get('duration', 0.0):.4f}"])
+        lines.extend(_format_table(headers, table_rows))
+
+    selects = list(_find_dict(trace, "select"))
+    if selects:
+        lines.append("")
+        for span in selects:
+            lines.append(
+                f"select [{span.get('name')}]  "
+                f"rows={span.get('attrs', {}).get('output_rows', '?')}")
+    return "\n".join(lines)

@@ -161,3 +161,63 @@ class TestImmutableStateAblation:
             ctx = sssp_ctx(config)
             result = sorted(ctx.sql(get_query("sssp").formatted(source=1)).rows)
             assert result == SSSP_EXPECTED
+
+
+class TestAccountingRegressions:
+    def test_iterate_return_annotations_are_tuples(self):
+        """Both iteration drivers return (datasets, delta_total) tuples."""
+        from repro.core.fixpoint import FixpointOperator
+
+        for fn in (FixpointOperator._iterate_combined,
+                   FixpointOperator._iterate_two_stage):
+            annotation = fn.__annotations__["return"]
+            assert annotation.startswith("tuple["), (fn.__name__, annotation)
+
+    def test_base_delta_attributed_to_producing_workers(self, monkeypatch):
+        """The initial exchange must credit each fixpoint-base task's real
+        worker, not funnel every view's output through worker 0."""
+        from repro.core.fixpoint import FixpointOperator
+
+        captured = {}
+        original = FixpointOperator._exchange_outputs
+
+        def spy(self, per_view_buckets, source_workers=None):
+            if "base" not in captured:
+                captured["base"] = (
+                    {view: dict(buckets)
+                     for view, buckets in per_view_buckets.items()},
+                    dict(source_workers or {}))
+            return original(self, per_view_buckets, source_workers)
+
+        monkeypatch.setattr(FixpointOperator, "_exchange_outputs", spy)
+        ctx = RaSQLContext(num_workers=4)
+        ctx.register_table("edge", ["Src", "Dst"],
+                           [(i, i + 1) for i in range(8)])
+        ctx.sql(get_query("cc_labels").sql)
+
+        buckets, workers = captured["base"]
+        # Pre-fix: every view funneled through {0: 0}.
+        assert len(workers) >= 2
+        assert set(workers.values()) != {0}
+        # One shuffle source per base task, each on its scheduled worker.
+        for view_buckets in buckets.values():
+            for source in view_buckets:
+                assert source in workers
+
+    def test_constant_base_rows_attributed_to_driver(self, monkeypatch):
+        """Constant base rules (SELECT 1, 0) ship from the driver source."""
+        from repro.core.fixpoint import FixpointOperator
+
+        captured = {}
+        original = FixpointOperator._exchange_outputs
+
+        def spy(self, per_view_buckets, source_workers=None):
+            if "base" not in captured:
+                captured["base"] = dict(source_workers or {})
+            return original(self, per_view_buckets, source_workers)
+
+        monkeypatch.setattr(FixpointOperator, "_exchange_outputs", spy)
+        ctx = sssp_ctx()
+        ctx.sql(get_query("sssp").formatted(source=1))
+        workers = captured["base"]
+        assert workers.get(FixpointOperator._DRIVER_SOURCE) == 0

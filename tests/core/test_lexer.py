@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.lexer import Token, tokenize
+from repro.core.lexer import tokenize
 from repro.errors import ParseError
 
 

@@ -1,6 +1,5 @@
 """Tests for the magic-set-style filter seeding of the optimizer."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

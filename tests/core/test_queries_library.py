@@ -3,7 +3,6 @@
 import pytest
 
 from repro.queries import ALL_QUERIES, get_query
-from repro.queries.library import QuerySpec
 
 
 class TestLibrary:

@@ -81,7 +81,6 @@ class TestRealWorldProxies:
     def test_density_preserved(self):
         for name, spec in REAL_GRAPHS.items():
             edges = proxy_graph(name, scale_divisor=20000, seed=1)
-            vertices = {v for e in edges for v in e}
             got_density = len(edges) / max(1, spec.vertices // 20000)
             assert got_density == pytest.approx(spec.density, rel=0.2), name
 

@@ -3,9 +3,8 @@
 import pytest
 
 from repro.engine.cluster import Cluster, StageTask
-from repro.engine.metrics import CostModel
 from repro.engine.partitioner import HashPartitioner
-from repro.engine.scheduler import DefaultPolicy, PartitionAwarePolicy
+from repro.engine.scheduler import PartitionAwarePolicy
 
 
 def make_cluster(**kwargs):

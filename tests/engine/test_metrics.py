@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.engine.metrics import CostModel, MetricsRegistry
+from repro.engine.metrics import ClockEvent, CostModel, MetricsRegistry
+from repro.engine.tracing import Tracer
 
 
 class TestRegistry:
@@ -18,7 +19,65 @@ class TestRegistry:
         metrics.advance(0.5, label="stage:x")
         metrics.advance(0.25, label="shuffle")
         assert metrics.sim_time == pytest.approx(0.75)
-        assert metrics.events() == [("stage:x", 0.5), ("shuffle", 0.25)]
+        assert [(e.label, e.seconds) for e in metrics.events()] == [
+            ("stage:x", 0.5), ("shuffle", 0.25)]
+
+    def test_events_unpack_as_label_seconds_pairs(self):
+        # ClockEvent stays tuple-compatible with the historical
+        # (label, seconds) shape plus the span_id attribution field.
+        metrics = MetricsRegistry()
+        metrics.advance(0.5, label="load")
+        event = metrics.events()[0]
+        assert isinstance(event, ClockEvent)
+        label, seconds, span_id = event
+        assert (label, seconds, span_id) == ("load", 0.5, None)
+
+    def test_unlabeled_advance_not_recorded_as_event(self):
+        metrics = MetricsRegistry()
+        metrics.advance(0.5)
+        assert metrics.events() == []
+        assert metrics.sim_time == 0.5
+
+
+class TestEventAttribution:
+    """events() label/span attribution after the tracing refactor."""
+
+    def test_event_carries_innermost_span_id(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer(metrics)
+        with tracer.span("query", "q") as outer:
+            metrics.advance(0.1, label="load")
+            with tracer.span("stage", "s") as inner:
+                metrics.advance(0.2, label="stage:s")
+        events = metrics.events()
+        assert events[0].span_id == outer.span_id
+        assert events[1].span_id == inner.span_id
+
+    def test_event_span_id_none_outside_spans(self):
+        metrics = MetricsRegistry()
+        Tracer(metrics)
+        metrics.advance(0.1, label="load")
+        assert metrics.events()[0].span_id is None
+
+    def test_labels_attributed_to_open_spans(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer(metrics)
+        with tracer.span("query", "q") as outer:
+            metrics.advance(0.1, label="load")
+            with tracer.span("stage", "s") as inner:
+                metrics.advance(0.2, label="stage:s")
+            metrics.advance(0.3, label="shuffle")
+        assert outer.time_by_label == pytest.approx(
+            {"load": 0.1, "stage:s": 0.2, "shuffle": 0.3})
+        assert inner.time_by_label == pytest.approx({"stage:s": 0.2})
+
+    def test_disabled_tracer_leaves_events_unattributed(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer(metrics, enabled=False)
+        with tracer.span("query", "q"):
+            metrics.advance(0.1, label="load")
+        assert metrics.events()[0] == ClockEvent("load", 0.1, None)
+        assert tracer.roots == []
 
     def test_negative_advance_rejected(self):
         with pytest.raises(ValueError):

@@ -1,5 +1,6 @@
 """Unit + property tests for SetRDD / KeyedStateRDD (Section 6.1)."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -109,3 +110,88 @@ class TestKeyedStateRDD:
         for k, v in pairs:
             expected[k] = expected.get(k, 0) + v
         assert state.partitions[0] == {k: (v,) for k, v in expected.items()}
+
+
+class TestInsertDeltaConsistency:
+    """Regression: the single-aggregate hot path must emit the same
+    insert delta as the generic multi-aggregate path (both via
+    ``delta_for_insert``), not the raw incoming values."""
+
+    def _tagging(self, base):
+        """A clone of *base* whose delta_for_insert is observable."""
+        from repro.engine.aggregates import AggregateFunction
+
+        return AggregateFunction(
+            name=base.name,
+            merge=base.merge,
+            delta_for_insert=lambda v: ("ins", v),
+            combine=base.combine,
+            normalize=base.normalize,
+        )
+
+    def test_single_aggregate_path_applies_delta_for_insert(self):
+        tagged = self._tagging(MIN)
+        state = KeyedStateRDD(1, (tagged,))
+        delta = state.merge(0, [("a", (7,))])
+        # Pre-fix, the hot path emitted the raw values ("a", (7,)).
+        assert delta == [("a", (("ins", 7),))]
+        # The stored state is the raw value, as in the multi path.
+        assert state.partitions[0]["a"] == (7,)
+
+    @pytest.mark.parametrize("name", ["sum", "count", "min", "max"])
+    def test_single_and_multi_paths_agree(self, name):
+        from repro.engine.aggregates import get_aggregate
+
+        agg = get_aggregate(name)
+        contributions = [("a", 10), ("a", 4), ("b", 3), ("b", 3), ("c", 1)]
+
+        single = KeyedStateRDD(1, (agg,))
+        multi = KeyedStateRDD(1, (agg, agg))
+        single_deltas = []
+        multi_deltas = []
+        for key, value in contributions:
+            single_deltas.extend(single.merge(0, [(key, (value,))]))
+            multi_deltas.extend(multi.merge(0, [(key, (value, value))]))
+
+        # Same keys enter the delta in the same order, and the first
+        # (only) column of every delta value matches column-for-column.
+        assert [(k, v[0]) for k, v in single_deltas] == \
+            [(k, v[0]) for k, v in multi_deltas]
+        assert [(k, v[0]) for k, v in multi_deltas] == \
+            [(k, v[1]) for k, v in multi_deltas]
+        # Final states agree too.
+        assert {k: v[0] for k, v in single.partitions[0].items()} == \
+            {k: v[0] for k, v in multi.partitions[0].items()}
+
+
+class TestMultiAggregateMergeDeltas:
+    """Coverage for multi-aggregate-column merge deltas."""
+
+    def test_insert_delta_has_one_value_per_column(self):
+        state = KeyedStateRDD(1, (MIN, SUM))
+        delta = state.merge(0, [("a", (9, 2))])
+        assert delta == [("a", (9, 2))]
+
+    def test_partial_change_emits_state_for_unchanged_column(self):
+        from repro.engine.aggregates import MAX
+
+        state = KeyedStateRDD(1, (MIN, MAX))
+        state.merge(0, [("a", (5, 5))])
+        delta = state.merge(0, [("a", (7, 9))])
+        # min unchanged (keeps state value 5), max improved to 9.
+        assert delta == [("a", (5, 9))]
+        assert state.partitions[0]["a"] == (5, 9)
+
+    def test_no_change_emits_no_delta(self):
+        state = KeyedStateRDD(1, (MIN, SUM))
+        state.merge(0, [("a", (5, 1))])
+        assert state.merge(0, [("a", (9, 0))]) == []
+
+    def test_three_column_mixed_delta(self):
+        from repro.engine.aggregates import COUNT, MAX
+
+        state = KeyedStateRDD(1, (MIN, MAX, COUNT))
+        state.merge(0, [("k", (4, 4, 1))])
+        delta = state.merge(0, [("k", (3, 9, 2))])
+        assert delta == [("k", (3, 9, 2))]
+        assert state.partitions[0]["k"] == (3, 9, 3)

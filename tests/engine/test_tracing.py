@@ -1,0 +1,152 @@
+"""Unit tests for the tracing span tree (EXPLAIN ANALYZE's backbone)."""
+
+import json
+
+import pytest
+
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.tracing import (
+    Span,
+    Tracer,
+    format_explain_analyze,
+    iteration_timeline,
+)
+
+
+def make_tracer():
+    metrics = MetricsRegistry()
+    return metrics, Tracer(metrics)
+
+
+class TestSpanLifecycle:
+    def test_duration_comes_from_the_simulated_clock(self):
+        metrics, tracer = make_tracer()
+        metrics.advance(1.0)
+        with tracer.span("stage", "s") as span:
+            metrics.advance(0.5, label="stage:s")
+        assert span.start == pytest.approx(1.0)
+        assert span.end == pytest.approx(1.5)
+        assert span.duration == pytest.approx(0.5)
+
+    def test_nesting_builds_a_tree(self):
+        _, tracer = make_tracer()
+        with tracer.span("query", "q") as outer:
+            with tracer.span("fixpoint", "f"):
+                with tracer.span("iteration", "i1"):
+                    pass
+                with tracer.span("iteration", "i2"):
+                    pass
+        assert tracer.roots == [outer]
+        (fixpoint,) = outer.children
+        assert [c.name for c in fixpoint.children] == ["i1", "i2"]
+        assert [s.name for s in outer.find("iteration")] == ["i1", "i2"]
+
+    def test_counter_deltas_recorded_on_exit(self):
+        metrics, tracer = make_tracer()
+        metrics.inc("shuffle_bytes", 100)
+        with tracer.span("iteration", "i") as span:
+            metrics.inc("shuffle_bytes", 40)
+            metrics.inc("tasks", 4)
+        assert span.metrics == {"shuffle_bytes": 40, "tasks": 4}
+
+    def test_mismatched_end_raises(self):
+        _, tracer = make_tracer()
+        outer = tracer.begin("query", "q")
+        tracer.begin("stage", "s")
+        with pytest.raises(RuntimeError):
+            tracer.end(outer)
+
+    def test_span_closed_on_exception(self):
+        _, tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("query", "q"):
+                raise ValueError("boom")
+        assert tracer.current is None
+        assert tracer.roots[0].end is not None
+
+    def test_leaf_spans_attach_to_current(self):
+        _, tracer = make_tracer()
+        with tracer.span("stage", "s") as stage:
+            tracer.leaf("task", "s[0]", worker=2, cpu_seconds=0.1)
+        (task,) = stage.children
+        assert task.kind == "task"
+        assert task.attrs["worker"] == 2
+        assert task.duration == 0.0
+
+    def test_disabled_tracer_records_nothing(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer(metrics, enabled=False)
+        with tracer.span("query", "q") as span:
+            span.annotate(anything=1)
+            tracer.leaf("task", "t")
+        assert tracer.roots == []
+        assert tracer.to_dict() == {"spans": []}
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        metrics, tracer = make_tracer()
+        with tracer.span("query", "q"):
+            with tracer.span("iteration", "i", index=1) as span:
+                metrics.advance(0.25, label="stage:x")
+                metrics.inc("shuffle_remote_bytes", 64)
+                span.annotate(delta_total=3, delta_by_view={"path": 3})
+        reloaded = json.loads(tracer.to_json())
+        (query,) = reloaded["spans"]
+        (iteration,) = query["children"]
+        assert iteration["attrs"]["delta_by_view"] == {"path": 3}
+        assert iteration["metrics"]["shuffle_remote_bytes"] == 64
+        assert iteration["time_by_label"]["stage:x"] == pytest.approx(0.25)
+        assert iteration["duration"] == pytest.approx(0.25)
+
+    def test_reset_clears_spans(self):
+        _, tracer = make_tracer()
+        with tracer.span("query", "q"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+
+class TestRendering:
+    def _trace(self):
+        metrics, tracer = make_tracer()
+        with tracer.span("query", "q") as query:
+            with tracer.span("fixpoint", "path") as fixpoint:
+                for i, delta in enumerate([3, 1, 0], start=1):
+                    with tracer.span("iteration", f"iteration-{i}",
+                                     index=i) as span:
+                        metrics.advance(0.02, label="stage:fixpoint-shufflemap")
+                        if delta:
+                            metrics.advance(0.001, label="shuffle")
+                            metrics.inc("shuffle_remote_bytes", delta * 16)
+                        span.annotate(delta_total=delta,
+                                      delta_by_view={"path": delta})
+                fixpoint.annotate(iterations=3, mode="dsn")
+        return query.to_dict()
+
+    def test_iteration_timeline_rows(self):
+        rows = iteration_timeline(self._trace())
+        assert [r["iteration"] for r in rows] == [1, 2, 3]
+        assert [r["delta_total"] for r in rows] == [3, 1, 0]
+        assert rows[0]["delta_by_view"] == {"path": 3}
+        assert rows[0]["remote_bytes"] == 48
+        assert rows[0]["stage_seconds"] == pytest.approx(0.02)
+        assert rows[0]["shuffle_seconds"] == pytest.approx(0.001)
+        assert rows[2]["remote_bytes"] == 0
+
+    def test_format_explain_analyze_shape(self):
+        report = format_explain_analyze(self._trace())
+        assert "EXPLAIN ANALYZE" in report
+        assert "iterations=3" in report
+        assert "delta(path)" in report
+        # One table line per iteration.
+        data_lines = [line for line in report.splitlines()
+                      if line.strip().startswith(("1 ", "2 ", "3 "))]
+        assert len(data_lines) == 3
+
+    def test_format_handles_missing_trace(self):
+        assert "no trace" in format_explain_analyze(None)
+
+    def test_span_find_includes_self(self):
+        span = Span(kind="fixpoint", name="f")
+        assert list(span.find("fixpoint")) == [span]

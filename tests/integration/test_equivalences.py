@@ -5,7 +5,6 @@ stratified ≡ decomposed ≡ codegen ≡ interpreted, across random graphs —
 the equivalences Sections 3 and 6 prove and the engine must preserve.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

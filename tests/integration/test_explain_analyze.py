@@ -1,0 +1,166 @@
+"""EXPLAIN ANALYZE / trace integration: the report must agree exactly
+with ``FixpointResult`` and the ``MetricsRegistry``."""
+
+import json
+
+import pytest
+
+from repro import RaSQLContext
+from repro.__main__ import main as cli_main
+from repro.queries.library import get_query
+
+EDGES = [(1, 2, 1.0), (2, 3, 2.0), (1, 3, 5.0), (3, 4, 1.0), (4, 2, 1.0)]
+
+
+def sssp_ctx(**kwargs):
+    ctx = RaSQLContext(num_workers=4, **kwargs)
+    ctx.register_table("edge", ["Src", "Dst", "Cost"], EDGES)
+    return ctx
+
+
+class TestExplainAnalyzeSSSP:
+    def test_iteration_count_matches_fixpoint_result(self):
+        ctx = sssp_ctx()
+        report = ctx.explain_analyze(get_query("sssp").formatted(source=1))
+        run = ctx.last_run
+        assert run.iterations >= 3
+        timeline = run.iteration_timeline()
+        assert len(timeline) == run.iterations
+        assert run.iterations == ctx.metrics.get("iterations")
+        assert f"iterations={run.iterations}" in report
+
+    def test_delta_sizes_match_delta_history(self):
+        ctx = sssp_ctx()
+        ctx.sql(get_query("sssp").formatted(source=1))
+        run = ctx.last_run
+        timeline = run.iteration_timeline()
+        history = next(iter(run.delta_history.values()))
+        # The last iteration is the empty round that stops the loop.
+        assert [row["delta_total"] for row in timeline] == history + [0]
+        for row in timeline:
+            # Single-view clique: the per-view split is the whole delta.
+            assert row["delta_by_view"] == {"path": row["delta_total"]}
+
+    def test_trace_duration_matches_sim_time(self):
+        ctx = sssp_ctx()
+        ctx.sql(get_query("sssp").formatted(source=1))
+        run = ctx.last_run
+        # Fresh context: the query span covers every clock advance.
+        assert run.trace["duration"] == pytest.approx(run.sim_time)
+        assert run.sim_time == ctx.metrics.sim_time
+
+    def test_iteration_spans_sum_to_fixpoint_span(self):
+        ctx = sssp_ctx()
+        ctx.sql(get_query("sssp").formatted(source=1))
+        trace = ctx.last_run.trace
+
+        def find(span, kind):
+            found = [span] if span["kind"] == kind else []
+            for child in span["children"]:
+                found.extend(find(child, kind))
+            return found
+
+        (fixpoint,) = find(trace, "fixpoint")
+        iterations = find(fixpoint, "iteration")
+        assert len(iterations) == ctx.last_run.iterations
+        # Iterations partition the fixpoint's time after setup/base work.
+        assert sum(s["duration"] for s in iterations) <= fixpoint["duration"]
+        # Every iteration ran exactly one combined ShuffleMap stage.
+        for span in iterations:
+            stages = find(span, "stage")
+            assert [s["name"] for s in stages] == ["fixpoint-shufflemap"]
+            assert len(find(span, "task")) == ctx.cluster.num_partitions
+
+    def test_event_span_ids_resolve_into_trace(self):
+        ctx = sssp_ctx()
+        events_before = len(ctx.metrics.events())
+        ctx.sql(get_query("sssp").formatted(source=1))
+        trace = ctx.last_run.trace
+
+        def span_ids(span):
+            yield span["span_id"]
+            for child in span["children"]:
+                yield from span_ids(child)
+
+        known = set(span_ids(trace))
+        events = ctx.metrics.events()[events_before:]
+        assert events
+        assert all(e.span_id in known for e in events)
+
+    def test_trace_is_json_serializable(self):
+        ctx = sssp_ctx()
+        ctx.sql(get_query("sssp").formatted(source=1))
+        reloaded = json.loads(json.dumps(ctx.last_run.trace))
+        assert reloaded["kind"] == "query"
+
+
+class TestExplainAnalyzeOtherShapes:
+    def test_multi_view_clique_splits_delta_by_view(self):
+        ctx = RaSQLContext(num_workers=2)
+        ctx.register_table("shares", ["By", "Of", "Percent"],
+                           [("a", "b", 60), ("b", "c", 60), ("a", "c", 10)])
+        ctx.sql(get_query("company_control").sql)
+        timeline = ctx.last_run.iteration_timeline()
+        assert timeline
+        for row in timeline:
+            assert set(row["delta_by_view"]) == {"cshares", "control"}
+            assert (sum(row["delta_by_view"].values())
+                    == row["delta_total"])
+
+    def test_decomposed_fixpoint_annotates_mode(self):
+        ctx = RaSQLContext(num_workers=2)
+        ctx.register_table("edge", ["Src", "Dst"],
+                           [(1, 2), (2, 3), (3, 4)])
+        ctx.sql(get_query("tc").sql)
+        trace = ctx.last_run.trace
+        fixpoints = [s for s in _walk(trace) if s["kind"] == "fixpoint"]
+        assert fixpoints[0]["attrs"]["mode"] == "decomposed"
+        assert fixpoints[0]["attrs"]["iterations"] == ctx.last_run.iterations
+        assert fixpoints[0]["attrs"]["local_iterations"]
+
+    def test_tracing_can_be_disabled(self):
+        ctx = sssp_ctx(trace=False)
+        ctx.sql(get_query("sssp").formatted(source=1))
+        assert ctx.last_run.trace is None
+        assert "no trace" in ctx.last_run.explain_analyze()
+        assert ctx.last_run.iteration_timeline() == []
+
+    def test_system_result_carries_trace(self):
+        from repro.baselines.systems import RaSQLSystem, Workload
+
+        result = RaSQLSystem(num_workers=2).run(Workload(
+            "sssp", {"edge": (["Src", "Dst", "Cost"], EDGES)}, source=1))
+        assert result.trace is not None
+        assert result.trace["kind"] == "query"
+
+
+def _walk(span):
+    yield span
+    for child in span["children"]:
+        yield from _walk(child)
+
+
+class TestCLI:
+    def _write_inputs(self, tmp_path):
+        graph = tmp_path / "graph.tsv"
+        graph.write_text("".join(f"{s} {d} {c}\n" for s, d, c in EDGES))
+        query = tmp_path / "query.sql"
+        query.write_text(get_query("sssp").formatted(source=1))
+        return graph, query
+
+    def test_explain_analyze_flag_prints_timeline(self, tmp_path, capsys):
+        graph, query = self._write_inputs(tmp_path)
+        assert cli_main(["--table", f"edge={graph}", "--explain-analyze",
+                         str(query)]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "delta(path)" in out
+
+    def test_trace_flag_writes_json(self, tmp_path, capsys):
+        graph, query = self._write_inputs(tmp_path)
+        trace_path = tmp_path / "run.trace.json"
+        assert cli_main(["--table", f"edge={graph}", "--trace",
+                         str(trace_path), str(query)]) == 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["kind"] == "query"
+        assert any(s["kind"] == "fixpoint" for s in _walk(trace))

@@ -7,8 +7,6 @@ including the delta encodings (min/max carry totals, sum/count carry
 increments) travelling side by side in one row.
 """
 
-import pytest
-
 from repro import ExecutionConfig, RaSQLContext
 from repro.datagen import random_graph
 
