@@ -14,7 +14,11 @@ Public API:
 - :mod:`repro.baselines` — Giraph/GraphX/BigDatalog/Myria/serial analogs.
 """
 
-from repro.core.config import DEFAULT_CONFIG, ExecutionConfig
+from repro.core.config import (
+    DEFAULT_CONFIG,
+    ExecutionConfig,
+    FaultToleranceConfig,
+)
 from repro.core.context import RaSQLContext
 from repro.core.streaming import IncrementalView
 from repro.relation import Relation
@@ -24,6 +28,7 @@ __version__ = "1.0.0"
 __all__ = [
     "DEFAULT_CONFIG",
     "ExecutionConfig",
+    "FaultToleranceConfig",
     "IncrementalView",
     "RaSQLContext",
     "Relation",

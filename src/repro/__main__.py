@@ -43,6 +43,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--check-prem", action="store_true",
                         help="run the PreM validator (Appendix G) on the "
                              "query instead of executing it")
+    parser.add_argument("--chaos", type=int, metavar="SEED",
+                        help="run the query twice — clean, then under a "
+                             "seeded random fault schedule (task deaths + "
+                             "worker loss) — and verify the results match "
+                             "bit-exactly")
+    parser.add_argument("--faults", action="append", default=[],
+                        metavar="SPEC",
+                        help="arm a fault injector for the run, e.g. "
+                             "'task:fixpoint:task_index=1:point=after' or "
+                             "'worker-loss:fixpoint:worker=2:at_task=1' "
+                             "(repeatable)")
     parser.add_argument("--no-codegen", action="store_true")
     parser.add_argument("--no-stage-combination", action="store_true")
     parser.add_argument("--evaluation", default="dsn",
@@ -63,6 +74,38 @@ def read_query(args) -> str:
     raise SystemExit("error: provide a query file, '-', or -q TEXT")
 
 
+def make_context(args, config: ExecutionConfig) -> RaSQLContext:
+    """A fresh session with the CLI's tables registered (chaos runs need
+    two of these, so the clean and faulted clusters share no state)."""
+    ctx = RaSQLContext(num_workers=args.workers, config=config)
+    for spec in args.table:
+        name, _, path = spec.partition("=")
+        if not path:
+            raise SystemExit(f"error: --table expects NAME=PATH, got {spec!r}")
+        relation = load_table(path, name)
+        ctx.catalog.register_relation(
+            type(relation)(name, relation.columns, relation.rows))
+    return ctx
+
+
+def run_chaos(args, query: str, config: ExecutionConfig) -> int:
+    from repro.chaos import make_schedule, run_with_chaos
+    from repro.engine.tracing import format_explain_analyze
+
+    schedule = make_schedule(args.chaos, num_workers=args.workers)
+    report = run_with_chaos(query, lambda: make_context(args, config),
+                            schedule)
+    print(report.summary())
+    if args.explain_analyze:
+        print()
+        print(format_explain_analyze(report.trace))
+    if not report.matches:
+        print("error: chaos run diverged from the clean run",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     query = read_query(args)
@@ -72,14 +115,18 @@ def main(argv: list[str] | None = None) -> int:
         stage_combination=not args.no_stage_combination,
         evaluation=args.evaluation,
     )
-    ctx = RaSQLContext(num_workers=args.workers, config=config)
-    for spec in args.table:
-        name, _, path = spec.partition("=")
-        if not path:
-            raise SystemExit(f"error: --table expects NAME=PATH, got {spec!r}")
-        relation = load_table(path, name)
-        ctx.catalog.register_relation(
-            type(relation)(name, relation.columns, relation.rows))
+
+    if args.chaos is not None:
+        return run_chaos(args, query, config)
+
+    ctx = make_context(args, config)
+    if args.faults:
+        from repro.chaos import parse_fault_spec
+
+        try:
+            ctx.inject_faults(*(parse_fault_spec(s) for s in args.faults))
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
 
     if args.explain:
         print(ctx.explain(query))
@@ -102,6 +149,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"-- {len(result)} rows; {stats.iterations} fixpoint iterations; "
           f"{stats.sim_time:.4f} simulated cluster seconds",
           file=sys.stderr)
+    if args.faults:
+        fault_stats = stats.fault_summary()
+        print(f"-- recovery: attempts={fault_stats['task_attempts']:.0f} "
+              f"failures={fault_stats['task_failures']:.0f} "
+              f"workers_lost={fault_stats['workers_lost']:.0f} "
+              f"recovery_time={fault_stats['recovery_seconds']:.4f}s",
+              file=sys.stderr)
     if args.explain_analyze:
         print()
         print(stats.explain_analyze())

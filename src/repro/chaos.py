@@ -1,0 +1,223 @@
+"""Chaos-test harness: seeded fault schedules, verified against a clean run.
+
+Section 6.1 claims the cached all-relation partitions make recovery cheap
+*and* exact: a failure only replays the current stage, and the replayed
+stage recomputes the same deltas.  This module turns that claim into a
+repeatable experiment:
+
+1. :func:`make_schedule` derives a deterministic fault schedule (task
+   deaths + worker losses, random stages/tasks/points) from a seed.
+2. :func:`run_with_chaos` runs a query twice on fresh clusters — once
+   clean, once under the schedule — and reports whether the results are
+   bit-exact, what the recovery counters recorded, and how much simulated
+   time the faults cost.
+
+Everything is seeded, so a failing ``(query, seed)`` pair reproduces
+exactly.  The CLI exposes the harness as ``python -m repro --chaos SEED``
+and the lower-level ``--faults SPEC`` (see :func:`parse_fault_spec`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.engine.faults import FailureInjector, WorkerLossInjector
+
+__all__ = [
+    "ChaosReport",
+    "ChaosSchedule",
+    "make_schedule",
+    "parse_fault_spec",
+    "run_with_chaos",
+]
+
+_FAILURE_POINTS = ("before", "after")
+
+
+@dataclass
+class ChaosSchedule:
+    """A reproducible set of fault injectors derived from one seed."""
+
+    seed: int
+    injectors: list = field(default_factory=list)
+
+    def arm(self, cluster) -> None:
+        """Install every injector on a cluster."""
+        for injector in self.injectors:
+            cluster.inject_failures(injector)
+
+    @property
+    def task_injectors(self) -> list[FailureInjector]:
+        return [i for i in self.injectors if isinstance(i, FailureInjector)]
+
+    @property
+    def loss_injectors(self) -> list[WorkerLossInjector]:
+        return [i for i in self.injectors if isinstance(i, WorkerLossInjector)]
+
+    def injected_counts(self) -> tuple[int, int]:
+        """(task failures fired, worker losses fired) after a run."""
+        return (sum(i.injected for i in self.task_injectors),
+                sum(i.injected for i in self.loss_injectors))
+
+    def describe(self) -> str:
+        parts = []
+        for i in self.task_injectors:
+            parts.append(f"task-death[{i.stage_pattern} task={i.task_index} "
+                         f"point={i.point} times={i.times}]")
+        for i in self.loss_injectors:
+            victim = "auto" if i.worker is None else i.worker
+            parts.append(f"worker-loss[{i.stage_pattern} worker={victim} "
+                         f"at_task={i.at_task} skip={i.skip_matches}]")
+        return f"seed={self.seed}: " + ("; ".join(parts) or "no faults")
+
+
+def make_schedule(seed: int, num_workers: int = 4,
+                  num_partitions: int | None = None,
+                  task_deaths: int = 2, worker_losses: int = 1,
+                  stage_pattern: str = "fixpoint") -> ChaosSchedule:
+    """Derive a deterministic fault schedule from a seed.
+
+    Task deaths pick a random partition/point per injector; worker losses
+    pick a random strike position and skip a random number of matching
+    stages first, so across seeds the faults land in different fixpoint
+    iterations — early, mid-merge, and near convergence.
+    """
+    rng = random.Random(seed)
+    n = num_partitions or num_workers
+    injectors: list = []
+    for _ in range(task_deaths):
+        injectors.append(FailureInjector(
+            stage_pattern,
+            task_index=rng.randrange(n),
+            times=1,
+            point=rng.choice(_FAILURE_POINTS)))
+    for _ in range(worker_losses):
+        injectors.append(WorkerLossInjector(
+            stage_pattern,
+            worker=None,
+            at_task=rng.randrange(n),
+            skip_matches=rng.randrange(3),
+            times=1))
+    return ChaosSchedule(seed=seed, injectors=injectors)
+
+
+def parse_fault_spec(spec: str):
+    """Parse a CLI ``--faults`` spec into an injector.
+
+    Grammar (colon-separated)::
+
+        task:PATTERN[:key=value ...]           -> FailureInjector
+        worker-loss:PATTERN[:key=value ...]    -> WorkerLossInjector
+
+    Examples::
+
+        task:fixpoint:task_index=1:point=after:times=2
+        task:fixpoint-map:task_index=any:persistent=true
+        worker-loss:fixpoint:worker=2:at_task=1:skip_matches=3
+
+    ``task_index=any`` targets every task of a matching stage.
+    """
+    parts = spec.split(":")
+    if len(parts) < 2:
+        raise ValueError(
+            f"bad fault spec {spec!r}: expected 'task:PATTERN[...]' or "
+            "'worker-loss:PATTERN[...]'")
+    kind, pattern, *options = parts
+    kwargs: dict = {}
+    for option in options:
+        key, sep, value = option.partition("=")
+        if not sep:
+            raise ValueError(f"bad fault option {option!r} in {spec!r} "
+                             "(expected key=value)")
+        if key in ("point",):
+            kwargs[key] = value
+        elif key in ("persistent",):
+            kwargs[key] = value.lower() in ("1", "true", "yes")
+        elif key == "task_index" and value.lower() in ("any", "none", "*"):
+            kwargs[key] = None
+        elif key == "worker" and value.lower() in ("auto", "none", "*"):
+            kwargs[key] = None
+        else:
+            try:
+                kwargs[key] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"bad fault option {option!r} in {spec!r}") from None
+    if kind == "task":
+        return FailureInjector(pattern, **kwargs)
+    if kind == "worker-loss":
+        return WorkerLossInjector(pattern, **kwargs)
+    raise ValueError(f"unknown fault kind {kind!r} in {spec!r} "
+                     "(expected 'task' or 'worker-loss')")
+
+
+def _sorted_rows(rows: Sequence[tuple]) -> list[tuple]:
+    # repr-keyed sort tolerates mixed-type columns (ints vs strings).
+    return sorted(rows, key=repr)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one clean-vs-chaos comparison run."""
+
+    schedule: ChaosSchedule
+    matches: bool
+    baseline_rows: int
+    chaos_rows: int
+    baseline_sim_time: float
+    chaos_sim_time: float
+    #: Recovery counters of the chaos run (``RunInfo.fault_summary``).
+    counters: dict[str, float]
+    #: The chaos run's span tree, for EXPLAIN ANALYZE rendering.
+    trace: dict | None = None
+
+    @property
+    def overhead_seconds(self) -> float:
+        return self.chaos_sim_time - self.baseline_sim_time
+
+    @property
+    def failures_injected(self) -> int:
+        task_fired, loss_fired = self.schedule.injected_counts()
+        return task_fired + loss_fired
+
+    def summary(self) -> str:
+        verdict = "EXACT" if self.matches else "MISMATCH"
+        return (
+            f"chaos[{self.schedule.describe()}] -> {verdict}: "
+            f"{self.chaos_rows} rows (clean {self.baseline_rows}); "
+            f"sim {self.baseline_sim_time:.4f}s -> {self.chaos_sim_time:.4f}s "
+            f"(+{self.overhead_seconds:.4f}s recovery); "
+            f"failures={self.counters.get('task_failures', 0):.0f} "
+            f"lost={self.counters.get('workers_lost', 0):.0f} "
+            f"attempts={self.counters.get('task_attempts', 0):.0f}")
+
+
+def run_with_chaos(query: str, make_context: Callable[[], "object"],
+                   schedule: ChaosSchedule) -> ChaosReport:
+    """Run a query clean and under a fault schedule; compare bit-exactly.
+
+    ``make_context`` must return a *fresh* :class:`repro.RaSQLContext`
+    (tables registered, deterministic data) on every call — the two runs
+    must not share cluster state, or the comparison is meaningless.
+    """
+    baseline_ctx = make_context()
+    baseline = baseline_ctx.sql(query)
+    baseline_time = baseline_ctx.last_run.sim_time
+
+    chaos_ctx = make_context()
+    schedule.arm(chaos_ctx.cluster)
+    chaotic = chaos_ctx.sql(query)
+    run = chaos_ctx.last_run
+
+    return ChaosReport(
+        schedule=schedule,
+        matches=_sorted_rows(baseline.rows) == _sorted_rows(chaotic.rows),
+        baseline_rows=len(baseline.rows),
+        chaos_rows=len(chaotic.rows),
+        baseline_sim_time=baseline_time,
+        chaos_sim_time=run.sim_time,
+        counters=run.fault_summary(),
+        trace=run.trace,
+    )

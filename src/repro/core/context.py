@@ -68,6 +68,20 @@ class RunInfo:
 
         return iteration_timeline(self.trace) if self.trace else []
 
+    def fault_summary(self) -> dict[str, float]:
+        """Recovery counters of the run (zeros when nothing failed).
+
+        Keys: ``task_attempts``, ``task_failures``, ``workers_lost``,
+        ``workers_blacklisted``, ``speculative_tasks``,
+        ``recovery_seconds``, ``cache_invalidated_partitions``,
+        ``cache_invalidated_bytes``.
+        """
+        keys = ("task_attempts", "task_failures", "workers_lost",
+                "workers_blacklisted", "speculative_tasks",
+                "recovery_seconds", "cache_invalidated_partitions",
+                "cache_invalidated_bytes")
+        return {key: self.metrics.get(key, 0) for key in keys}
+
     def profile_report(self) -> str:
         """An EXPLAIN-ANALYZE-style breakdown of where the time went."""
         total = sum(self.time_breakdown.values()) or 1.0
@@ -120,6 +134,20 @@ class RaSQLContext:
         relation = self.catalog.register(name, columns, rows)
         self.cluster.load(relation.rows, key_indices=(0,) if relation.columns else None)
         return relation
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def inject_faults(self, *injectors) -> "RaSQLContext":
+        """Arm fault injectors on the session's cluster; returns self.
+
+        Accepts any mix of :class:`repro.engine.faults.FailureInjector`
+        and :class:`repro.engine.faults.WorkerLossInjector`.
+        """
+        for injector in injectors:
+            self.cluster.inject_failures(injector)
+        return self
 
     # ------------------------------------------------------------------
     # query execution

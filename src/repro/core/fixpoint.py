@@ -500,16 +500,12 @@ class FixpointOperator:
         states = self.states
 
         def snapshot():
-            return {
-                name: (set(state.partitions[partition])
-                       if isinstance(state, SetRDD)
-                       else dict(state.partitions[partition]))
-                for name, state in states.items()
-            }
+            return {name: state.snapshot_partition(partition)
+                    for name, state in states.items()}
 
         def restore(saved):
             for name, data in saved.items():
-                states[name].partitions[partition] = data
+                states[name].restore_partition(partition, data)
 
         return snapshot, restore
 
@@ -552,7 +548,7 @@ class FixpointOperator:
             tasks.append(StageTask(
                 p, self._stage_inputs(incoming, p), task_fn(p),
                 preferred_worker=self.cluster.worker_for_partition(p),
-                snapshot=snapshot, restore=restore))
+                snapshot=snapshot, restore=restore, mutating=True))
         results = self.cluster.run_stage("fixpoint-shufflemap", tasks)
 
         merged: dict[str, dict[int, list[tuple]]] = defaultdict(dict)
@@ -591,7 +587,7 @@ class FixpointOperator:
                 p, [incoming[name].partitions[p] for name in view_names],
                 reduce_fn(p),
                 preferred_worker=self.cluster.worker_for_partition(p),
-                snapshot=snapshot, restore=restore))
+                snapshot=snapshot, restore=restore, mutating=True))
         reduce_results = self.cluster.run_stage("fixpoint-reduce", reduce_tasks)
 
         d_partitions: dict[str, list[Partition]] = {name: [] for name in view_names}

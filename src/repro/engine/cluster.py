@@ -12,20 +12,54 @@ partition ``i`` of every co-partitioned structure lives on worker
 ``i % num_workers``.  Shuffles place their output this way, so when the
 scheduler also pins task ``i`` there (``partition_aware`` policy), every
 iteration's input is local — the inter-iteration locality of Section 6.1.
+
+Fault tolerance (Section 6.1's recovery argument) lives here too:
+
+- *Task deaths* (:class:`repro.engine.faults.FailureInjector`) are retried
+  within a per-task budget, with exponential backoff charged to the cost
+  model; tasks that mutate cached state restore their pre-stage snapshot
+  first, which is the simulator's rendition of recomputing from the cached
+  all-relation "checkpoint".
+- *Worker loss* (:class:`repro.engine.faults.WorkerLossInjector` or
+  :meth:`Cluster.lose_worker`) invalidates every cached partition homed on
+  the lost worker, replays the current stage's committed tasks that ran
+  there (their outputs died with the executor), and reschedules pending
+  tasks to surviving workers.  When a worker's partitions are re-homed,
+  ``worker_for_partition`` remaps them deterministically so later
+  iterations keep their locality.
+- Workers accumulating failures are *blacklisted*
+  (:class:`repro.engine.faults.RecoveryManager`) and avoided by the
+  scheduler; optional *speculation* re-launches a copy of the slowest
+  task and lets the first committer win (simulated time only — results
+  never change).
 """
 
 from __future__ import annotations
 
 import time
+from collections import defaultdict
 from dataclasses import dataclass
+from statistics import median
 from typing import Callable, Iterable, Sequence
 
 from repro.engine.dataset import Dataset, Partition
+from repro.engine.faults import (
+    FailureInjector,
+    FaultToleranceConfig,
+    RecoveryManager,
+    WorkerLossInjector,
+)
 from repro.engine.metrics import CostModel, MetricsRegistry
 from repro.engine.partitioner import HashPartitioner, make_key_fn
-from repro.engine.scheduler import SchedulingPolicy, TaskSpec, make_policy
+from repro.engine.scheduler import (
+    SchedulingPolicy,
+    TaskSpec,
+    fallback_worker,
+    make_policy,
+)
 from repro.engine.serialization import CompressionCodec, rows_size
 from repro.engine.tracing import Tracer
+from repro.errors import FaultInjectionError, NoHealthyWorkersError
 
 
 @dataclass
@@ -36,7 +70,11 @@ class StageTask:
     cached state (the fixpoint's merge): under failure injection the
     cluster snapshots before running and restores before a replay, which
     is the simulator's rendition of recomputing from the cached
-    checkpoint (Section 6.1's fault-recovery argument).
+    checkpoint (Section 6.1's fault-recovery argument).  ``mutating``
+    declares that the task's function has such side effects: an
+    after-commit failure (or a worker-loss replay) of a mutating task
+    without both hooks raises :class:`repro.errors.FaultInjectionError`
+    instead of replaying against half-applied state.
     """
 
     index: int
@@ -45,6 +83,7 @@ class StageTask:
     preferred_worker: int | None = None
     snapshot: Callable[[], object] | None = None
     restore: Callable[[object], None] | None = None
+    mutating: bool = False
 
 
 @dataclass
@@ -81,13 +120,17 @@ class Cluster:
     cost_model:
         Constants of the simulated network/scheduler; see
         :class:`repro.engine.metrics.CostModel`.
+    fault_config:
+        Recovery policy — retry budget, blacklisting, speculation; see
+        :class:`repro.engine.faults.FaultToleranceConfig`.
     """
 
     def __init__(self, num_workers: int = 4, num_partitions: int | None = None,
                  scheduler: str | SchedulingPolicy = "partition_aware",
                  cost_model: CostModel | None = None,
                  codec: CompressionCodec | None = None,
-                 seed: int = 17, trace: bool = True):
+                 seed: int = 17, trace: bool = True,
+                 fault_config: FaultToleranceConfig | None = None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
@@ -100,31 +143,80 @@ class Cluster:
         self.codec = codec or CompressionCodec()
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self.metrics, enabled=trace)
-        self.failure_injectors: list = []
+        self.fault_config = fault_config or FaultToleranceConfig()
+        self.recovery = RecoveryManager(self.fault_config)
+        self.lost_workers: set[int] = set()
+        self.failure_injectors: list[FailureInjector] = []
+        self.worker_loss_injectors: list[WorkerLossInjector] = []
 
     # ------------------------------------------------------------------
-    # fault injection
+    # fault injection and worker liveness
     # ------------------------------------------------------------------
 
     def inject_failures(self, injector) -> None:
-        """Arm a :class:`repro.engine.faults.FailureInjector`."""
-        self.failure_injectors.append(injector)
+        """Arm a :class:`FailureInjector` or :class:`WorkerLossInjector`."""
+        if isinstance(injector, WorkerLossInjector):
+            self.worker_loss_injectors.append(injector)
+        else:
+            self.failure_injectors.append(injector)
 
-    def _failures_for(self, stage_name: str, task_index: int, point: str) -> int:
-        count = 0
-        for injector in self.failure_injectors:
-            if injector.point == point and injector.should_fail(
-                    stage_name, task_index):
-                count += 1
-        return count
+    @property
+    def _injecting(self) -> bool:
+        return bool(self.failure_injectors or self.worker_loss_injectors)
+
+    def live_workers(self) -> list[int]:
+        """Workers still alive, in canonical order."""
+        return [w for w in range(self.num_workers)
+                if w not in self.lost_workers]
+
+    def healthy_workers(self) -> list[int]:
+        """Schedulable workers: live and not blacklisted.
+
+        When every live worker is blacklisted the blacklist is ignored
+        (Spark likewise refuses to starve a stage), so the pool is never
+        empty while any worker survives.
+        """
+        live = self.live_workers()
+        healthy = [w for w in live if w not in self.recovery.blacklisted]
+        return healthy or live
+
+    def lose_worker(self, worker: int, stage_name: str = "") -> None:
+        """Kill a worker: liveness bookkeeping + detection latency.
+
+        Cached-partition invalidation and current-stage replay happen in
+        :meth:`_fire_worker_loss` when the loss strikes mid-stage; a loss
+        between stages only needs the home remapping that
+        :meth:`worker_for_partition` performs lazily.
+        """
+        if worker in self.lost_workers or not 0 <= worker < self.num_workers:
+            return
+        if len(self.live_workers()) <= 1:
+            raise NoHealthyWorkersError(
+                f"cannot lose worker {worker}: it is the last live worker")
+        self.lost_workers.add(worker)
+        detect = self.cost_model.worker_loss_detect_s
+        self.metrics.inc("workers_lost")
+        self.metrics.advance(detect, label="recovery")
+        self.metrics.inc("recovery_seconds", detect)
+        self.tracer.leaf("fault", f"worker-lost[{worker}]",
+                         worker=worker, stage=stage_name)
 
     # ------------------------------------------------------------------
     # placement
     # ------------------------------------------------------------------
 
     def worker_for_partition(self, partition_index: int) -> int:
-        """The canonical home of a partition id (stable across iterations)."""
-        return partition_index % self.num_workers
+        """The home of a partition id (stable while its worker lives).
+
+        After a worker loss the orphaned homes remap deterministically
+        onto the surviving workers, so re-cached partitions and the
+        partition-aware scheduler keep agreeing on placement.
+        """
+        home = partition_index % self.num_workers
+        if home in self.lost_workers:
+            live = self.live_workers()
+            return live[partition_index % len(live)]
+        return home
 
     # ------------------------------------------------------------------
     # data ingestion
@@ -197,7 +289,8 @@ class Cluster:
             if preferred is None and task.inputs:
                 preferred = task.inputs[0].worker
             specs.append(TaskSpec(task.index, preferred))
-        assignments = self.scheduler.assign(specs, self.num_workers)
+        assignments = self.scheduler.assign(specs, self.num_workers,
+                                            healthy=self.healthy_workers())
 
         stage_span = self.tracer.begin("stage", name, tasks=len(tasks))
         try:
@@ -208,59 +301,42 @@ class Cluster:
     def _run_stage_body(self, name: str, tasks: list[StageTask],
                         assignments: list[int], stage_span) -> list[TaskResult]:
         worker_busy = [0.0] * self.num_workers
-        injecting = bool(self.failure_injectors)
+        injecting = self._injecting
         results: list[TaskResult] = []
-        for task, worker in zip(tasks, assignments):
-            remote_bytes = 0
-            remote_count = 0
-            for partition in task.inputs:
-                if partition.worker != worker:
-                    remote_bytes += partition.size_bytes()
-                    remote_count += 1
+        task_busy: list[float] = []
 
-            fetch_time = 0.0
-            if remote_count:
-                fetch_time = (self.cost_model.network_latency_s * remote_count
-                              + remote_bytes / self.cost_model.network_bandwidth_bytes_per_s)
-                self.metrics.inc("remote_fetches", remote_count)
-                self.metrics.inc("remote_fetch_bytes", remote_bytes)
+        # Pre-stage snapshots are the last cached all-relation state: the
+        # Section 6.1 "checkpoint" every recovery path replays from.
+        snapshots: dict[int, object] = {}
+        loss_at: dict[int, list[WorkerLossInjector]] = defaultdict(list)
+        if injecting:
+            for pos, task in enumerate(tasks):
+                if task.snapshot is not None:
+                    snapshots[pos] = task.snapshot()
+            if tasks:
+                for injector in self.worker_loss_injectors:
+                    if injector.matches(name):
+                        strike = min(max(injector.at_task, 0), len(tasks) - 1)
+                        loss_at[strike].append(injector)
 
-            task_time = 0.0
-            # Executor lost before the task ran: the attempt still paid
-            # scheduling and any input fetch.
-            for _ in range(self._failures_for(name, task.index, "before")
-                           if injecting else 0):
-                self.metrics.inc("task_failures")
-                task_time += self.cost_model.task_overhead_s + fetch_time
-
-            saved = None
-            if injecting and task.snapshot is not None:
-                saved = task.snapshot()
-
-            t0 = time.perf_counter()
-            output = task.fn(*[p.rows for p in task.inputs])
-            cpu = (time.perf_counter() - t0) * self.cost_model.cpu_scale
-
-            # Executor lost after computing but before committing: the
-            # whole attempt is wasted; replay from the cached state.
-            for _ in range(self._failures_for(name, task.index, "after")
-                           if injecting else 0):
-                self.metrics.inc("task_failures")
-                task_time += (cpu + self.cost_model.task_overhead_s
-                              + fetch_time)
-                if task.restore is not None:
-                    task.restore(saved)
-                t0 = time.perf_counter()
-                output = task.fn(*[p.rows for p in task.inputs])
-                cpu = (time.perf_counter() - t0) * self.cost_model.cpu_scale
-
-            task_time += cpu + self.cost_model.task_overhead_s + fetch_time
-            worker_busy[worker] += task_time
-            results.append(TaskResult(task.index, output, worker, cpu, remote_bytes))
+        for pos, task in enumerate(tasks):
+            for injector in loss_at.get(pos, ()):
+                self._fire_worker_loss(injector, name, pos, tasks,
+                                       assignments, results, snapshots,
+                                       worker_busy)
+            result, busy = self._run_task_attempts(
+                name, task, pos, assignments[pos], snapshots.get(pos),
+                injecting, worker_busy)
+            results.append(result)
+            task_busy.append(busy)
             self.tracer.leaf("task", f"{name}[{task.index}]",
-                             index=task.index, worker=worker,
-                             cpu_seconds=cpu, remote_bytes=remote_bytes,
-                             busy_seconds=task_time)
+                             index=task.index, worker=result.worker,
+                             cpu_seconds=result.cpu_seconds,
+                             remote_bytes=result.remote_bytes,
+                             busy_seconds=busy)
+
+        if self.fault_config.speculation:
+            self._speculate(name, tasks, results, task_busy, worker_busy)
 
         stage_time = self.cost_model.stage_overhead_s + max(worker_busy, default=0.0)
         self.metrics.advance(stage_time, label=f"stage:{name}")
@@ -270,6 +346,242 @@ class Cluster:
                          sum(r.cpu_seconds for r in results))
         stage_span.annotate(stage_seconds=stage_time)
         return results
+
+    def _fetch_cost(self, task: StageTask,
+                    worker: int) -> tuple[float, int, int]:
+        """Remote-input fetch time/bytes/count for a task on a worker."""
+        remote_bytes = 0
+        remote_count = 0
+        for partition in task.inputs:
+            if partition.worker != worker:
+                remote_bytes += partition.size_bytes()
+                remote_count += 1
+        fetch_time = 0.0
+        if remote_count:
+            fetch_time = (self.cost_model.network_latency_s * remote_count
+                          + remote_bytes / self.cost_model.network_bandwidth_bytes_per_s)
+        return fetch_time, remote_bytes, remote_count
+
+    def _attempt_fails(self, stage_name: str, task: StageTask, point: str,
+                       fired: set[int]) -> bool:
+        """Consult injectors for one attempt; transient ones fire once."""
+        for injector in self.failure_injectors:
+            if injector.point != point:
+                continue
+            if not injector.persistent and id(injector) in fired:
+                continue
+            if injector.should_fail(stage_name, task.index):
+                if not injector.persistent:
+                    fired.add(id(injector))
+                return True
+        return False
+
+    @staticmethod
+    def _guard_replayable(task: StageTask, stage_name: str) -> None:
+        """Refuse to replay a state-mutating task without both hooks."""
+        if task.mutating and (task.restore is None or task.snapshot is None):
+            raise FaultInjectionError(
+                f"task {task.index} of stage {stage_name!r} mutates cached "
+                "state but has no snapshot/restore hooks; replaying it "
+                "would run against half-applied state — refusing the "
+                "injected failure instead of corrupting the result")
+
+    def _record_task_failure(self, name: str, task: StageTask, worker: int,
+                             failures: int) -> int:
+        """Blacklist bookkeeping after a failed attempt; returns the
+        (possibly reassigned) worker for the retry."""
+        self.recovery.check_retry_budget(name, task.index, failures)
+        if self.recovery.record_failure(worker):
+            self.metrics.inc("workers_blacklisted")
+            self.tracer.leaf("fault", f"blacklist[{worker}]",
+                             worker=worker, stage=name,
+                             failures=self.recovery.failures_by_worker[worker])
+        healthy = self.healthy_workers()
+        if worker not in healthy:
+            preferred = (task.preferred_worker
+                         if task.preferred_worker is not None else worker)
+            worker = fallback_worker(preferred, healthy)
+        return worker
+
+    def _run_task_attempts(self, name: str, task: StageTask, pos: int,
+                           worker: int, saved: object, injecting: bool,
+                           worker_busy: list[float]) -> tuple[TaskResult, float]:
+        """Run one task to commit, retrying injected failures.
+
+        Wasted attempts (scheduling, fetch, discarded CPU, backoff) are
+        charged to the worker that ran them *and* accumulated into the
+        ``recovery_seconds`` counter so EXPLAIN ANALYZE can report the
+        overhead of recovery separately.
+        """
+        fetch_time, remote_bytes, remote_count = self._fetch_cost(task, worker)
+        if remote_count:
+            self.metrics.inc("remote_fetches", remote_count)
+            self.metrics.inc("remote_fetch_bytes", remote_bytes)
+
+        failures = 0
+        fired: set[int] = set()
+        backoff_base = self.cost_model.task_retry_backoff_s
+        while True:
+            self.metrics.inc("task_attempts")
+
+            # Executor lost before the task ran: the attempt still paid
+            # scheduling and any input fetch.
+            if injecting and self._attempt_fails(name, task, "before", fired):
+                failures += 1
+                waste = (self.cost_model.task_overhead_s + fetch_time
+                         + self.recovery.backoff_seconds(backoff_base, failures))
+                worker_busy[worker] += waste
+                self.metrics.inc("task_failures")
+                self.metrics.inc("recovery_seconds", waste)
+                worker = self._record_task_failure(name, task, worker, failures)
+                fetch_time, _, _ = self._fetch_cost(task, worker)
+                continue
+
+            t0 = time.perf_counter()
+            output = task.fn(*[p.rows for p in task.inputs])
+            cpu = (time.perf_counter() - t0) * self.cost_model.cpu_scale
+
+            # Executor lost after computing but before committing: the
+            # whole attempt is wasted; replay from the cached state.
+            if injecting and self._attempt_fails(name, task, "after", fired):
+                self._guard_replayable(task, name)
+                failures += 1
+                waste = (cpu + self.cost_model.task_overhead_s + fetch_time
+                         + self.recovery.backoff_seconds(backoff_base, failures))
+                worker_busy[worker] += waste
+                self.metrics.inc("task_failures")
+                self.metrics.inc("recovery_seconds", waste)
+                if task.restore is not None:
+                    task.restore(saved)
+                worker = self._record_task_failure(name, task, worker, failures)
+                fetch_time, _, _ = self._fetch_cost(task, worker)
+                continue
+
+            busy = cpu + self.cost_model.task_overhead_s + fetch_time
+            worker_busy[worker] += busy
+            return (TaskResult(task.index, output, worker, cpu, remote_bytes),
+                    busy)
+
+    def _fire_worker_loss(self, injector: WorkerLossInjector, name: str,
+                          pos: int, tasks: list[StageTask],
+                          assignments: list[int],
+                          results: list[TaskResult],
+                          snapshots: dict[int, object],
+                          worker_busy: list[float]) -> None:
+        """One worker dies mid-stage: invalidate, replay, reschedule.
+
+        The Section 6.1 recovery path end to end: the lost worker's cached
+        partitions are re-derived onto their new homes (charged as network
+        transfer from the surviving copies/lineage), committed tasks whose
+        outputs lived on the dead executor are replayed from the pre-stage
+        snapshot, and this stage's pending tasks move to healthy workers.
+        """
+        live = self.live_workers()
+        victim = injector.worker if injector.worker is not None else live[-1]
+        if victim not in live or len(live) <= 1:
+            return  # already dead, unknown, or the last survivor: no-op
+        injector.fire()
+        self.lose_worker(victim, stage_name=name)
+
+        # 1) Every cached partition homed on the victim is gone; re-home
+        # it and charge re-derivation from the surviving copies.
+        invalidated: set[int] = set()
+        invalidated_bytes = 0
+        for task in tasks:
+            for partition in task.inputs:
+                if partition.worker == victim and id(partition) not in invalidated:
+                    invalidated.add(id(partition))
+                    invalidated_bytes += partition.size_bytes()
+                    partition.worker = self.worker_for_partition(partition.index)
+        if invalidated:
+            refetch = self.cost_model.transfer_seconds(
+                invalidated_bytes, len(self.live_workers()))
+            self.metrics.inc("cache_invalidated_partitions", len(invalidated))
+            self.metrics.inc("cache_invalidated_bytes", invalidated_bytes)
+            self.metrics.advance(refetch, label="recovery")
+            self.metrics.inc("recovery_seconds", refetch)
+
+        # 2) Replay this stage's committed tasks that ran on the victim:
+        # their outputs died with the executor.  State-mutating tasks
+        # restore the pre-stage snapshot first so the replay is exact.
+        replayed: list[int] = []
+        for prev_pos in range(len(results)):
+            prev = results[prev_pos]
+            if prev.worker != victim:
+                continue
+            prev_task = tasks[prev_pos]
+            self._guard_replayable(prev_task, name)
+            if prev_task.restore is not None:
+                prev_task.restore(snapshots.get(prev_pos))
+            new_worker = fallback_worker(victim, self.healthy_workers())
+            fetch_time, new_remote, _ = self._fetch_cost(prev_task, new_worker)
+            self.metrics.inc("task_attempts")
+            t0 = time.perf_counter()
+            output = prev_task.fn(*[p.rows for p in prev_task.inputs])
+            cpu = (time.perf_counter() - t0) * self.cost_model.cpu_scale
+            busy = cpu + self.cost_model.task_overhead_s + fetch_time
+            worker_busy[new_worker] += busy
+            self.metrics.inc("recovery_seconds", busy)
+            results[prev_pos] = TaskResult(prev.index, output, new_worker,
+                                           cpu, new_remote)
+            replayed.append(prev.index)
+
+        # 3) Pending tasks assigned to the victim move to healthy workers.
+        healthy = self.healthy_workers()
+        rescheduled = 0
+        for later in range(pos, len(assignments)):
+            if assignments[later] == victim:
+                assignments[later] = fallback_worker(victim, healthy)
+                rescheduled += 1
+        self.tracer.leaf("recovery", f"stage-replay[{name}]",
+                         worker=victim, stage=name, at_task=pos,
+                         replayed_tasks=replayed, rescheduled=rescheduled,
+                         invalidated_partitions=len(invalidated),
+                         invalidated_bytes=invalidated_bytes)
+
+    def _speculate(self, name: str, tasks: list[StageTask],
+                   results: list[TaskResult], task_busy: list[float],
+                   worker_busy: list[float]) -> None:
+        """Straggler mitigation: re-launch the slowest task elsewhere.
+
+        The speculative copy launches when the median task finishes and
+        the first committer wins.  Only side-effect-free tasks are
+        speculated (a mutating copy would double-apply the merge), and
+        since both attempts compute the same value the simulation only
+        adjusts time: the duplicate work is charged to the copy's worker
+        and the abandoned original stops counting toward the stage's
+        critical path.
+        """
+        if len(results) < 2:
+            return
+        med = median(task_busy)
+        slow_pos = max(range(len(task_busy)), key=task_busy.__getitem__)
+        slow = task_busy[slow_pos]
+        if slow <= 0 or slow <= med * self.fault_config.speculation_multiplier:
+            return
+        task = tasks[slow_pos]
+        if task.mutating or task.snapshot is not None:
+            return
+        original = results[slow_pos].worker
+        others = [w for w in self.live_workers() if w != original]
+        if not others:
+            return
+        spec_worker = min(others, key=lambda w: worker_busy[w])
+        fetch_time, _, _ = self._fetch_cost(task, spec_worker)
+        # The copy runs at the stage's typical rate: straggling is
+        # attributed to the sick executor, not to the task's work.
+        copy_cpu = median(r.cpu_seconds for r in results)
+        copy_busy = copy_cpu + self.cost_model.task_overhead_s + fetch_time
+        copy_finish = med + copy_busy
+        if copy_finish >= slow:
+            return
+        worker_busy[spec_worker] += copy_busy
+        worker_busy[original] -= slow - copy_finish
+        self.metrics.inc("speculative_tasks")
+        self.tracer.leaf("speculation", f"{name}[{task.index}]",
+                         index=task.index, from_worker=original,
+                         to_worker=spec_worker,
+                         saved_seconds=slow - copy_finish)
 
     # ------------------------------------------------------------------
     # shuffle exchange

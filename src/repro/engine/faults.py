@@ -1,20 +1,34 @@
-"""Task-failure injection and stage-level recovery (Section 6.1).
+"""Fault injection and recovery policy (Section 6.1).
 
 The paper argues SetRDD does not compromise fault recovery: because the
 all-relation's partitions are always cached ("checkpointed"), "a failure
 in any iteration will only incur the replay of the execution job belonging
 to the current stage".  This module lets tests and benchmarks exercise
-exactly that: a :class:`FailureInjector` makes chosen tasks fail, and the
-cluster replays them, charging the wasted attempt.
+exactly that, at two granularities:
 
-Two failure points are modeled:
+- :class:`FailureInjector` kills individual *task attempts* at a chosen
+  point; the cluster retries them (restoring any state snapshot first)
+  within a bounded per-task budget.
+- :class:`WorkerLossInjector` kills a whole *worker*: every cached
+  partition homed there is invalidated, completed tasks of the current
+  stage that ran on it are replayed from the last cached all-relation
+  state, and pending tasks are rescheduled to surviving workers.
+
+Two failure points are modeled for task deaths:
 
 - ``"before"`` — the executor is lost before the task starts (scheduling
   charged, no work done).  Replay is trivially safe.
 - ``"after"`` — the task dies after doing its work but before committing
   its output.  Replay must not observe the half-applied state, so tasks
   that mutate cached state (the fixpoint's merge) provide
-  snapshot/restore hooks; the cluster restores before re-running.
+  snapshot/restore hooks; the cluster restores before re-running.  An
+  after-point failure on a task that declares itself mutating but has no
+  restore hook raises :class:`repro.errors.FaultInjectionError` instead
+  of silently corrupting the result.
+
+:class:`RecoveryManager` holds the recovery *policy* — retry budget,
+exponential backoff, and worker blacklisting after repeated failures —
+configured by :class:`FaultToleranceConfig`.
 """
 
 from __future__ import annotations
@@ -22,26 +36,57 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from repro.errors import TaskRetryExhaustedError
 
-class SimulatedTaskFailure(Exception):
-    """Raised internally to unwind a failing task attempt."""
+
+@dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Recovery knobs of the simulated cluster (Spark analogs in parens).
+
+    max_task_retries:
+        Failed attempts tolerated per task before the stage aborts with
+        :class:`repro.errors.TaskRetryExhaustedError`
+        (``spark.task.maxFailures`` minus one).
+    blacklist_after:
+        Task failures attributed to one worker before it is excluded
+        from scheduling (``spark.blacklist.*``).  Blacklisted workers
+        keep their cached partitions — only new task placement avoids
+        them — mirroring Spark's executor blacklisting.
+    speculation:
+        Re-launch a speculative copy of a straggler task and take the
+        first committer (``spark.speculation``).  Only side-effect-free
+        tasks are speculated; the copy changes simulated time, never
+        results.
+    speculation_multiplier:
+        A task is a straggler when its busy time exceeds this multiple
+        of the stage's median task time (``spark.speculation.multiplier``).
+    """
+
+    max_task_retries: int = 4
+    blacklist_after: int = 3
+    speculation: bool = False
+    speculation_multiplier: float = 1.5
 
 
 @dataclass
 class FailureInjector:
-    """Fail matching tasks a bounded number of times.
+    """Fail matching task attempts a bounded number of times.
 
     ``stage_pattern`` is a regex matched against the stage name;
     ``task_index`` of ``None`` targets every task of a matching stage.
-    ``times`` bounds total injected failures (a real lost executor fails a
-    bounded number of tasks before blacklisting kicks in).
+    ``times`` bounds total injected failures across the run.
     ``point`` is ``"before"`` or ``"after"`` (see module docstring).
+    ``persistent`` makes the injector fail the *retries* of a task too
+    (the default fails each task at most once per stage visit, modelling
+    a transient fault that a retry survives); a persistent injector
+    models a deterministic fault and will exhaust the retry budget.
     """
 
     stage_pattern: str
     task_index: int | None = 0
     times: int = 1
     point: str = "before"
+    persistent: bool = False
     injected: int = field(default=0, init=False)
 
     def __post_init__(self):
@@ -58,3 +103,82 @@ class FailureInjector:
             return False
         self.injected += 1
         return True
+
+
+@dataclass
+class WorkerLossInjector:
+    """Kill a worker when a matching stage reaches a chosen task.
+
+    ``worker`` of ``None`` picks a victim deterministically at fire time
+    (the highest-numbered live worker, so worker 0 — the "master-ish"
+    home of partition 0 — dies last).  ``at_task`` is the position in
+    the stage's task list at which the loss strikes (clamped to the
+    stage size), so losses can land mid-stage, after some tasks already
+    committed.  ``skip_matches`` skips that many matching stages first,
+    which is how chaos schedules hit random *iterations* of the
+    fixpoint.  ``times`` bounds total losses from this injector.
+    """
+
+    stage_pattern: str
+    worker: int | None = None
+    at_task: int = 0
+    skip_matches: int = 0
+    times: int = 1
+    injected: int = field(default=0, init=False)
+    _seen: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        self._regex = re.compile(self.stage_pattern)
+
+    def matches(self, stage_name: str) -> bool:
+        """True when this injector should strike during *this* stage."""
+        if self.injected >= self.times:
+            return False
+        if not self._regex.search(stage_name):
+            return False
+        self._seen += 1
+        return self._seen > self.skip_matches
+
+    def fire(self) -> None:
+        self.injected += 1
+
+
+class RecoveryManager:
+    """Retry budget, backoff, and worker blacklisting for one cluster.
+
+    The cluster consults this on every task failure; the manager only
+    tracks *policy state* (per-worker failure tallies, the blacklist) —
+    the cluster owns execution and cost accounting.
+    """
+
+    def __init__(self, config: FaultToleranceConfig | None = None):
+        self.config = config or FaultToleranceConfig()
+        self.failures_by_worker: dict[int, int] = {}
+        self.blacklisted: set[int] = set()
+
+    def record_failure(self, worker: int) -> bool:
+        """Attribute one task failure to a worker.
+
+        Returns ``True`` when this failure pushed the worker over the
+        blacklist threshold (i.e. it is *newly* blacklisted).
+        """
+        count = self.failures_by_worker.get(worker, 0) + 1
+        self.failures_by_worker[worker] = count
+        if worker not in self.blacklisted and count >= self.config.blacklist_after:
+            self.blacklisted.add(worker)
+            return True
+        return False
+
+    def check_retry_budget(self, stage: str, task_index: int,
+                           failures: int) -> None:
+        """Raise when a task has failed more times than the budget allows."""
+        if failures > self.config.max_task_retries:
+            raise TaskRetryExhaustedError(
+                f"task {task_index} of stage {stage!r} failed {failures} "
+                f"times, exceeding max_task_retries="
+                f"{self.config.max_task_retries}",
+                stage=stage, task_index=task_index, attempts=failures)
+
+    def backoff_seconds(self, base: float, failures: int) -> float:
+        """Exponential retry backoff charged to the simulated clock."""
+        return base * (2 ** max(0, failures - 1))

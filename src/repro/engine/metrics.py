@@ -54,6 +54,11 @@ class CostModel:
     #: Multiplier applied to measured task CPU seconds before they enter the
     #: simulated clock.  1.0 means "this Python process is one worker core".
     cpu_scale: float = 1.0
+    #: Time for the driver to notice a lost executor (heartbeat timeout,
+    #: in the spirit of ``spark.network.timeout``, scaled to the sim).
+    worker_loss_detect_s: float = 0.050
+    #: Base of the exponential backoff charged before a task retry.
+    task_retry_backoff_s: float = 0.005
 
     def transfer_seconds(self, nbytes: int, parallel_streams: int = 1) -> float:
         """Time to move *nbytes* across the network over N parallel streams."""
@@ -72,6 +77,13 @@ class MetricsRegistry:
       (partition-aware scheduling ablation).
     - ``broadcast_bytes``, ``broadcast_bytes_compressed``.
     - ``iterations`` — fixpoint iterations executed.
+    - ``task_attempts``, ``task_failures`` — every attempt vs injected
+      deaths (fault-tolerance subsystem; Section 6.1's recovery claim).
+    - ``workers_lost``, ``workers_blacklisted``, ``speculative_tasks``.
+    - ``recovery_seconds`` — simulated time spent on wasted attempts,
+      retry backoff, loss detection and cache re-derivation.
+    - ``cache_invalidated_partitions``, ``cache_invalidated_bytes`` —
+      cached partitions whose home worker was lost.
     """
 
     def __init__(self):

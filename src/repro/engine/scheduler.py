@@ -14,12 +14,19 @@ We reproduce both policies:
   least-loaded worker, modelling locality-wait expiry.  The resulting
   remote fetches are charged by the cluster's cost model.
 - :class:`PartitionAwarePolicy` — always returns the preferred worker.
+
+Both are *health-aware*: ``assign`` takes an optional ``healthy`` pool
+(live, non-blacklisted workers, as maintained by the cluster's
+:class:`repro.engine.faults.RecoveryManager`).  A preferred worker that
+is dead or blacklisted gets a deterministic fallback placement inside
+the pool, so recovery re-runs schedule reproducibly.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Sequence
 
 
 @dataclass
@@ -30,12 +37,22 @@ class TaskSpec:
     preferred_worker: int | None
 
 
+def fallback_worker(preferred: int, healthy: Sequence[int]) -> int:
+    """Deterministic placement when the preferred worker is unavailable."""
+    return healthy[preferred % len(healthy)]
+
+
 class SchedulingPolicy:
-    """Interface: map a list of task specs to a worker id per task."""
+    """Interface: map a list of task specs to a worker id per task.
+
+    ``healthy`` is the pool of schedulable workers (``None`` means all of
+    ``range(num_workers)``); assignments must stay inside it.
+    """
 
     name = "abstract"
 
-    def assign(self, tasks: list[TaskSpec], num_workers: int) -> list[int]:
+    def assign(self, tasks: list[TaskSpec], num_workers: int,
+               healthy: Sequence[int] | None = None) -> list[int]:
         raise NotImplementedError
 
 
@@ -45,13 +62,19 @@ class PartitionAwarePolicy(SchedulingPolicy):
 
     name: str = "partition_aware"
 
-    def assign(self, tasks: list[TaskSpec], num_workers: int) -> list[int]:
+    def assign(self, tasks: list[TaskSpec], num_workers: int,
+               healthy: Sequence[int] | None = None) -> list[int]:
+        pool = list(healthy) if healthy is not None else list(range(num_workers))
+        allowed = set(pool)
         assignments = []
         for task in tasks:
-            if task.preferred_worker is None:
-                assignments.append(task.index % num_workers)
+            preferred = (task.preferred_worker
+                         if task.preferred_worker is not None
+                         else task.index) % num_workers
+            if preferred in allowed:
+                assignments.append(preferred)
             else:
-                assignments.append(task.preferred_worker % num_workers)
+                assignments.append(fallback_worker(preferred, pool))
         return assignments
 
 
@@ -69,20 +92,26 @@ class DefaultPolicy(SchedulingPolicy):
     miss_probability: float = 0.35
     seed: int = 17
     name: str = "default"
-    _rng: random.Random = field(default=None, repr=False)
+    _rng: random.Random = field(init=False, repr=False)
 
     def __post_init__(self):
         self._rng = random.Random(self.seed)
 
-    def assign(self, tasks: list[TaskSpec], num_workers: int) -> list[int]:
+    def assign(self, tasks: list[TaskSpec], num_workers: int,
+               healthy: Sequence[int] | None = None) -> list[int]:
+        pool = list(healthy) if healthy is not None else list(range(num_workers))
+        allowed = set(pool)
         assignments = []
         for task in tasks:
             preferred = (task.preferred_worker if task.preferred_worker is not None
                          else task.index) % num_workers
-            if task.preferred_worker is None or self._rng.random() < self.miss_probability:
-                # Locality wait expired: the task runs on whichever
+            if (task.preferred_worker is None
+                    or preferred not in allowed
+                    or self._rng.random() < self.miss_probability):
+                # Locality wait expired (or the preferred executor is
+                # dead/blacklisted): the task runs on whichever healthy
                 # executor freed up first.
-                worker = self._rng.randrange(num_workers)
+                worker = pool[self._rng.randrange(len(pool))]
             else:
                 worker = preferred
             assignments.append(worker)

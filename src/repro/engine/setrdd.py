@@ -56,6 +56,20 @@ class SetRDD:
     def contains(self, partition_index: int, row: tuple) -> bool:
         return row in self.partitions[partition_index]
 
+    def snapshot_partition(self, partition_index: int) -> set[tuple]:
+        """Copy one partition's state for fault recovery.
+
+        Taken by the cluster before a stage that mutates this partition;
+        the pre-iteration copy plays the role of the cached all-relation
+        "checkpoint" of Section 6.1.
+        """
+        return set(self.partitions[partition_index])
+
+    def restore_partition(self, partition_index: int,
+                          saved: set[tuple]) -> None:
+        """Reset one partition to a previously-snapshotted state."""
+        self.partitions[partition_index] = set(saved)
+
     def num_rows(self) -> int:
         return sum(len(p) for p in self.partitions)
 
@@ -137,6 +151,14 @@ class KeyedStateRDD:
                 state[key] = tuple(new_state)
                 delta.append((key, tuple(delta_values)))
         return delta
+
+    def snapshot_partition(self, partition_index: int) -> dict:
+        """Copy one partition's state for fault recovery (see SetRDD)."""
+        return dict(self.partitions[partition_index])
+
+    def restore_partition(self, partition_index: int, saved: dict) -> None:
+        """Reset one partition to a previously-snapshotted state."""
+        self.partitions[partition_index] = dict(saved)
 
     def num_groups(self) -> int:
         return sum(len(p) for p in self.partitions)

@@ -63,6 +63,36 @@ class FixpointNotReachedError(ExecutionError):
         super().__init__(message)
 
 
+class FaultInjectionError(RaSQLError):
+    """Raised when an injected failure cannot be recovered safely.
+
+    The canonical case: an ``"after"``-point failure hits a task that
+    mutates cached state but provides no snapshot/restore hooks — a
+    replay would run against half-applied state and silently corrupt the
+    result, so the cluster refuses instead of replaying.
+    """
+
+
+class TaskRetryExhaustedError(ExecutionError):
+    """Raised when a task keeps failing past the per-task retry budget.
+
+    Mirrors Spark's ``spark.task.maxFailures`` abort: after
+    ``max_task_retries`` failed attempts the stage — and the query — is
+    given up rather than retried forever.
+    """
+
+    def __init__(self, message: str, stage: str, task_index: int,
+                 attempts: int):
+        self.stage = stage
+        self.task_index = task_index
+        self.attempts = attempts
+        super().__init__(message)
+
+
+class NoHealthyWorkersError(ExecutionError):
+    """Raised when worker loss would leave the cluster with no live worker."""
+
+
 class PreMViolationError(RaSQLError):
     """Raised by the PreM auto-validation tool when a query fails the check.
 

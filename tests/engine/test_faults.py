@@ -5,7 +5,17 @@ import pytest
 from repro import ExecutionConfig, RaSQLContext
 from repro.baselines import serial
 from repro.engine.cluster import Cluster, StageTask
-from repro.engine.faults import FailureInjector
+from repro.engine.dataset import Partition
+from repro.engine.faults import (
+    FailureInjector,
+    FaultToleranceConfig,
+    WorkerLossInjector,
+)
+from repro.errors import (
+    FaultInjectionError,
+    NoHealthyWorkersError,
+    TaskRetryExhaustedError,
+)
 from repro.queries import get_query
 
 EDGES = [(1, 2, 1.0), (2, 3, 2.0), (1, 3, 5.0), (3, 4, 1.0), (4, 2, 1.0)]
@@ -117,3 +127,222 @@ class TestFixpointRecovery:
         failed_result, failed_ctx = self.run_sssp(injector)
         assert failed_result == clean_result
         assert failed_ctx.metrics.sim_time > clean_ctx.metrics.sim_time
+
+
+class TestRetryBudget:
+    def test_persistent_failure_exhausts_budget(self):
+        cluster = Cluster(
+            num_workers=2,
+            fault_config=FaultToleranceConfig(max_task_retries=2))
+        cluster.inject_failures(FailureInjector(
+            "work", point="before", times=100, persistent=True))
+        with pytest.raises(TaskRetryExhaustedError) as excinfo:
+            cluster.run_stage("work", [StageTask(0, [], lambda: "ok")])
+        assert excinfo.value.stage == "work"
+        assert excinfo.value.attempts == 3  # budget of 2 retries exceeded
+        assert cluster.metrics.get("task_failures") == 3
+
+    def test_transient_failure_stays_within_budget(self):
+        # A non-persistent injector fails each task at most once per
+        # stage visit, so even times=100 never exhausts the budget.
+        cluster = Cluster(
+            num_workers=2,
+            fault_config=FaultToleranceConfig(max_task_retries=1))
+        cluster.inject_failures(FailureInjector(
+            "work", task_index=None, point="before", times=100))
+        results = cluster.run_stage("work", [StageTask(0, [], lambda: "ok")])
+        assert results[0].output == "ok"
+        assert cluster.metrics.get("task_attempts") == 2
+
+    def test_backoff_charged_to_clock(self):
+        plain = Cluster(num_workers=2)
+        plain.inject_failures(FailureInjector("work", point="before"))
+        plain.run_stage("work", [StageTask(0, [], lambda: None)])
+        assert plain.metrics.get("recovery_seconds") > 0
+        assert plain.metrics.get("recovery_seconds") >= \
+            plain.cost_model.task_retry_backoff_s
+
+
+class TestMutationGuard:
+    """Satellite: a mutating task without hooks must refuse after-replay
+    instead of silently re-applying its side effects (the old behaviour
+    re-ran ``task.fn`` and corrupted sums)."""
+
+    def test_after_failure_without_hooks_raises(self):
+        cluster = Cluster(num_workers=2)
+        cluster.inject_failures(FailureInjector("work", point="after"))
+        state = {"value": 0}
+        task = StageTask(
+            0, [], lambda: state.__setitem__("value", state["value"] + 1),
+            mutating=True)  # declared mutating, but no snapshot/restore
+        with pytest.raises(FaultInjectionError):
+            cluster.run_stage("work", [task])
+
+    def test_worker_loss_replay_without_hooks_raises(self):
+        cluster = Cluster(num_workers=2)
+        cluster.inject_failures(WorkerLossInjector("work", worker=0, at_task=1))
+        state = {"value": 0}
+        tasks = [
+            StageTask(0, [],
+                      lambda: state.__setitem__("value", state["value"] + 1),
+                      preferred_worker=0, mutating=True),
+            StageTask(1, [], lambda: "ok", preferred_worker=1),
+        ]
+        with pytest.raises(FaultInjectionError):
+            cluster.run_stage("work", tasks)
+
+    def test_pure_task_replays_without_hooks(self):
+        # Side-effect-free tasks (mutating=False, the default) replay
+        # fine without hooks — that is the Spark lineage story.
+        cluster = Cluster(num_workers=2)
+        cluster.inject_failures(FailureInjector("work", point="after"))
+        results = cluster.run_stage("work", [StageTask(0, [], lambda: 42)])
+        assert results[0].output == 42
+        assert cluster.metrics.get("task_failures") == 1
+
+
+class TestWorkerLoss:
+    def make_tasks(self, cluster, n=4):
+        tasks = []
+        for i in range(n):
+            part = Partition(i, [(i,)], cluster.worker_for_partition(i))
+            tasks.append(StageTask(i, [part], lambda rows: list(rows),
+                                   preferred_worker=part.worker))
+        return tasks
+
+    def test_loss_invalidates_and_reschedules(self):
+        cluster = Cluster(num_workers=4)
+        cluster.inject_failures(WorkerLossInjector("work", worker=2))
+        results = cluster.run_stage("work", self.make_tasks(cluster))
+        assert cluster.lost_workers == {2}
+        assert all(r.worker != 2 for r in results)
+        assert cluster.metrics.get("workers_lost") == 1
+        assert cluster.metrics.get("cache_invalidated_partitions") == 1
+        assert cluster.metrics.get("recovery_seconds") > 0
+        # Outputs are unaffected by where the tasks ran.
+        assert [r.output for r in results] == [[(i,)] for i in range(4)]
+
+    def test_mid_stage_loss_replays_committed_tasks(self):
+        cluster = Cluster(num_workers=4)
+        cluster.inject_failures(WorkerLossInjector("work", worker=0, at_task=2))
+        results = cluster.run_stage("work", self.make_tasks(cluster))
+        # Task 0 committed on worker 0 before the loss; its output died
+        # with the executor, so it re-ran elsewhere.
+        assert results[0].worker != 0
+        assert results[0].output == [(0,)]
+        assert cluster.metrics.get("task_attempts") == 5  # 4 tasks + 1 replay
+
+    def test_auto_victim_is_highest_live_worker(self):
+        cluster = Cluster(num_workers=4)
+        cluster.inject_failures(WorkerLossInjector("work", worker=None))
+        cluster.run_stage("work", self.make_tasks(cluster))
+        assert cluster.lost_workers == {3}
+
+    def test_partition_homes_remap_deterministically(self):
+        cluster = Cluster(num_workers=4)
+        cluster.lose_worker(1)
+        live = [0, 2, 3]
+        for i in range(8):
+            home = cluster.worker_for_partition(i)
+            assert home in live
+            if i % 4 != 1:
+                assert home == i % 4  # surviving homes unchanged
+
+    def test_last_worker_cannot_be_lost(self):
+        cluster = Cluster(num_workers=2)
+        cluster.lose_worker(0)
+        with pytest.raises(NoHealthyWorkersError):
+            cluster.lose_worker(1)
+
+    def test_loss_skips_when_last_survivor(self):
+        # An injector that would kill the only live worker is a no-op
+        # rather than an abort: its budget is not consumed.
+        cluster = Cluster(num_workers=2)
+        cluster.lose_worker(1)
+        injector = WorkerLossInjector("work", worker=0)
+        cluster.inject_failures(injector)
+        results = cluster.run_stage("work", [StageTask(0, [], lambda: "ok")])
+        assert results[0].output == "ok"
+        assert injector.injected == 0
+
+    def test_query_survives_worker_loss(self):
+        ctx = RaSQLContext(num_workers=4)
+        ctx.inject_faults(WorkerLossInjector(
+            "fixpoint", worker=1, at_task=1, skip_matches=1))
+        ctx.register_table("edge", ["Src", "Dst", "Cost"], EDGES)
+        result = ctx.sql(get_query("sssp").formatted(source=1))
+        assert result.to_dict() == serial.sssp(EDGES, 1)
+        assert ctx.metrics.get("workers_lost") == 1
+        assert ctx.metrics.get("recovery_seconds") > 0
+
+
+class TestBlacklisting:
+    def test_repeated_failures_blacklist_worker(self):
+        cluster = Cluster(
+            num_workers=4,
+            fault_config=FaultToleranceConfig(max_task_retries=10,
+                                              blacklist_after=2))
+        cluster.inject_failures(FailureInjector(
+            "work", point="before", times=2, persistent=True))
+        task = StageTask(0, [], lambda: "ok", preferred_worker=1)
+        results = cluster.run_stage("work", [task])
+        assert cluster.recovery.blacklisted == {1}
+        assert cluster.metrics.get("workers_blacklisted") == 1
+        # The committing attempt ran away from the blacklisted worker.
+        assert results[0].worker != 1
+
+    def test_scheduler_avoids_blacklisted_workers(self):
+        cluster = Cluster(num_workers=4)
+        cluster.recovery.blacklisted.add(2)
+        parts = [Partition(i, [(i,)], i) for i in range(4)]
+        tasks = [StageTask(i, [parts[i]], lambda rows: list(rows),
+                           preferred_worker=i) for i in range(4)]
+        results = cluster.run_stage("work", tasks)
+        assert all(r.worker != 2 for r in results)
+
+    def test_blacklist_ignored_when_all_workers_listed(self):
+        cluster = Cluster(num_workers=2)
+        cluster.recovery.blacklisted.update({0, 1})
+        assert cluster.healthy_workers() == [0, 1]
+
+
+class TestSpeculation:
+    def make_skewed_tasks(self, straggler_loops=200_000):
+        def fast(rows):
+            return list(rows)
+
+        def slow(rows):
+            acc = 0
+            for i in range(straggler_loops):
+                acc += i
+            return list(rows)
+
+        tasks = []
+        for i in range(4):
+            part = Partition(i, [(i,)], i)
+            fn = slow if i == 3 else fast
+            tasks.append(StageTask(i, [part], fn, preferred_worker=i))
+        return tasks
+
+    def test_straggler_copy_saves_time(self):
+        spec = Cluster(num_workers=4,
+                       fault_config=FaultToleranceConfig(speculation=True))
+        spec.run_stage("work", self.make_skewed_tasks())
+        assert spec.metrics.get("speculative_tasks") == 1
+
+    def test_speculation_never_changes_results(self):
+        plain = Cluster(num_workers=4)
+        spec = Cluster(num_workers=4,
+                       fault_config=FaultToleranceConfig(speculation=True))
+        plain_results = plain.run_stage("work", self.make_skewed_tasks())
+        spec_results = spec.run_stage("work", self.make_skewed_tasks())
+        assert ([r.output for r in plain_results]
+                == [r.output for r in spec_results])
+
+    def test_mutating_tasks_never_speculated(self):
+        cluster = Cluster(num_workers=4,
+                          fault_config=FaultToleranceConfig(speculation=True))
+        tasks = self.make_skewed_tasks()
+        tasks[3].mutating = True
+        cluster.run_stage("work", tasks)
+        assert cluster.metrics.get("speculative_tasks") == 0

@@ -1,0 +1,122 @@
+"""Unit tests for the chaos harness itself (schedules, spec parsing)."""
+
+import pytest
+
+from repro import RaSQLContext
+from repro.chaos import (
+    ChaosSchedule,
+    make_schedule,
+    parse_fault_spec,
+    run_with_chaos,
+)
+from repro.engine.faults import FailureInjector, WorkerLossInjector
+
+
+class TestMakeSchedule:
+    def test_deterministic_per_seed(self):
+        a, b = make_schedule(42), make_schedule(42)
+        assert a.describe() == b.describe()
+
+    def test_seeds_differ(self):
+        described = {make_schedule(seed).describe() for seed in range(20)}
+        assert len(described) > 1
+
+    def test_composition(self):
+        schedule = make_schedule(7, task_deaths=3, worker_losses=2)
+        assert len(schedule.task_injectors) == 3
+        assert len(schedule.loss_injectors) == 2
+        for injector in schedule.task_injectors:
+            assert injector.point in ("before", "after")
+
+    def test_arm_installs_on_cluster(self):
+        ctx = RaSQLContext(num_workers=2)
+        schedule = make_schedule(3)
+        schedule.arm(ctx.cluster)
+        assert len(ctx.cluster.failure_injectors) == 2
+        assert len(ctx.cluster.worker_loss_injectors) == 1
+
+
+class TestParseFaultSpec:
+    def test_task_spec(self):
+        injector = parse_fault_spec(
+            "task:fixpoint:task_index=1:point=after:times=2")
+        assert isinstance(injector, FailureInjector)
+        assert injector.stage_pattern == "fixpoint"
+        assert injector.task_index == 1
+        assert injector.point == "after"
+        assert injector.times == 2
+
+    def test_task_any_index_and_persistent(self):
+        injector = parse_fault_spec("task:map:task_index=any:persistent=true")
+        assert injector.task_index is None
+        assert injector.persistent is True
+
+    def test_worker_loss_spec(self):
+        injector = parse_fault_spec(
+            "worker-loss:fixpoint:worker=2:at_task=1:skip_matches=3")
+        assert isinstance(injector, WorkerLossInjector)
+        assert injector.worker == 2
+        assert injector.at_task == 1
+        assert injector.skip_matches == 3
+
+    def test_worker_auto(self):
+        assert parse_fault_spec("worker-loss:fixpoint:worker=auto").worker is None
+
+    @pytest.mark.parametrize("bad", [
+        "nonsense",
+        "explode:fixpoint",
+        "task:fixpoint:badoption",
+        "task:fixpoint:times=soon",
+    ])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_spec(bad)
+
+
+class TestRunWithChaos:
+    EDGES = [(1, 2, 1.0), (2, 3, 2.0), (1, 3, 5.0), (3, 4, 1.0), (4, 2, 1.0)]
+    QUERY = """
+        WITH recursive path(Dst, min() AS Cost) AS
+          (SELECT 1, 0) UNION
+          (SELECT edge.Dst, path.Cost + edge.Cost
+           FROM path, edge WHERE path.Dst = edge.Src)
+        SELECT Dst, Cost FROM path
+    """
+
+    def make_context(self):
+        ctx = RaSQLContext(num_workers=4)
+        ctx.register_table("edge", ["Src", "Dst", "Cost"], self.EDGES)
+        return ctx
+
+    def test_exact_match_and_counters(self):
+        report = run_with_chaos(self.QUERY, self.make_context,
+                                make_schedule(11, num_workers=4))
+        assert report.matches
+        assert report.baseline_rows == report.chaos_rows
+        task_fired, losses_fired = report.schedule.injected_counts()
+        assert report.counters["task_failures"] == task_fired
+        assert report.counters["workers_lost"] == losses_fired
+        assert report.overhead_seconds >= 0
+        assert "EXACT" in report.summary()
+
+    def test_empty_schedule_is_free(self):
+        report = run_with_chaos(self.QUERY, self.make_context,
+                                ChaosSchedule(seed=0))
+        assert report.matches
+        assert report.counters["task_failures"] == 0
+        assert report.counters["recovery_seconds"] == 0
+        # The two runs do the same work; only measured-CPU jitter differs.
+        assert abs(report.overhead_seconds) < \
+            0.2 * report.baseline_sim_time + 0.01
+
+    def test_trace_shows_recovery(self):
+        from repro.engine.tracing import format_explain_analyze
+
+        report = run_with_chaos(
+            self.QUERY, self.make_context,
+            ChaosSchedule(seed=0, injectors=[
+                WorkerLossInjector("fixpoint", worker=1, at_task=1)]))
+        assert report.matches
+        rendered = format_explain_analyze(report.trace)
+        assert "fault recovery" in rendered
+        assert "workers lost: 1" in rendered
