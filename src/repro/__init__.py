@@ -20,7 +20,9 @@ from repro.core.config import (
     FaultToleranceConfig,
 )
 from repro.core.context import RaSQLContext
+from repro.core.governor import QueryGovernor
 from repro.core.streaming import IncrementalView
+from repro.engine.memory import MemoryConfig
 from repro.relation import Relation
 
 __version__ = "1.0.0"
@@ -30,6 +32,8 @@ __all__ = [
     "ExecutionConfig",
     "FaultToleranceConfig",
     "IncrementalView",
+    "MemoryConfig",
+    "QueryGovernor",
     "RaSQLContext",
     "Relation",
     "__version__",

@@ -58,6 +58,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-stage-combination", action="store_true")
     parser.add_argument("--evaluation", default="dsn",
                         choices=["dsn", "naive", "stratified"])
+    parser.add_argument("--timeout", type=float, metavar="SECONDS",
+                        help="abort the query once it exceeds this many "
+                             "*simulated* seconds (checked at stage "
+                             "boundaries); exit code 3")
+    parser.add_argument("--memory-budget", type=int, metavar="BYTES",
+                        help="per-worker memory budget; colder cached "
+                             "partitions spill to a simulated disk tier "
+                             "under pressure, and a working set that "
+                             "cannot fit even after spilling aborts with "
+                             "exit code 4")
     parser.add_argument("--output", help="write the result as CSV here")
     parser.add_argument("--limit", type=int, default=50,
                         help="max rows to print (default 50)")
@@ -77,7 +87,14 @@ def read_query(args) -> str:
 def make_context(args, config: ExecutionConfig) -> RaSQLContext:
     """A fresh session with the CLI's tables registered (chaos runs need
     two of these, so the clean and faulted clusters share no state)."""
-    ctx = RaSQLContext(num_workers=args.workers, config=config)
+    cluster_kwargs = {}
+    if args.memory_budget is not None:
+        from repro.engine.memory import MemoryConfig
+
+        cluster_kwargs["memory_config"] = MemoryConfig(
+            worker_budget_bytes=args.memory_budget)
+    ctx = RaSQLContext(num_workers=args.workers, config=config,
+                       **cluster_kwargs)
     for spec in args.table:
         name, _, path = spec.partition("=")
         if not path:
@@ -106,15 +123,26 @@ def run_chaos(args, query: str, config: ExecutionConfig) -> int:
     return 0
 
 
+def _iter_spans(span: dict, kind: str):
+    if span.get("kind") == kind:
+        yield span
+    for child in span.get("children", ()):
+        yield from _iter_spans(child, kind)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     query = read_query(args)
 
-    config = ExecutionConfig(
-        codegen=not args.no_codegen,
-        stage_combination=not args.no_stage_combination,
-        evaluation=args.evaluation,
-    )
+    try:
+        config = ExecutionConfig(
+            codegen=not args.no_codegen,
+            stage_combination=not args.no_stage_combination,
+            evaluation=args.evaluation,
+            deadline_seconds=args.timeout,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
 
     if args.chaos is not None:
         return run_chaos(args, query, config)
@@ -143,12 +171,43 @@ def main(argv: list[str] | None = None) -> int:
         print(prem_report.format_trace())
         return 0 if prem_report.holds else 1
 
-    result = ctx.sql(query)
+    from repro.errors import (
+        AdmissionRejectedError,
+        MemoryBudgetExceededError,
+        QueryDeadlineExceededError,
+    )
+
+    try:
+        result = ctx.sql(query)
+    except QueryDeadlineExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.partial_trace is not None:
+            stages = sum(1 for _ in _iter_spans(exc.partial_trace, "stage"))
+            iters = sum(1 for _ in _iter_spans(exc.partial_trace,
+                                               "iteration"))
+            print(f"-- partial trace: {iters} fixpoint iterations, "
+                  f"{stages} completed stages before the deadline "
+                  f"(re-run with --trace PATH to save it)",
+                  file=sys.stderr)
+        return 3
+    except MemoryBudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    except AdmissionRejectedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 5
     print(result.sorted().show(limit=args.limit))
     stats = ctx.last_run
     print(f"-- {len(result)} rows; {stats.iterations} fixpoint iterations; "
           f"{stats.sim_time:.4f} simulated cluster seconds",
           file=sys.stderr)
+    if args.memory_budget is not None:
+        mem = stats.memory_summary()
+        hwm = max((v for k, v in mem.items()
+                   if k.startswith("memory_hwm_bytes_w")), default=0)
+        print(f"-- memory: peak worker high-water {hwm:.0f} bytes; "
+              f"spills={mem['spill_events']:.0f} "
+              f"({mem['spill_bytes']:.0f} bytes)", file=sys.stderr)
     if args.faults:
         fault_stats = stats.fault_summary()
         print(f"-- recovery: attempts={fault_stats['task_attempts']:.0f} "

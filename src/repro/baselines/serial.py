@@ -361,10 +361,13 @@ def _company_control_seminaive(shares) -> dict:
     """Semi-naive reference mirroring the query's increment semantics.
 
     Diverges (like the query itself) on cyclic majority ownership, so a
-    round budget guards against silent hangs.
+    round budget guards against silent hangs.  ``shares`` is a set of
+    facts, as in the Datalog formulation: a duplicate
+    ``(by, of, percent)`` row is the same fact restated, not a second
+    share lot (distinct lots need a distinguishing column).
     """
     direct: dict = defaultdict(float)
-    for by, of, percent in shares:
+    for by, of, percent in dict.fromkeys(tuple(s) for s in shares):
         direct[(by, of)] += percent
 
     totals: dict = dict(direct)

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass
 
 from repro.core import ast_nodes as ast
+from repro.core.config import ExecutionConfig
 from repro.core.executor import execute_select
 from repro.core.parser import parse
 from repro.engine.cluster import Cluster
@@ -46,12 +47,23 @@ class SQLLoopEngine:
     """Iterative-SQL evaluation of a single-view recursive query."""
 
     def __init__(self, cluster: Cluster, mode: str = "sn",
-                 max_iterations: int = 100_000):
+                 max_iterations: int | None = None,
+                 config: ExecutionConfig | None = None):
+        """``config`` supplies the iteration budget (``max_iterations``)
+        and the cooperative deadline (``deadline_seconds``) so baselines
+        honour the same :class:`repro.core.config.ExecutionConfig` limits
+        as the fixpoint operator; an explicit ``max_iterations`` wins."""
         if mode not in ("naive", "sn"):
             raise ValueError(f"unknown mode {mode!r}")
         self.cluster = cluster
         self.mode = mode
-        self.max_iterations = max_iterations
+        self.config = config
+        if max_iterations is not None:
+            self.max_iterations = max_iterations
+        elif config is not None:
+            self.max_iterations = config.max_iterations
+        else:
+            self.max_iterations = 100_000
 
     # ------------------------------------------------------------------
 
@@ -125,29 +137,50 @@ class SQLLoopEngine:
         self._charge(time.perf_counter() - t0, all_rows, "sqlloop-base")
         delta_rows = set(all_rows)
 
+        deadline_armed = False
+        if (self.config is not None
+                and self.config.deadline_seconds is not None
+                and self.cluster.deadline is None):
+            self.cluster.deadline = (self.cluster.metrics.sim_time
+                                     + self.config.deadline_seconds)
+            deadline_armed = True
+
         iterations = 0
-        while True:
-            iterations += 1
-            if iterations > self.max_iterations:
-                raise FixpointNotReachedError(
-                    "SQL loop exceeded iteration budget", iterations - 1)
-            t0 = time.perf_counter()
-            source = all_rows if self.mode == "naive" else delta_rows
-            bound = Relation(view.name, working_columns, source)
-            derived: set[tuple] = set()
-            for branch in prepared_recursive:
-                result = execute_select(branch, resolver(bound), view.name)
-                derived.update(result.rows)
-            fresh = derived - all_rows
-            # Immutable accumulation: rebuild the full relation, as a chain
-            # of DataFrame unions would.
-            all_rows = set(all_rows) | fresh
-            shipped = derived if self.mode == "naive" else fresh
-            self._charge(time.perf_counter() - t0, shipped,
-                         f"sqlloop-iter{iterations}")
-            if not fresh:
-                break
-            delta_rows = fresh
+        last_delta = len(delta_rows)
+        try:
+            while True:
+                iterations += 1
+                if iterations > self.max_iterations:
+                    raise FixpointNotReachedError(
+                        f"SQL loop exceeded its iteration budget of "
+                        f"{self.max_iterations}: the last completed "
+                        f"iteration ({iterations - 1}) still produced a "
+                        f"delta of {last_delta} rows — raise "
+                        f"ExecutionConfig.max_iterations or check the "
+                        f"query for non-monotonic recursion",
+                        iterations - 1)
+                self.cluster.check_deadline(f"sqlloop-iter{iterations}")
+                t0 = time.perf_counter()
+                source = all_rows if self.mode == "naive" else delta_rows
+                bound = Relation(view.name, working_columns, source)
+                derived: set[tuple] = set()
+                for branch in prepared_recursive:
+                    result = execute_select(branch, resolver(bound), view.name)
+                    derived.update(result.rows)
+                fresh = derived - all_rows
+                # Immutable accumulation: rebuild the full relation, as a
+                # chain of DataFrame unions would.
+                all_rows = set(all_rows) | fresh
+                shipped = derived if self.mode == "naive" else fresh
+                self._charge(time.perf_counter() - t0, shipped,
+                             f"sqlloop-iter{iterations}")
+                if not fresh:
+                    break
+                delta_rows = fresh
+                last_delta = len(fresh)
+        finally:
+            if deadline_armed:
+                self.cluster.deadline = None
 
         # --- final stratum ----------------------------------------------
         t0 = time.perf_counter()

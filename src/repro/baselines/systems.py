@@ -244,8 +244,11 @@ class _SQLLoopSystem:
     mode = "sn"
     name = "spark-sql-sn"
 
-    def __init__(self, num_workers: int = 4):
+    def __init__(self, num_workers: int = 4, config=None):
         self.num_workers = num_workers
+        #: Optional :class:`repro.core.config.ExecutionConfig` forwarded
+        #: to the loop engine (iteration budget, deadline).
+        self.config = config
 
     def run(self, workload: Workload) -> SystemResult:
         cluster = _new_cluster(self.num_workers)
@@ -255,7 +258,7 @@ class _SQLLoopSystem:
             if workload.include_load:
                 cluster.load(rows, key_indices=(0,))
             tables[table.lower()] = Relation(table, columns, rows)
-        engine = SQLLoopEngine(cluster, self.mode)
+        engine = SQLLoopEngine(cluster, self.mode, config=self.config)
         t0 = time.perf_counter()
         sql = (spec.formatted(source=workload.source)
                if workload.source is not None else spec.sql)

@@ -23,7 +23,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.engine.faults import FailureInjector, WorkerLossInjector
+from repro.engine.faults import (
+    FailureInjector,
+    MemoryPressureInjector,
+    WorkerLossInjector,
+)
 
 __all__ = [
     "ChaosReport",
@@ -56,6 +60,11 @@ class ChaosSchedule:
     def loss_injectors(self) -> list[WorkerLossInjector]:
         return [i for i in self.injectors if isinstance(i, WorkerLossInjector)]
 
+    @property
+    def pressure_injectors(self) -> list[MemoryPressureInjector]:
+        return [i for i in self.injectors
+                if isinstance(i, MemoryPressureInjector)]
+
     def injected_counts(self) -> tuple[int, int]:
         """(task failures fired, worker losses fired) after a run."""
         return (sum(i.injected for i in self.task_injectors),
@@ -70,19 +79,26 @@ class ChaosSchedule:
             victim = "auto" if i.worker is None else i.worker
             parts.append(f"worker-loss[{i.stage_pattern} worker={victim} "
                          f"at_task={i.at_task} skip={i.skip_matches}]")
+        for i in self.pressure_injectors:
+            parts.append(f"memory-pressure[{i.stage_pattern} "
+                         f"fraction={i.fraction:.2f} skip={i.skip_matches}]")
         return f"seed={self.seed}: " + ("; ".join(parts) or "no faults")
 
 
 def make_schedule(seed: int, num_workers: int = 4,
                   num_partitions: int | None = None,
                   task_deaths: int = 2, worker_losses: int = 1,
+                  memory_pressure: int = 1,
                   stage_pattern: str = "fixpoint") -> ChaosSchedule:
     """Derive a deterministic fault schedule from a seed.
 
     Task deaths pick a random partition/point per injector; worker losses
     pick a random strike position and skip a random number of matching
     stages first, so across seeds the faults land in different fixpoint
-    iterations — early, mid-merge, and near convergence.
+    iterations — early, mid-merge, and near convergence.  Memory-pressure
+    injectors shrink the per-worker budget to a random fraction of peak
+    usage mid-run (soft enforcement: spills, never aborts), exercising
+    the spill tier alongside the crash faults.
     """
     rng = random.Random(seed)
     n = num_partitions or num_workers
@@ -100,6 +116,12 @@ def make_schedule(seed: int, num_workers: int = 4,
             at_task=rng.randrange(n),
             skip_matches=rng.randrange(3),
             times=1))
+    for _ in range(memory_pressure):
+        injectors.append(MemoryPressureInjector(
+            stage_pattern,
+            fraction=rng.uniform(0.3, 0.7),
+            skip_matches=rng.randrange(3),
+            times=1))
     return ChaosSchedule(seed=seed, injectors=injectors)
 
 
@@ -108,14 +130,16 @@ def parse_fault_spec(spec: str):
 
     Grammar (colon-separated)::
 
-        task:PATTERN[:key=value ...]           -> FailureInjector
-        worker-loss:PATTERN[:key=value ...]    -> WorkerLossInjector
+        task:PATTERN[:key=value ...]            -> FailureInjector
+        worker-loss:PATTERN[:key=value ...]     -> WorkerLossInjector
+        memory-pressure:PATTERN[:key=value ...] -> MemoryPressureInjector
 
     Examples::
 
         task:fixpoint:task_index=1:point=after:times=2
         task:fixpoint-map:task_index=any:persistent=true
         worker-loss:fixpoint:worker=2:at_task=1:skip_matches=3
+        memory-pressure:fixpoint:fraction=0.4:skip_matches=1
 
     ``task_index=any`` targets every task of a matching stage.
     """
@@ -139,6 +163,12 @@ def parse_fault_spec(spec: str):
             kwargs[key] = None
         elif key == "worker" and value.lower() in ("auto", "none", "*"):
             kwargs[key] = None
+        elif key == "fraction":
+            try:
+                kwargs[key] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"bad fault option {option!r} in {spec!r}") from None
         else:
             try:
                 kwargs[key] = int(value)
@@ -149,8 +179,11 @@ def parse_fault_spec(spec: str):
         return FailureInjector(pattern, **kwargs)
     if kind == "worker-loss":
         return WorkerLossInjector(pattern, **kwargs)
+    if kind == "memory-pressure":
+        return MemoryPressureInjector(pattern, **kwargs)
     raise ValueError(f"unknown fault kind {kind!r} in {spec!r} "
-                     "(expected 'task' or 'worker-loss')")
+                     "(expected 'task', 'worker-loss', or "
+                     "'memory-pressure')")
 
 
 def _sorted_rows(rows: Sequence[tuple]) -> list[tuple]:

@@ -62,7 +62,16 @@ class ExecutionConfig:
         :func:`repro.core.optimizer.magic_filter_pushdown`).
     max_iterations:
         Safety budget; exceeding it raises
-        :class:`repro.errors.FixpointNotReachedError`.
+        :class:`repro.errors.FixpointNotReachedError`.  Also bounds the
+        SQL-loop baseline's iteration budget
+        (:class:`repro.baselines.sql_loop.SQLLoopEngine`).
+    deadline_seconds:
+        Cooperative per-query deadline in *simulated* seconds (``None``
+        disables it).  The cluster checks the simulated clock at stage
+        boundaries and raises
+        :class:`repro.errors.QueryDeadlineExceededError` — with the
+        partial trace attached — once the clock passes the deadline.
+        Exposed on the CLI as ``--timeout``.
     """
 
     evaluation: str = "dsn"
@@ -76,12 +85,20 @@ class ExecutionConfig:
     use_setrdd: bool = True
     magic_filters: bool = True
     max_iterations: int = 100_000
+    deadline_seconds: float | None = None
 
     def __post_init__(self):
         if self.evaluation not in ("dsn", "naive", "stratified"):
             raise ValueError(f"unknown evaluation mode {self.evaluation!r}")
         if self.join_strategy not in ("shuffle_hash", "sort_merge"):
             raise ValueError(f"unknown join strategy {self.join_strategy!r}")
+        if self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {self.max_iterations}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got "
+                f"{self.deadline_seconds}")
 
     def but(self, **changes) -> "ExecutionConfig":
         """A copy with some knobs changed (benchmark convenience)."""

@@ -23,6 +23,7 @@ time) are kept on :attr:`last_run`.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -31,11 +32,14 @@ from repro.core.catalog import Catalog
 from repro.core.config import DEFAULT_CONFIG, ExecutionConfig
 from repro.core.executor import execute_select
 from repro.core.fixpoint import FixpointOperator
+from repro.core.governor import QueryGovernor
 from repro.core.logical import CliquePlan, DerivedViewPlan
 from repro.core.optimizer import optimize
 from repro.core.parser import parse
 from repro.core.planner import plan_clique
 from repro.engine.cluster import Cluster
+from repro.engine.serialization import rows_size
+from repro.errors import QueryDeadlineExceededError
 from repro.relation import Relation
 
 
@@ -67,6 +71,23 @@ class RunInfo:
         from repro.engine.tracing import iteration_timeline
 
         return iteration_timeline(self.trace) if self.trace else []
+
+    def memory_summary(self) -> dict[str, float]:
+        """Memory-governance counters of the run (zeros when untouched).
+
+        Keys: ``spill_events``, ``spill_bytes``, ``unspill_events``,
+        ``unspill_bytes``, ``memory_pressure_events``,
+        ``memory_budget_overflows``, plus the per-worker high-water
+        marks ``memory_hwm_bytes_w<N>``.
+        """
+        keys = ("spill_events", "spill_bytes", "unspill_events",
+                "unspill_bytes", "memory_pressure_events",
+                "memory_budget_overflows")
+        out = {key: self.metrics.get(key, 0) for key in keys}
+        for key, value in self.metrics.items():
+            if key.startswith("memory_hwm_bytes_w"):
+                out[key] = value
+        return out
 
     def fault_summary(self) -> dict[str, float]:
         """Recovery counters of the run (zeros when nothing failed).
@@ -107,12 +128,30 @@ class RaSQLContext:
 
     def __init__(self, num_workers: int = 4, num_partitions: int | None = None,
                  config: ExecutionConfig | None = None,
-                 cluster: Cluster | None = None, **cluster_kwargs):
+                 cluster: Cluster | None = None,
+                 governor: QueryGovernor | None = None, **cluster_kwargs):
+        if cluster is None:
+            # Validate here (not just in Cluster) so a bad session spec
+            # fails with a message phrased in RaSQLContext terms.
+            if not isinstance(num_workers, int) or num_workers < 1:
+                raise ValueError(
+                    f"RaSQLContext needs at least one worker; got "
+                    f"num_workers={num_workers!r}")
+            if num_partitions is not None and (
+                    not isinstance(num_partitions, int) or num_partitions < 1):
+                raise ValueError(
+                    f"RaSQLContext needs at least one partition (or None "
+                    f"for one per worker); got "
+                    f"num_partitions={num_partitions!r}")
         self.cluster = cluster or Cluster(
             num_workers=num_workers, num_partitions=num_partitions,
             **cluster_kwargs)
         self.catalog = Catalog()
         self.config = config or DEFAULT_CONFIG
+        self.governor = governor or QueryGovernor(
+            metrics=self.cluster.metrics)
+        if self.governor.metrics is None:
+            self.governor.metrics = self.cluster.metrics
         self.last_run = RunInfo()
 
     # ------------------------------------------------------------------
@@ -142,8 +181,9 @@ class RaSQLContext:
     def inject_faults(self, *injectors) -> "RaSQLContext":
         """Arm fault injectors on the session's cluster; returns self.
 
-        Accepts any mix of :class:`repro.engine.faults.FailureInjector`
-        and :class:`repro.engine.faults.WorkerLossInjector`.
+        Accepts any mix of :class:`repro.engine.faults.FailureInjector`,
+        :class:`repro.engine.faults.WorkerLossInjector`, and
+        :class:`repro.engine.faults.MemoryPressureInjector`.
         """
         for injector in injectors:
             self.cluster.inject_failures(injector)
@@ -153,9 +193,53 @@ class RaSQLContext:
     # query execution
     # ------------------------------------------------------------------
 
+    def _estimate_query_bytes(self, query: str) -> int:
+        """Admission-time memory estimate: sizes of referenced base tables.
+
+        A deliberately cheap, pre-parse heuristic (Spark's resource
+        profiles likewise reserve from static estimates): any registered
+        table whose name appears as a word in the query text counts at
+        its full sampled size.
+        """
+        words = {w.lower() for w in re.findall(r"[A-Za-z_][A-Za-z_0-9]*",
+                                               query)}
+        total = 0
+        for name in self.catalog.names():
+            if name in words:
+                total += rows_size(self.catalog.get(name).rows)
+        return total
+
     def sql(self, query: str, config: ExecutionConfig | None = None) -> Relation:
-        """Execute a RaSQL script and return the final SELECT's relation."""
+        """Execute a RaSQL script and return the final SELECT's relation.
+
+        Resource governance brackets the whole call: the session's
+        :class:`repro.core.governor.QueryGovernor` must admit the query
+        first (queueing or rejecting it), worker memory accounting starts
+        from a clean slate, and — when the config sets
+        ``deadline_seconds`` — the cluster's cooperative deadline is
+        armed.  A deadline abort re-raises with the partial trace
+        attached and recorded on :attr:`last_run`.
+        """
         effective = config or self.config
+        label = _query_label(query)
+        ticket = self.governor.admit(label, self._estimate_query_bytes(query))
+        try:
+            # Fresh memory slate per query: charges from the previous call
+            # are dead weight (touch re-creates anything still live, e.g.
+            # an incremental view's cached state on its next insert), and
+            # any budget a pressure injector shrank comes back up.
+            self.cluster.memory.release_all()
+            self.cluster.memory.reset_budget()
+            if effective.deadline_seconds is not None:
+                self.cluster.deadline = (self.cluster.metrics.sim_time
+                                         + effective.deadline_seconds)
+            return self._run_sql(query, effective, label)
+        finally:
+            self.cluster.deadline = None
+            self.governor.release(ticket)
+
+    def _run_sql(self, query: str, effective: ExecutionConfig,
+                 label: str) -> Relation:
         analyzed = optimize(analyze(parse(query), self.catalog),
                             magic_filters=effective.magic_filters)
 
@@ -170,46 +254,58 @@ class RaSQLContext:
         run = RunInfo()
         events_before = len(self.cluster.metrics.events())
         tracer = self.cluster.tracer
-        with tracer.span("query", _query_label(query)) as query_span:
-            for unit in analyzed.units:
-                if isinstance(unit, DerivedViewPlan):
-                    rows: list[tuple] = []
-                    seen: set[tuple] = set()
-                    for branch in unit.branches:
-                        branch_result = execute_select(branch, resolve,
-                                                       unit.name, tracer=tracer)
-                        for row in branch_result.rows:
-                            if row not in seen:
-                                seen.add(row)
-                                rows.append(row)
-                    materialized[unit.name.lower()] = Relation(
-                        unit.name, unit.columns, rows)
-                else:
-                    assert isinstance(unit, CliquePlan)
-                    planned = plan_clique(unit, effective)
-                    operator = FixpointOperator(planned, self.cluster,
-                                                effective, resolve)
-                    result = operator.execute()
-                    for view_name, relation in result.relations.items():
-                        materialized[view_name.lower()] = relation
-                    clique_key = ",".join(unit.view_names)
-                    run.clique_iterations[clique_key] = result.iterations
-                    run.delta_history[clique_key] = result.delta_history
-                    run.iterations += result.iterations
+        query_span = None
+        try:
+            with tracer.span("query", label) as query_span:
+                for unit in analyzed.units:
+                    if isinstance(unit, DerivedViewPlan):
+                        rows: list[tuple] = []
+                        seen: set[tuple] = set()
+                        for branch in unit.branches:
+                            branch_result = execute_select(
+                                branch, resolve, unit.name, tracer=tracer)
+                            for row in branch_result.rows:
+                                if row not in seen:
+                                    seen.add(row)
+                                    rows.append(row)
+                        materialized[unit.name.lower()] = Relation(
+                            unit.name, unit.columns, rows)
+                    else:
+                        assert isinstance(unit, CliquePlan)
+                        planned = plan_clique(unit, effective)
+                        operator = FixpointOperator(planned, self.cluster,
+                                                    effective, resolve)
+                        result = operator.execute()
+                        for view_name, relation in result.relations.items():
+                            materialized[view_name.lower()] = relation
+                        clique_key = ",".join(unit.view_names)
+                        run.clique_iterations[clique_key] = result.iterations
+                        run.delta_history[clique_key] = result.delta_history
+                        run.iterations += result.iterations
 
-            final = execute_select(analyzed.final, resolve, "result",
-                                   tracer=tracer)
-            query_span.annotate(iterations=run.iterations,
-                                result_rows=len(final.rows))
+                final = execute_select(analyzed.final, resolve, "result",
+                                       tracer=tracer)
+                query_span.annotate(iterations=run.iterations,
+                                    result_rows=len(final.rows))
+        except QueryDeadlineExceededError as exc:
+            # The span closed (its ``finally`` ran), so the partial trace
+            # is complete up to the aborting stage.
+            self._record_run(run, events_before, query_span, tracer)
+            exc.partial_trace = run.trace
+            raise
+        self._record_run(run, events_before, query_span, tracer)
+        return final
+
+    def _record_run(self, run: RunInfo, events_before: int,
+                    query_span, tracer) -> None:
         run.sim_time = self.cluster.metrics.sim_time
         run.metrics = self.cluster.metrics.snapshot()
         for event in self.cluster.metrics.events()[events_before:]:
             run.time_breakdown[event.label] = (
                 run.time_breakdown.get(event.label, 0.0) + event.seconds)
-        if tracer.enabled:
+        if tracer.enabled and query_span is not None:
             run.trace = query_span.to_dict()
         self.last_run = run
-        return final
 
     def explain_analyze(self, query: str,
                         config: ExecutionConfig | None = None) -> str:

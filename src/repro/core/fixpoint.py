@@ -116,7 +116,8 @@ class FixpointOperator:
         self.planned = planned
         self.cluster = cluster
         self.config = config
-        self.resolve = resolve
+        self._resolve_raw = resolve
+        self._resolved: dict[str, Relation] = {}
         self.n = cluster.num_partitions
         self.partitioner = HashPartitioner(self.n)
         self.runtime = TermRuntime()
@@ -129,7 +130,27 @@ class FixpointOperator:
         self._current_d: dict[str, list[list[tuple]]] = {}
         self._two_col: dict[str, bool] = {}
         self._base_partition_objects: dict[int, list[Partition]] = {}
+        #: Memory-charge groups of this clique's broadcast variables.
+        self._broadcast_groups: list[str] = []
         self._validate()
+
+    def resolve(self, name: str) -> Relation:
+        """Resolve a base input under set semantics.
+
+        Recursion evaluates over *facts*: a base row appearing twice is
+        one fact, and feeding the duplicate through a join would derive a
+        duplicate contribution that inflates ``sum``/``count`` heads.
+        Plain (non-recursive) SQL keeps its bag semantics — only inputs
+        to the fixpoint are deduplicated, order-preserving.
+        """
+        relation = self._resolved.get(name)
+        if relation is None:
+            relation = self._resolve_raw(name)
+            distinct = list(dict.fromkeys(relation.rows))
+            if len(distinct) != len(relation.rows):
+                relation = Relation(relation.name, relation.columns, distinct)
+            self._resolved[name] = relation
+        return relation
 
     # ------------------------------------------------------------------
     # validation
@@ -215,10 +236,12 @@ class FixpointOperator:
                 if charge_key not in broadcast_charged:
                     broadcast_charged.add(charge_key)
                     raw = [row for row in relation.rows]
-                    cluster.broadcast(
+                    broadcast = cluster.broadcast(
                         raw,
                         compress=config.broadcast_compression,
                         ship_hash_table=not config.broadcast_compression)
+                    if broadcast.memory_group:
+                        self._broadcast_groups.append(broadcast.memory_group)
                 if plan.equi:
                     table = build_hash_table(padded,
                                              make_slots_key(plan.build_slots))
@@ -235,6 +258,13 @@ class FixpointOperator:
                     for i, bucket in enumerate(buckets)
                 ]
                 self._base_partition_objects[plan.step_id] = partitions
+                # Cached co-partitioned base blocks live on workers for
+                # the whole fixpoint; charge them like Spark storage.
+                for partition in partitions:
+                    if partition.rows:
+                        cluster.memory.charge(
+                            "base", str(plan.step_id), partition.index,
+                            partition.worker, partition.size_bytes())
                 if config.join_strategy == "sort_merge":
                     built = [sort_rows(bucket, key_fn) for bucket in buckets]
                 else:
@@ -355,7 +385,15 @@ class FixpointOperator:
 
     def _merge_into_state(self, view_name: str, partition: int,
                           rows: list[tuple]) -> list[tuple]:
-        """Union/aggregate incoming rows into the state; return fresh delta."""
+        """Union/aggregate incoming rows into the state; return fresh delta.
+
+        The cached state partition is the merge's working set: it is
+        touched first (reading it back from the spill tier if the memory
+        governor evicted it) and re-charged at its post-merge size, so
+        per-worker accounting tracks the all-relation as it grows.
+        """
+        memory = self.cluster.memory
+        memory.touch("state", view_name, partition)
         state = self.states[view_name]
         if not self.config.use_setrdd:
             # Immutable-RDD ablation: every union copies the partition.
@@ -364,15 +402,20 @@ class FixpointOperator:
                 if isinstance(state, SetRDD)
                 else dict(state.partitions[partition]))
         if isinstance(state, SetRDD):
-            return state.union_in_place(partition, rows)
-        if self._two_col[view_name]:
+            fresh = state.union_in_place(partition, rows)
+        elif self._two_col[view_name]:
             delta_pairs = state.merge(
                 partition, [(row[0], row[1:]) for row in rows])
-            return [(key, values[0]) for key, values in delta_pairs]
-        splitter = self.splitters[view_name]
-        assembler = self.assemblers[view_name]
-        delta_pairs = state.merge(partition, [splitter(r) for r in rows])
-        return [assembler(key, values) for key, values in delta_pairs]
+            fresh = [(key, values[0]) for key, values in delta_pairs]
+        else:
+            splitter = self.splitters[view_name]
+            assembler = self.assemblers[view_name]
+            delta_pairs = state.merge(partition, [splitter(r) for r in rows])
+            fresh = [assembler(key, values) for key, values in delta_pairs]
+        memory.charge("state", view_name, partition,
+                      self.cluster.worker_for_partition(partition),
+                      state.partition_size_bytes(partition))
+        return fresh
 
     # ------------------------------------------------------------------
     # map (the join side)
@@ -382,6 +425,16 @@ class FixpointOperator:
                         naive: bool) -> dict[str, dict[int, list[tuple]]]:
         """Run every term over one partition's delta; bucket the outputs."""
         from repro.engine.aggregates import partial_aggregate
+
+        # The joins read the cached base blocks and broadcast copies:
+        # touch them so LRU eviction prefers colder segments, and so a
+        # spilled block is read back (and charged) before use.
+        memory = self.cluster.memory
+        home = self.cluster.worker_for_partition(partition)
+        for step_id in self._base_partition_objects:
+            memory.touch("base", str(step_id), partition)
+        for group in self._broadcast_groups:
+            memory.touch("broadcast", group, home)
 
         per_view: dict[str, dict[int, list[tuple]]] = {}
         collected: dict[str, list[tuple]] = defaultdict(list)
@@ -462,14 +515,19 @@ class FixpointOperator:
         # under naive evaluation every round re-derives (and re-ships) the
         # full relation, so only the merge can detect the fixpoint.
         tracer = self.cluster.tracer
+        memory = self.cluster.memory
         while True:
             iterations += 1
             if iterations > self.config.max_iterations:
+                last_delta = delta_history[-1] if delta_history else 0
                 raise FixpointNotReachedError(
                     f"fixpoint not reached within "
-                    f"{self.config.max_iterations} iterations",
+                    f"{self.config.max_iterations} iterations: the last "
+                    f"completed iteration ({iterations - 1}) still "
+                    f"produced a delta of {last_delta} rows",
                     iterations - 1, partial_result=self._relations())
 
+            memory.begin_iteration()
             with tracer.span("iteration", f"iteration-{iterations}",
                              index=iterations) as span:
                 if combine:
@@ -479,16 +537,34 @@ class FixpointOperator:
                 if not self.config.use_setrdd:
                     self._charge_immutable_union()
                 self.cluster.metrics.inc("iterations")
+                iter_hwm = memory.iteration_high_water()
                 span.annotate(
                     delta_total=d_total,
                     delta_by_view={
                         name: sum(len(rows) for rows in partitions)
-                        for name, partitions in self._current_d.items()})
+                        for name, partitions in self._current_d.items()},
+                    memory_peak_bytes=max(iter_hwm.values(), default=0),
+                    memory_hwm_by_worker={f"w{w}": nbytes
+                                          for w, nbytes in iter_hwm.items()})
             if d_total == 0:
                 break
             delta_history.append(d_total)
 
         return iterations, delta_history
+
+    def _release_consumed_shuffles(self, incoming: dict[str, Dataset]) -> None:
+        """Free shuffle buffers once a merge stage has absorbed them.
+
+        The incoming deltas were charged to worker memory by
+        ``Cluster.exchange``; after the Reduce (or combined ShuffleMap)
+        stage their rows live inside the cached all-relation state, so the
+        shuffle-tier copies are released — exactly when Spark drops
+        consumed shuffle blocks.
+        """
+        for dataset in incoming.values():
+            if dataset.memory_group:
+                self.cluster.memory.release_group("shuffle",
+                                                  dataset.memory_group)
 
     def _state_snapshot_hooks(self, partition: int):
         """Snapshot/restore for tasks that mutate the cached state.
@@ -550,6 +626,7 @@ class FixpointOperator:
                 preferred_worker=self.cluster.worker_for_partition(p),
                 snapshot=snapshot, restore=restore, mutating=True))
         results = self.cluster.run_stage("fixpoint-shufflemap", tasks)
+        self._release_consumed_shuffles(incoming)
 
         merged: dict[str, dict[int, list[tuple]]] = defaultdict(dict)
         workers: dict[int, int] = {}
@@ -589,6 +666,7 @@ class FixpointOperator:
                 preferred_worker=self.cluster.worker_for_partition(p),
                 snapshot=snapshot, restore=restore, mutating=True))
         reduce_results = self.cluster.run_stage("fixpoint-reduce", reduce_tasks)
+        self._release_consumed_shuffles(incoming)
 
         d_partitions: dict[str, list[Partition]] = {name: [] for name in view_names}
         d_total = 0
@@ -682,6 +760,7 @@ class FixpointOperator:
             for p in range(self.n)
         ]
         results = self.cluster.run_stage("fixpoint-decomposed", tasks)
+        self._release_consumed_shuffles(incoming)
         iterations = 0
         per_partition: dict[int, int] = {}
         for result in results:
@@ -689,6 +768,10 @@ class FixpointOperator:
             global_state.partitions[result.index] = local_partition
             per_partition[result.index] = local_iterations
             iterations = max(iterations, local_iterations)
+            self.cluster.memory.charge(
+                "state", view_name, result.index,
+                self.cluster.worker_for_partition(result.index),
+                global_state.partition_size_bytes(result.index))
         self.cluster.metrics.inc("iterations", iterations)
         span = self.cluster.tracer.current
         if span is not None:

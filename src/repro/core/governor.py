@@ -1,0 +1,141 @@
+"""Admission control: bound concurrent queries and reserved memory.
+
+A production RaSQL deployment shares its Spark cluster between users; a
+query that cannot possibly fit should be rejected *before* it claims
+executors, and a burst of queries should queue rather than thrash the
+memory manager.  :class:`QueryGovernor` models both policies for the
+simulated cluster:
+
+- at most ``max_concurrent`` queries hold admission *tickets* at once;
+- up to ``max_queue`` further queries wait in a FIFO queue, each charging
+  ``queue_wait_s`` simulated seconds per slot ahead of it;
+- beyond that — or when a query's estimated memory reservation would push
+  the total over ``max_reserved_bytes`` — admission fails with
+  :class:`repro.errors.AdmissionRejectedError`.
+
+The simulator executes queries one at a time, so "concurrent" here means
+tickets that are *held*: a caller that acquires tickets without releasing
+them (a session running overlapping incremental views, or a test) exerts
+back-pressure on later queries exactly like long-running jobs would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AdmissionRejectedError
+
+
+@dataclass
+class AdmissionTicket:
+    """Proof of admission for one query; release it when the query ends."""
+
+    label: str
+    reserved_bytes: int
+    queued: bool = False
+    released: bool = field(default=False, init=False)
+
+
+class QueryGovernor:
+    """Slots + queue + reserved-memory cap for one :class:`RaSQLContext`.
+
+    metrics is any object with ``inc(name, value)`` / ``advance(seconds,
+    label=...)`` — normally the cluster's
+    :class:`repro.engine.metrics.MetricsRegistry`, so admission decisions
+    show up as ``queries_admitted`` / ``queries_queued`` /
+    ``queries_rejected`` counters and queue time is charged to the
+    simulated clock under the ``admission-wait`` label.
+    """
+
+    def __init__(self, max_concurrent: int = 4, max_queue: int = 4,
+                 max_reserved_bytes: int | None = None,
+                 queue_wait_s: float = 0.25, metrics=None):
+        if max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {max_concurrent}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if max_reserved_bytes is not None and max_reserved_bytes < 1:
+            raise ValueError(
+                f"max_reserved_bytes must be positive, got "
+                f"{max_reserved_bytes}")
+        if queue_wait_s < 0:
+            raise ValueError(
+                f"queue_wait_s must be >= 0, got {queue_wait_s}")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.max_reserved_bytes = max_reserved_bytes
+        self.queue_wait_s = queue_wait_s
+        self.metrics = metrics
+        self.active: list[AdmissionTicket] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def reserved_bytes(self) -> int:
+        return sum(t.reserved_bytes for t in self.active)
+
+    def admit(self, label: str, estimated_bytes: int = 0) -> AdmissionTicket:
+        """Admit a query, queueing or rejecting it as policy dictates."""
+        if (self.max_reserved_bytes is not None
+                and self.reserved_bytes + estimated_bytes
+                > self.max_reserved_bytes):
+            self._count("queries_rejected")
+            raise AdmissionRejectedError(
+                f"query {label!r} rejected: reserving "
+                f"{estimated_bytes} bytes would push total reservations to "
+                f"{self.reserved_bytes + estimated_bytes} bytes, over the "
+                f"governor's max_reserved_bytes="
+                f"{self.max_reserved_bytes}; wait for running queries to "
+                f"finish or raise the cap",
+                label=label, reason="memory",
+                active=len(self.active), reserved_bytes=self.reserved_bytes)
+
+        backlog = len(self.active) - self.max_concurrent
+        queued = False
+        if backlog >= 0:
+            # All slots taken: this query joins the queue behind `backlog`
+            # already-queued queries — if the queue has room.
+            if backlog >= self.max_queue:
+                self._count("queries_rejected")
+                raise AdmissionRejectedError(
+                    f"query {label!r} rejected: {self.max_concurrent} "
+                    f"queries running and {backlog} queued "
+                    f"(max_queue={self.max_queue}); retry later or raise "
+                    f"the governor's limits",
+                    label=label, reason="concurrency",
+                    active=len(self.active),
+                    reserved_bytes=self.reserved_bytes)
+            queued = True
+            self._count("queries_queued")
+            if self.metrics is not None and self.queue_wait_s > 0:
+                self.metrics.advance(self.queue_wait_s * (backlog + 1),
+                                     label="admission-wait")
+
+        ticket = AdmissionTicket(label, estimated_bytes, queued=queued)
+        self.active.append(ticket)
+        self._count("queries_admitted")
+        return ticket
+
+    def release(self, ticket: AdmissionTicket) -> None:
+        """Return a ticket's slot and reservation (idempotent)."""
+        if ticket.released:
+            return
+        ticket.released = True
+        try:
+            self.active.remove(ticket)
+        except ValueError:
+            pass
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name)
+
+    def report(self) -> dict:
+        return {
+            "active": len(self.active),
+            "reserved_bytes": self.reserved_bytes,
+            "max_concurrent": self.max_concurrent,
+            "max_queue": self.max_queue,
+            "max_reserved_bytes": self.max_reserved_bytes,
+        }

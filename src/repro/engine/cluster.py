@@ -32,6 +32,15 @@ Fault tolerance (Section 6.1's recovery argument) lives here too:
   scheduler; optional *speculation* re-launches a copy of the slowest
   task and lets the first committer win (simulated time only — results
   never change).
+
+Resource governance lives here too: every cached partition, shuffle
+buffer, and broadcast is charged against a per-worker budget
+(:class:`repro.engine.memory.MemoryManager`), with least-recently-touched
+segments spilling to a simulated disk tier under pressure; query
+deadlines are checked cooperatively at stage boundaries
+(:meth:`Cluster.check_deadline`); and
+:class:`repro.engine.faults.MemoryPressureInjector` shrinks budgets
+mid-run for chaos testing.
 """
 
 from __future__ import annotations
@@ -46,9 +55,11 @@ from repro.engine.dataset import Dataset, Partition
 from repro.engine.faults import (
     FailureInjector,
     FaultToleranceConfig,
+    MemoryPressureInjector,
     RecoveryManager,
     WorkerLossInjector,
 )
+from repro.engine.memory import MemoryConfig, MemoryManager
 from repro.engine.metrics import CostModel, MetricsRegistry
 from repro.engine.partitioner import HashPartitioner, make_key_fn
 from repro.engine.scheduler import (
@@ -59,7 +70,11 @@ from repro.engine.scheduler import (
 )
 from repro.engine.serialization import CompressionCodec, rows_size
 from repro.engine.tracing import Tracer
-from repro.errors import FaultInjectionError, NoHealthyWorkersError
+from repro.errors import (
+    FaultInjectionError,
+    NoHealthyWorkersError,
+    QueryDeadlineExceededError,
+)
 
 
 @dataclass
@@ -102,6 +117,9 @@ class Broadcast:
     value: object
     nbytes: int
     compressed: bool
+    #: Memory-charge group of the per-worker copies (see
+    #: :class:`repro.engine.memory.MemoryManager.release_group`).
+    memory_group: str | None = None
 
 
 class Cluster:
@@ -130,9 +148,14 @@ class Cluster:
                  cost_model: CostModel | None = None,
                  codec: CompressionCodec | None = None,
                  seed: int = 17, trace: bool = True,
-                 fault_config: FaultToleranceConfig | None = None):
+                 fault_config: FaultToleranceConfig | None = None,
+                 memory_config: MemoryConfig | None = None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if num_partitions is not None and num_partitions < 1:
+            raise ValueError(
+                f"num_partitions must be >= 1 (or None for one per "
+                f"worker), got {num_partitions!r}")
         self.num_workers = num_workers
         self.num_partitions = num_partitions or num_workers
         if isinstance(scheduler, SchedulingPolicy):
@@ -145,18 +168,33 @@ class Cluster:
         self.tracer = Tracer(self.metrics, enabled=trace)
         self.fault_config = fault_config or FaultToleranceConfig()
         self.recovery = RecoveryManager(self.fault_config)
+        self.memory = MemoryManager(num_workers,
+                                    memory_config or MemoryConfig(),
+                                    self.metrics, self.cost_model,
+                                    self.tracer)
+        #: Absolute simulated-clock deadline of the running query
+        #: (``None`` = no deadline); set by ``RaSQLContext.sql``.
+        self.deadline: float | None = None
         self.lost_workers: set[int] = set()
         self.failure_injectors: list[FailureInjector] = []
         self.worker_loss_injectors: list[WorkerLossInjector] = []
+        self.memory_pressure_injectors: list[MemoryPressureInjector] = []
+        # Monotonic ids naming shuffle/broadcast memory-charge groups, so
+        # consumers can release a whole exchange or broadcast at once.
+        self._exchange_epoch = 0
+        self._broadcast_epoch = 0
 
     # ------------------------------------------------------------------
     # fault injection and worker liveness
     # ------------------------------------------------------------------
 
     def inject_failures(self, injector) -> None:
-        """Arm a :class:`FailureInjector` or :class:`WorkerLossInjector`."""
+        """Arm a :class:`FailureInjector`, :class:`WorkerLossInjector`,
+        or :class:`MemoryPressureInjector`."""
         if isinstance(injector, WorkerLossInjector):
             self.worker_loss_injectors.append(injector)
+        elif isinstance(injector, MemoryPressureInjector):
+            self.memory_pressure_injectors.append(injector)
         else:
             self.failure_injectors.append(injector)
 
@@ -200,6 +238,30 @@ class Cluster:
         self.metrics.inc("recovery_seconds", detect)
         self.tracer.leaf("fault", f"worker-lost[{worker}]",
                          worker=worker, stage=stage_name)
+
+    # ------------------------------------------------------------------
+    # deadlines
+    # ------------------------------------------------------------------
+
+    def check_deadline(self, where: str = "") -> None:
+        """Abort cooperatively once the simulated clock passes the deadline.
+
+        Called at stage boundaries (Spark cancels jobs between tasks,
+        not inside them): the stage that crossed the line completes and
+        is fully accounted, then the query raises
+        :class:`repro.errors.QueryDeadlineExceededError`.
+        """
+        if self.deadline is None or self.metrics.sim_time <= self.deadline:
+            return
+        self.metrics.inc("deadline_aborts")
+        at = f" at stage {where!r}" if where else ""
+        raise QueryDeadlineExceededError(
+            f"query exceeded its deadline{at}: simulated time "
+            f"{self.metrics.sim_time:.4f}s is past the "
+            f"{self.deadline:.4f}s deadline — raise deadline_seconds "
+            f"(CLI --timeout) or reduce the workload",
+            deadline_seconds=self.deadline,
+            sim_time=self.metrics.sim_time, stage=where)
 
     # ------------------------------------------------------------------
     # placement
@@ -283,6 +345,11 @@ class Cluster:
         input partition.  Remote fetches (input partition cached on a
         different worker than the task ran on) are counted and charged.
         """
+        self.check_deadline(name)
+        for injector in self.memory_pressure_injectors:
+            if injector.matches(name):
+                injector.fire()
+                self.memory.apply_pressure(injector.fraction, stage=name)
         specs = []
         for task in tasks:
             preferred = task.preferred_worker
@@ -345,6 +412,7 @@ class Cluster:
         self.metrics.inc("task_cpu_seconds",
                          sum(r.cpu_seconds for r in results))
         stage_span.annotate(stage_seconds=stage_time)
+        self.check_deadline(name)
         return results
 
     def _fetch_cost(self, task: StageTask,
@@ -627,7 +695,18 @@ class Cluster:
 
         parts = [Partition(i, rows, self.worker_for_partition(i))
                  for i, rows in enumerate(gathered)]
-        return Dataset(parts, partitioner, key_indices)
+        dataset = Dataset(parts, partitioner, key_indices)
+        # Shuffle buffers occupy memory on the receiving workers until
+        # the consuming stage releases them (repro.core.fixpoint does,
+        # after the merge absorbs them into the cached state).
+        group = f"x{self._exchange_epoch}"
+        self._exchange_epoch += 1
+        dataset.memory_group = group
+        for part in parts:
+            if part.rows:
+                self.memory.charge("shuffle", group, part.index,
+                                   part.worker, part.size_bytes())
+        return dataset
 
     # ------------------------------------------------------------------
     # broadcast
@@ -669,4 +748,12 @@ class Cluster:
             self.metrics.advance(transfer + extra_cpu, label="broadcast")
             span.annotate(raw_bytes=nbytes, wire_bytes=wire_bytes,
                           compressed=compress)
-        return Broadcast(value, wire_bytes, compress)
+        result = Broadcast(value, wire_bytes, compress)
+        # Every live worker holds a deserialized copy: charge the raw
+        # bytes per worker (the wire form is transient).
+        group = f"b{self._broadcast_epoch}"
+        self._broadcast_epoch += 1
+        result.memory_group = group
+        for worker in self.live_workers():
+            self.memory.charge("broadcast", group, worker, worker, nbytes)
+        return result

@@ -50,6 +50,10 @@ class Dataset:
         self.partitions = partitions
         self.partitioner = partitioner
         self.key_indices = key_indices
+        #: Memory-charge group when this dataset's partitions are charged
+        #: as shuffle buffers (set by ``Cluster.exchange``); consumers
+        #: release the group once the rows are absorbed elsewhere.
+        self.memory_group: str | None = None
 
     @property
     def num_partitions(self) -> int:

@@ -143,6 +143,48 @@ class WorkerLossInjector:
         self.injected += 1
 
 
+@dataclass
+class MemoryPressureInjector:
+    """Shrink the per-worker memory budget when a matching stage starts.
+
+    Models a noisy neighbour (another application's executors growing)
+    rather than a crash: when the injector fires, the cluster's
+    :class:`repro.engine.memory.MemoryManager` budget drops to
+    ``fraction`` of the current peak per-worker resident bytes, forcing
+    least-recently-touched cached partitions to spill.  The injected
+    budget is *soft* — enforcement spills and counts overflows but never
+    raises — because chaos faults must degrade a run, not change its
+    result.  ``skip_matches``/``times`` follow
+    :class:`WorkerLossInjector` so seeded schedules can strike random
+    fixpoint iterations.
+    """
+
+    stage_pattern: str
+    fraction: float = 0.5
+    skip_matches: int = 0
+    times: int = 1
+    injected: int = field(default=0, init=False)
+    _seen: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be in (0, 1], got {self.fraction!r}")
+        self._regex = re.compile(self.stage_pattern)
+
+    def matches(self, stage_name: str) -> bool:
+        """True when this injector should strike before *this* stage."""
+        if self.injected >= self.times:
+            return False
+        if not self._regex.search(stage_name):
+            return False
+        self._seen += 1
+        return self._seen > self.skip_matches
+
+    def fire(self) -> None:
+        self.injected += 1
+
+
 class RecoveryManager:
     """Retry budget, backoff, and worker blacklisting for one cluster.
 

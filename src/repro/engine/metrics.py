@@ -59,11 +59,22 @@ class CostModel:
     worker_loss_detect_s: float = 0.050
     #: Base of the exponential backoff charged before a task retry.
     task_retry_backoff_s: float = 0.005
+    #: Local-disk throughput of the simulated spill tier.  Sequential
+    #: writes of serialized rows on commodity disks; spills and unspills
+    #: are charged at this rate, the way remote fetches are charged at
+    #: the network rate.
+    disk_bandwidth_bytes_per_s: float = 200e6
+    #: Per-spill seek/setup latency of the disk tier.
+    disk_latency_s: float = 0.0005
 
     def transfer_seconds(self, nbytes: int, parallel_streams: int = 1) -> float:
         """Time to move *nbytes* across the network over N parallel streams."""
         streams = max(1, parallel_streams)
         return self.network_latency_s + nbytes / (self.network_bandwidth_bytes_per_s * streams)
+
+    def spill_seconds(self, nbytes: int) -> float:
+        """Time to write (or read back) *nbytes* on the spill disk tier."""
+        return self.disk_latency_s + nbytes / self.disk_bandwidth_bytes_per_s
 
 
 class MetricsRegistry:
@@ -84,6 +95,17 @@ class MetricsRegistry:
       retry backoff, loss detection and cache re-derivation.
     - ``cache_invalidated_partitions``, ``cache_invalidated_bytes`` —
       cached partitions whose home worker was lost.
+    - ``memory_hwm_bytes_w<N>`` — worker N's resident-memory high-water
+      mark (the counter tracks the running max, so span deltas give the
+      increase inside a span).
+    - ``spill_events``, ``spill_bytes``, ``unspill_events``,
+      ``unspill_bytes``, ``spill_seconds`` — disk-tier traffic of the
+      memory governor (``repro.engine.memory``).
+    - ``memory_pressure_events``, ``memory_budget_overflows`` — injected
+      budget shrinks, and soft-budget enforcements that could not fit
+      even after spilling everything spillable.
+    - ``queries_admitted``, ``queries_queued``, ``queries_rejected`` —
+      admission control (``repro.core.governor``).
     """
 
     def __init__(self):

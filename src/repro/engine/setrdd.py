@@ -79,6 +79,10 @@ class SetRDD:
             out.extend(partition)
         return out
 
+    def partition_size_bytes(self, partition_index: int) -> int:
+        """Wire-size estimate of one partition (memory accounting)."""
+        return rows_size(self.partitions[partition_index])
+
     def size_bytes(self) -> int:
         return sum(rows_size(p) for p in self.partitions)
 
@@ -179,6 +183,10 @@ class KeyedStateRDD:
             key_part = key if isinstance(key, tuple) else (key,)
             out.append(key_part + tuple(values))
         return out
+
+    def partition_size_bytes(self, partition_index: int) -> int:
+        """Wire-size estimate of one partition (memory accounting)."""
+        return rows_size(self.partition_rows(partition_index))
 
     def size_bytes(self) -> int:
         return sum(rows_size(self.partition_rows(i))

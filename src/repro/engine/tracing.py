@@ -254,6 +254,7 @@ def iteration_timeline(trace: dict) -> list[dict]:
                 "stage_seconds": _stage_seconds(iteration),
                 "shuffle_seconds": _shuffle_seconds(iteration),
                 "remote_bytes": _remote_bytes(iteration),
+                "memory_peak_bytes": attrs.get("memory_peak_bytes", 0),
                 "seconds": iteration.get("duration", 0.0),
             })
     return rows
@@ -293,7 +294,8 @@ def format_explain_analyze(trace: dict | None) -> str:
             view for span in iterations
             for view in span.get("attrs", {}).get("delta_by_view", {})})
         headers = (["iter"] + [f"delta({v})" for v in view_names]
-                   + ["delta", "stage_s", "shuffle_s", "remote_B", "time_s"])
+                   + ["delta", "stage_s", "shuffle_s", "remote_B",
+                      "mem_peak_B", "time_s"])
         table_rows: list[list[str]] = []
         for span in iterations:
             span_attrs = span.get("attrs", {})
@@ -305,6 +307,7 @@ def format_explain_analyze(trace: dict | None) -> str:
                    f"{_stage_seconds(span):.4f}",
                    f"{_shuffle_seconds(span):.4f}",
                    str(_remote_bytes(span)),
+                   str(int(span_attrs.get("memory_peak_bytes", 0))),
                    f"{span.get('duration', 0.0):.4f}"])
         lines.extend(_format_table(headers, table_rows))
 
@@ -316,11 +319,63 @@ def format_explain_analyze(trace: dict | None) -> str:
                 f"select [{span.get('name')}]  "
                 f"rows={span.get('attrs', {}).get('output_rows', '?')}")
 
+    memory = _format_memory_section(trace)
+    if memory:
+        lines.append("")
+        lines.extend(memory)
+
     recovery = _format_recovery_section(trace)
     if recovery:
         lines.append("")
         lines.extend(recovery)
     return "\n".join(lines)
+
+
+def _format_memory_section(trace: dict) -> list[str]:
+    """The memory-governance report: worker high-water marks + spills.
+
+    ``memory_hwm_bytes_w<N>`` counters are running maxima (the manager
+    increments them only by the excess over the previous peak), so the
+    root span's delta for each *is* the query's high-water mark per
+    worker.  Rendered whenever the query charged any memory.
+    """
+    metrics = trace.get("metrics", {})
+    hwm = {key: value for key, value in metrics.items()
+           if key.startswith("memory_hwm_bytes_w")}
+    if not hwm:
+        return []
+    lines = ["memory"]
+    for key in sorted(hwm, key=lambda k: int(k.rsplit("w", 1)[1])):
+        worker = key.rsplit("w", 1)[1]
+        lines.append(f"  worker {worker} high-water: {hwm[key]:.0f} bytes")
+    spills = metrics.get("spill_events", 0)
+    if spills:
+        lines.append(
+            f"  spills: {spills:.0f} "
+            f"({metrics.get('spill_bytes', 0):.0f} bytes out, "
+            f"{metrics.get('unspill_events', 0):.0f} reads / "
+            f"{metrics.get('unspill_bytes', 0):.0f} bytes back, "
+            f"{metrics.get('spill_seconds', 0.0):.4f}s simulated disk)")
+    if metrics.get("memory_pressure_events", 0):
+        lines.append(
+            f"  pressure events: {metrics['memory_pressure_events']:.0f} "
+            f"(soft-budget overflows: "
+            f"{metrics.get('memory_budget_overflows', 0):.0f})")
+
+    events = [(span.get("start", 0.0), span)
+              for span in _find_dict(trace, "spill")]
+    if events:
+        shown = events[:12]
+        lines.append("  events:")
+        for start, span in shown:
+            attrs = span.get("attrs", {})
+            lines.append(
+                f"    t={start:.4f}s  {attrs.get('direction', '?'):<3s} "
+                f"{span.get('name', '')}  worker={attrs.get('worker', '?')}"
+                f"  bytes={attrs.get('bytes', 0)}")
+        if len(events) > len(shown):
+            lines.append(f"    ... {len(events) - len(shown)} more")
+    return lines
 
 
 def _format_recovery_section(trace: dict) -> list[str]:

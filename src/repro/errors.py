@@ -63,6 +63,62 @@ class FixpointNotReachedError(ExecutionError):
         super().__init__(message)
 
 
+class MemoryBudgetExceededError(ExecutionError):
+    """Raised when a worker's memory budget cannot be met even by spilling.
+
+    The :class:`repro.engine.memory.MemoryManager` first spills
+    least-recently-touched cached partitions to the simulated disk tier;
+    this error fires only when the *working set* itself — the segment a
+    running task just charged or touched — is larger than the per-worker
+    budget, so no amount of spilling can fit it (Spark's executor OOM).
+    """
+
+    def __init__(self, message: str, worker: int, requested_bytes: int,
+                 budget_bytes: int, resident_bytes: int,
+                 spilled_bytes: int = 0):
+        self.worker = worker
+        self.requested_bytes = requested_bytes
+        self.budget_bytes = budget_bytes
+        self.resident_bytes = resident_bytes
+        self.spilled_bytes = spilled_bytes
+        super().__init__(message)
+
+
+class QueryDeadlineExceededError(ExecutionError):
+    """Raised when a query's simulated runtime passes its deadline.
+
+    Checked cooperatively at stage boundaries, like Spark job
+    cancellation: the stage that crossed the deadline completes, then
+    the query aborts.  ``partial_trace`` carries the span tree recorded
+    up to the abort (set by :meth:`repro.RaSQLContext.sql`), so EXPLAIN
+    ANALYZE tooling can show how far the query got.
+    """
+
+    def __init__(self, message: str, deadline_seconds: float,
+                 sim_time: float, stage: str = ""):
+        self.deadline_seconds = deadline_seconds
+        self.sim_time = sim_time
+        self.stage = stage
+        #: Span tree of the aborted query (attached at the API boundary).
+        self.partial_trace: dict | None = None
+        super().__init__(message)
+
+
+class AdmissionRejectedError(RaSQLError):
+    """Raised when the :class:`repro.core.governor.QueryGovernor` refuses
+    a query: the concurrency slots (plus waiting room) are full, or the
+    query's reserved memory would push total reservations past the
+    cluster's budget."""
+
+    def __init__(self, message: str, label: str = "", reason: str = "",
+                 active: int = 0, reserved_bytes: int = 0):
+        self.label = label
+        self.reason = reason
+        self.active = active
+        self.reserved_bytes = reserved_bytes
+        super().__init__(message)
+
+
 class FaultInjectionError(RaSQLError):
     """Raised when an injected failure cannot be recovered safely.
 

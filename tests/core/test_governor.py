@@ -1,0 +1,95 @@
+"""Unit tests for query admission control."""
+
+import pytest
+
+from repro.core.governor import QueryGovernor
+from repro.engine.metrics import MetricsRegistry
+from repro.errors import AdmissionRejectedError
+
+
+class TestAdmission:
+    def test_admits_up_to_max_concurrent_without_queueing(self):
+        governor = QueryGovernor(max_concurrent=2,
+                                 metrics=MetricsRegistry())
+        t1 = governor.admit("q1")
+        t2 = governor.admit("q2")
+        assert not t1.queued and not t2.queued
+        assert governor.metrics.get("queries_admitted") == 2
+        assert governor.metrics.get("queries_queued") == 0
+
+    def test_queues_when_slots_full_and_charges_wait(self):
+        metrics = MetricsRegistry()
+        governor = QueryGovernor(max_concurrent=1, max_queue=2,
+                                 queue_wait_s=0.5, metrics=metrics)
+        governor.admit("q1")
+        t0 = metrics.sim_time
+        ticket = governor.admit("q2")
+        assert ticket.queued
+        assert metrics.sim_time == pytest.approx(t0 + 0.5)
+        assert metrics.get("queries_queued") == 1
+        # The next queued query waits behind the first: double the charge.
+        governor.admit("q3")
+        assert metrics.sim_time == pytest.approx(t0 + 0.5 + 1.0)
+
+    def test_rejects_beyond_queue_capacity(self):
+        metrics = MetricsRegistry()
+        governor = QueryGovernor(max_concurrent=1, max_queue=1,
+                                 metrics=metrics)
+        governor.admit("q1")
+        governor.admit("q2")
+        with pytest.raises(AdmissionRejectedError) as info:
+            governor.admit("q3")
+        assert info.value.reason == "concurrency"
+        assert "max_queue" in str(info.value)
+        assert metrics.get("queries_rejected") == 1
+
+    def test_rejects_over_reserved_memory(self):
+        governor = QueryGovernor(max_reserved_bytes=1000,
+                                 metrics=MetricsRegistry())
+        governor.admit("q1", estimated_bytes=800)
+        with pytest.raises(AdmissionRejectedError) as info:
+            governor.admit("q2", estimated_bytes=300)
+        assert info.value.reason == "memory"
+        assert info.value.reserved_bytes == 800
+        assert "max_reserved_bytes" in str(info.value)
+
+    def test_release_frees_slot(self):
+        governor = QueryGovernor(max_concurrent=1, max_queue=0)
+        ticket = governor.admit("q1")
+        governor.release(ticket)
+        second = governor.admit("q2")
+        assert not second.queued
+
+    def test_release_is_idempotent(self):
+        governor = QueryGovernor(max_concurrent=1)
+        ticket = governor.admit("q1")
+        governor.release(ticket)
+        governor.release(ticket)
+        assert governor.reserved_bytes == 0
+        assert len(governor.active) == 0
+
+    def test_works_without_metrics(self):
+        governor = QueryGovernor(max_concurrent=1, max_queue=1)
+        governor.admit("q1")
+        ticket = governor.admit("q2")  # queued, no clock to charge
+        assert ticket.queued
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_concurrent": 0},
+        {"max_queue": -1},
+        {"max_reserved_bytes": 0},
+        {"queue_wait_s": -0.1},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            QueryGovernor(**kwargs)
+
+    def test_report_shape(self):
+        governor = QueryGovernor(max_concurrent=3, max_queue=2)
+        governor.admit("q1", estimated_bytes=10)
+        report = governor.report()
+        assert report["active"] == 1
+        assert report["reserved_bytes"] == 10
+        assert report["max_concurrent"] == 3

@@ -130,3 +130,24 @@ class TestPartyAttendance:
             "friend": (["Pname", "Fname"], friendships)})
         got = {row[0] for row in result.rows}
         assert got == serial.party_attendance(organizer_names, friendships)
+
+
+class TestDuplicateBaseFacts:
+    """Recursion is set-semantic: a base row stated twice is one fact.
+
+    Hypothesis found both of these (duplicate rows inflating ``count``
+    and ``sum`` heads through duplicate join derivations); pinned here
+    so the regression does not depend on the local example database.
+    """
+
+    def test_duplicate_friend_rows_do_not_inflate_count(self):
+        result = run("party_attendance", {
+            "organizer": (["OrgName"], [("p0",)]),
+            "friend": (["Pname", "Fname"], [("p0", "p1")] * 3)})
+        assert {row[0] for row in result.rows} == {"p0"}
+
+    def test_duplicate_share_rows_do_not_inflate_sum(self):
+        result = run("company_control", {
+            "shares": (["By", "Of", "Percent"],
+                       [("c0", "c1", 10), ("c0", "c1", 10)])})
+        assert {(a, b): t for a, b, t in result.rows} == {("c0", "c1"): 10}
