@@ -1,0 +1,239 @@
+"""Wall-clock A/B benchmark for the kernel layer; writes BENCH_5.json.
+
+Runs every library query twice per trial — kernels+adaptive joins OFF
+(the reference interpreter paths) and ON (the default) — interleaved so
+machine drift hits both sides equally, keeps the best-of-N minimum of
+both wall and CPU clocks, and asserts bit-exact rows and identical
+iteration counts inline.  Headline inputs are the RMAT graphs the
+Section 8 experiments use; the remaining queries run on the library's
+canonical small tables, where the point is the bit-exactness assertion
+rather than the (noise-dominated) timing.
+
+Modes:
+
+    python benchmarks/bench_kernels.py             # full run -> "full"
+    python benchmarks/bench_kernels.py --quick     # small run -> "quick"
+    python benchmarks/bench_kernels.py --quick --check BENCH_5.json
+
+``--check`` re-measures and fails (exit 1) if a headline query's
+speedup fell more than 25% below the committed baseline's matching
+section, guarding the kernels against silent perf regressions in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro import ExecutionConfig, RaSQLContext
+from repro.datagen import rmat_graph
+from repro.queries.library import get_query
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_5.json"
+
+REFERENCE = ExecutionConfig(kernels=False, adaptive_joins=False)
+NUM_WORKERS = 4
+
+#: Queries whose speedup the ``--check`` gate enforces.  The rest of the
+#: library runs on tiny canonical tables where timing is pure noise.
+HEADLINE = ("tc", "cc", "sssp")
+
+REGRESSION_TOLERANCE = 0.25
+
+
+def random_graph(n, m, seed, weighted=False, acyclic=False):
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b:
+            continue
+        if acyclic and a > b:
+            a, b = b, a
+        edges.add((a, b))
+    if weighted:
+        return [(a, b, rng.randint(1, 10)) for a, b in sorted(edges)]
+    return sorted(edges)
+
+
+def _edge(rows, weighted=False):
+    columns = ("Src", "Dst", "Cost") if weighted else ("Src", "Dst")
+    return {"edge": (columns, rows)}
+
+
+def _bom_tables():
+    assbl = [("car", "engine"), ("car", "wheel"), ("car", "frame"),
+             ("engine", "piston"), ("engine", "valve"), ("wheel", "rim"),
+             ("frame", "beam"), ("beam", "bolt")]
+    basic = [("piston", 3), ("valve", 7), ("rim", 2), ("bolt", 4)]
+    return {"assbl": (("Part", "SPart"), assbl),
+            "basic": (("Part", "Days"), basic)}
+
+
+def _mlm_tables():
+    sales = [(i, 50.0 * (i + 1)) for i in range(1, 9)]
+    sponsor = [(1, 2), (1, 3), (2, 4), (2, 5), (3, 6), (5, 7), (6, 8)]
+    return {"sales": (("M", "P"), sales), "sponsor": (("M1", "M2"), sponsor)}
+
+
+def workloads(quick: bool):
+    """Ordered ``name -> (tables, sql)`` covering the whole library."""
+    sssp_n, cc_n, tc_n = (2_000, 2_000, 300) if quick else (8_000, 8_000, 600)
+    small = random_graph(24, 60, seed=5)
+    return {
+        "tc": (_edge(rmat_graph(tc_n, seed=7, weighted=False)),
+               get_query("tc").sql),
+        "cc": (_edge(rmat_graph(cc_n, seed=7, weighted=False)),
+               get_query("cc").sql),
+        "sssp": (_edge(rmat_graph(sssp_n, seed=7, weighted=True), True),
+                 get_query("sssp").formatted(source=0)),
+        "reach": (_edge(rmat_graph(cc_n, seed=7, weighted=False)),
+                  get_query("reach").formatted(source=0)),
+        "cc_labels": (_edge(small), get_query("cc_labels").sql),
+        "count_paths": (_edge(random_graph(24, 60, seed=5, acyclic=True)),
+                        get_query("count_paths").formatted(source=0)),
+        "apsp": (_edge(random_graph(12, 30, seed=5, weighted=True), True),
+                 get_query("apsp").sql),
+        "same_generation": (
+            {"rel": (("Parent", "Child"),
+                     [(1, 2), (1, 3), (2, 4), (2, 5), (3, 6), (4, 7)])},
+            get_query("same_generation").sql),
+        "bom": (_bom_tables(), get_query("bom").sql),
+        "bom_stratified": (_bom_tables(), get_query("bom_stratified").sql),
+        "management": (
+            {"report": (("Emp", "Mgr"),
+                        [(2, 1), (3, 1), (4, 2), (5, 2), (6, 4), (7, 6),
+                         (8, 3)])},
+            get_query("management").sql),
+        "mlm_bonus": (_mlm_tables(), get_query("mlm_bonus").sql),
+        "interval_coalesce": (
+            {"inter": (("S", "E"),
+                       [(1, 4), (2, 5), (4, 8), (10, 12), (11, 15),
+                        (20, 21), (21, 25)])},
+            get_query("interval_coalesce").sql),
+        "party_attendance": (
+            {"organizer": (("OrgName",), [("ann",)]),
+             "friend": (("Pname", "Fname"),
+                        [("ann", "bob"), ("ann", "cat"), ("ann", "dan"),
+                         ("bob", "cat"), ("cat", "dan"), ("bob", "eve"),
+                         ("cat", "eve"), ("dan", "eve")])},
+            get_query("party_attendance").sql),
+        "company_control": (
+            {"shares": (("By", "Of", "Percent"),
+                        [("a", "b", 60), ("b", "c", 30), ("a", "c", 30),
+                         ("c", "d", 51), ("b", "e", 20), ("c", "e", 40)])},
+            get_query("company_control").sql),
+    }
+
+
+def run_once(tables, sql, config):
+    ctx = RaSQLContext(num_workers=NUM_WORKERS)
+    for name, (columns, rows) in tables.items():
+        ctx.register_table(name, columns, rows)
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    result = ctx.sql(sql, config=config)
+    wall = time.perf_counter() - wall
+    cpu = time.process_time() - cpu
+    return (sorted(result.rows, key=repr), ctx.last_run.iterations,
+            wall, cpu)
+
+
+def bench_query(name, tables, sql, best_of):
+    on = {"wall": float("inf"), "cpu": float("inf")}
+    off = {"wall": float("inf"), "cpu": float("inf")}
+    for _ in range(best_of):
+        rows_off, iters_off, wall, cpu = run_once(tables, sql, REFERENCE)
+        off["wall"] = min(off["wall"], wall)
+        off["cpu"] = min(off["cpu"], cpu)
+        rows_on, iters_on, wall, cpu = run_once(tables, sql, None)
+        on["wall"] = min(on["wall"], wall)
+        on["cpu"] = min(on["cpu"], cpu)
+        if rows_on != rows_off:
+            raise SystemExit(f"{name}: kernels changed the result rows")
+        if iters_on != iters_off:
+            raise SystemExit(f"{name}: iteration count diverged "
+                             f"({iters_on} vs {iters_off})")
+    return {
+        "wall_off_s": round(off["wall"], 4),
+        "wall_on_s": round(on["wall"], 4),
+        "cpu_off_s": round(off["cpu"], 4),
+        "cpu_on_s": round(on["cpu"], 4),
+        "speedup": round(off["wall"] / max(on["wall"], 1e-9), 3),
+        "cpu_speedup": round(off["cpu"] / max(on["cpu"], 1e-9), 3),
+        "iterations": iters_on,
+        "bit_exact": True,
+        "rows": len(rows_on),
+    }
+
+
+def measure(quick: bool, best_of: int) -> dict:
+    results = {}
+    for name, (tables, sql) in workloads(quick).items():
+        results[name] = bench_query(name, tables, sql, best_of)
+        print(f"{name:18s} off={results[name]['wall_off_s']:.3f}s "
+              f"on={results[name]['wall_on_s']:.3f}s "
+              f"speedup={results[name]['speedup']:.2f}x "
+              f"(cpu {results[name]['cpu_speedup']:.2f}x)")
+    return {"best_of": best_of, "num_workers": NUM_WORKERS,
+            "queries": results}
+
+
+def check(section: dict, baseline_path: pathlib.Path, mode: str) -> int:
+    baseline = json.loads(baseline_path.read_text()).get(mode)
+    if baseline is None:
+        print(f"check: baseline {baseline_path} has no '{mode}' section",
+              file=sys.stderr)
+        return 1
+    failures = []
+    for name in HEADLINE:
+        expected = baseline["queries"][name]["speedup"]
+        got = section["queries"][name]["speedup"]
+        floor = expected * (1 - REGRESSION_TOLERANCE)
+        status = "ok" if got >= floor else "REGRESSED"
+        print(f"check {name:6s} baseline={expected:.2f}x floor={floor:.2f}x "
+              f"measured={got:.2f}x  {status}")
+        if got < floor:
+            failures.append(name)
+    if failures:
+        print(f"perf regression (> {REGRESSION_TOLERANCE:.0%}) in: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small graphs, fewer trials (CI perf smoke)")
+    parser.add_argument("--best-of", type=int, default=None,
+                        help="trials per query (default: 5, quick: 3)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="results file to update (default: BENCH_5.json)")
+    parser.add_argument("--check", type=pathlib.Path, metavar="BASELINE",
+                        help="compare headline speedups against a committed "
+                             "baseline instead of updating --out")
+    args = parser.parse_args(argv)
+
+    best_of = args.best_of or (3 if args.quick else 5)
+    mode = "quick" if args.quick else "full"
+    section = measure(args.quick, best_of)
+
+    if args.check:
+        return check(section, args.check, mode)
+
+    existing = (json.loads(args.out.read_text())
+                if args.out.exists() else {})
+    existing[mode] = section
+    args.out.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"wrote {args.out} [{mode}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,6 +56,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "(repeatable)")
     parser.add_argument("--no-codegen", action="store_true")
     parser.add_argument("--no-stage-combination", action="store_true")
+    parser.add_argument("--no-kernels", action="store_true",
+                        help="run the fixpoint through the naive reference "
+                             "loops instead of the specialized kernels "
+                             "(wall-clock only; results are bit-exact "
+                             "either way)")
+    parser.add_argument("--no-adaptive-join", action="store_true",
+                        help="disable per-iteration adaptive join-strategy "
+                             "selection for co-partitioned joins")
+    parser.add_argument("--profile", metavar="PATH",
+                        help="profile the query's execution with cProfile "
+                             "and write pstats output here (inspect with "
+                             "python -m pstats PATH)")
     parser.add_argument("--evaluation", default="dsn",
                         choices=["dsn", "naive", "stratified"])
     parser.add_argument("--timeout", type=float, metavar="SECONDS",
@@ -138,6 +150,8 @@ def main(argv: list[str] | None = None) -> int:
         config = ExecutionConfig(
             codegen=not args.no_codegen,
             stage_combination=not args.no_stage_combination,
+            kernels=not args.no_kernels,
+            adaptive_joins=not args.no_adaptive_join,
             evaluation=args.evaluation,
             deadline_seconds=args.timeout,
         )
@@ -178,7 +192,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     try:
-        result = ctx.sql(query)
+        result = ctx.sql(query, profile_path=args.profile)
     except QueryDeadlineExceededError as exc:
         print(f"error: {exc}", file=sys.stderr)
         if exc.partial_trace is not None:
@@ -224,6 +238,8 @@ def main(argv: list[str] | None = None) -> int:
         pathlib.Path(args.trace).write_text(
             json.dumps(stats.trace, indent=2) + "\n")
         print(f"-- wrote trace {args.trace}", file=sys.stderr)
+    if args.profile:
+        print(f"-- wrote profile {stats.profile_path}", file=sys.stderr)
     if args.output:
         write_csv(result, args.output)
         print(f"-- wrote {args.output}", file=sys.stderr)

@@ -37,6 +37,7 @@ from repro.core.logical import RulePlan
 from repro.core.physical import (
     CompiledTerm,
     FilterStep,
+    GroupedDedupSpec,
     HashJoinStep,
     NestedLoopStep,
     SortMergeJoinStep,
@@ -112,11 +113,24 @@ def _expr_source(expr: ast.Expr, layout: Layout, namer: _SlotNamer) -> str:
 
 def generate_term_function(term: CompiledTerm,
                            aggregates: tuple[AggregateFunction | None, ...],
-                           ) -> Callable | None:
+                           kernels: bool = False,
+                           dedup: bool = False) -> Callable | None:
     """Generate the fused function for one term, or ``None`` if not fusible.
 
     ``aggregates`` are the target view's effective aggregates (for
     contribution normalization in the projection).
+
+    ``kernels`` applies the kernel-layer micro-specializations (hoisted
+    bound ``dict.get`` probes); off, the emitted code matches the seed's
+    reference generation exactly.
+
+    ``dedup`` emits the set-fixpoint variant: a single list
+    comprehension ``_term(delta_rows, partition, runtime) -> derived``
+    returning the round's derived rows *including duplicates*.  The
+    whole probe loop runs inside one comprehension frame — no per-row
+    interpreted append or membership branch — and the driver dedups the
+    round in one shot with C-level set algebra.  Only valid for
+    aggregate-free, non-negated, totalize-free terms.
     """
     rule: RulePlan | None = term.rule
     if rule is None or rule.layout is None:
@@ -144,10 +158,16 @@ def generate_term_function(term: CompiledTerm,
             return None  # prefilter we cannot re-derive: fall back
 
     join_var = 0
+    has_totalize = False
+    first_join_mark: tuple[int, int] | None = None
+    clauses: list[str] = []  # comprehension clauses for the dedup variant
     for step in term.steps:
         if isinstance(step, SortMergeJoinStep):
             return None  # not fused; interpreted path handles it
         if isinstance(step, TotalizeStep):
+            if dedup:
+                return None  # statement-based row patching; not fusible
+            has_totalize = True
             # Inline total lookup: patch a copy of the raw delta row.
             group_refs = ", ".join(namer.ref(s) for s in step.group_slots)
             key = f"({group_refs},)" if len(step.group_slots) > 1 else group_refs
@@ -164,11 +184,16 @@ def generate_term_function(term: CompiledTerm,
             source = _filter_source(step, layout, namer)
             if source is None:
                 return None
+            if dedup:
+                clauses.append(f"if {source}")
+                continue
             emit(f"if not {source}:", indent)
             emit("    continue", indent)
             continue
         if isinstance(step, HashJoinStep):
             join_var += 1
+            if first_join_mark is None:
+                first_join_mark = (len(body), indent)
             var = f"r{join_var}"
             table = f"_tbl{step.step_id}"
             if step.source == "broadcast":
@@ -184,30 +209,59 @@ def generate_term_function(term: CompiledTerm,
                 accessor = ("runtime.state_rows" if step.source == "state"
                             else "runtime.delta_rows")
                 source_partition = "-1" if step.gather else "partition"
-                prologue.append(
-                    f"    {table} = _build_state_table("
-                    f"{accessor}({step.state_view!r}, {source_partition}), "
-                    f"{tuple(s - step.state_offset for s in step.build_slots)!r})")
+                positions = tuple(
+                    s - step.state_offset for s in step.build_slots)
+                if step.source == "state":
+                    # Kernel layer: version-validated cached table when
+                    # enabled; bit-exact rebuild otherwise.
+                    prologue.append(
+                        f"    {table} = (runtime.state_table("
+                        f"{step.state_view!r}, {source_partition}, "
+                        f"{positions!r}, None) "
+                        f"if runtime.state_table is not None "
+                        f"else _build_state_table("
+                        f"{accessor}({step.state_view!r}, "
+                        f"{source_partition}), {positions!r}))")
+                else:
+                    prologue.append(
+                        f"    {table} = _build_state_table("
+                        f"{accessor}({step.state_view!r}, {source_partition}), "
+                        f"{positions!r})")
                 raw = True
             key_refs = [namer.ref(s) for s in step.probe_slots]
             key = (f"({', '.join(key_refs)},)" if len(key_refs) > 1
                    else key_refs[0])
             bucket = f"_b{join_var}"
-            emit(f"{bucket} = {table}.get({key})", indent)
-            emit(f"if {bucket} is None:", indent)
-            emit("    continue", indent)
-            emit(f"for {var} in {bucket}:", indent)
+            if kernels or dedup:
+                prologue.append(f"    _get{join_var} = {table}.get")
+            if dedup:
+                # ``.get`` with an empty-tuple default makes a missed
+                # probe a zero-iteration inner loop.
+                clauses.append(f"for {var} in _get{join_var}({key}, _E)")
+            elif kernels:
+                emit(f"{bucket} = _get{join_var}({key})", indent)
+            else:
+                emit(f"{bucket} = {table}.get({key})", indent)
+            if not dedup:
+                emit(f"if {bucket} is None:", indent)
+                emit("    continue", indent)
+                emit(f"for {var} in {bucket}:", indent)
             namer.add_segment(_fix_hash_join_segment(step, layout),
                               _step_arity(step, layout), var, raw)
             indent += 1
             continue
         if isinstance(step, NestedLoopStep):
             join_var += 1
+            if first_join_mark is None:
+                first_join_mark = (len(body), indent)
             var = f"r{join_var}"
             table = f"_tbl{step.step_id}"
             prologue.append(
                 f"    {table} = runtime.broadcast_tables[{step.step_id}]")
-            emit(f"for {var} in {table}:", indent)
+            if not dedup:
+                emit(f"for {var} in {table}:", indent)
+            else:
+                clauses.append(f"for {var} in {table}")
             offset, arity = _nested_segment(term, layout, namer)
             namer.add_segment(offset, arity, var, raw=False)
             indent += 1
@@ -217,12 +271,23 @@ def generate_term_function(term: CompiledTerm,
                     return None
                 source = " and ".join(
                     _expr_source(c, layout, namer) for c in conjuncts)
-                emit(f"if not ({source}):", indent)
-                emit("    continue", indent)
+                if dedup:
+                    clauses.append(f"if ({source})")
+                else:
+                    emit(f"if not ({source}):", indent)
+                    emit("    continue", indent)
             continue
         return None  # unknown step kind
 
-    # Projection with normalization.
+    # Projection with normalization.  Under the kernel layer, parts that
+    # read only the delta row are invariant across the join loops and are
+    # hoisted to just before the first join (totalize patches ``d``
+    # mid-body, so its presence disables the hoist).
+    hoist = (kernels and not dedup and first_join_mark is not None
+             and not has_totalize)
+    delta_lo = term.delta_offset
+    delta_hi = delta_lo + _delta_arity(term, layout)
+    hoisted: list[str] = []
     projection_parts = []
     for i, expr in enumerate(rule.projections):
         source = _expr_source(expr, layout, namer)
@@ -230,18 +295,39 @@ def generate_term_function(term: CompiledTerm,
         if agg is not None and agg.name == "count":
             env[f"_norm{i}"] = agg.normalize
             source = f"_norm{i}({source})"
+        if hoist and _is_delta_only(expr, layout, delta_lo, delta_hi):
+            name = f"_p{i}"
+            hoisted.append("    " * first_join_mark[1] + f"{name} = {source}")
+            source = name
         projection_parts.append(source)
-    emit(f"_append(({', '.join(projection_parts)},))", indent)
-
-    header = ["def _term(delta_rows, partition, runtime):"]
-    header += prologue
-    header.append("    _out = []")
-    header.append("    _append = _out.append")
-    header.append("    for d in delta_rows:")
-    if prefilter_src is not None:
-        header.append(f"        if not {prefilter_src}:")
-        header.append("            continue")
-    source_text = "\n".join(header + body + ["    return _out"])
+    if hoisted:
+        body[first_join_mark[0]:first_join_mark[0]] = hoisted
+    if dedup:
+        if term.negate or any(a is not None for a in aggregates):
+            return None
+        # One comprehension for the whole round: the loop machinery runs
+        # in C, leaving only the probe and tuple build per derived row.
+        row = f"({', '.join(projection_parts)},)"
+        comp = " ".join(
+            ["for d in delta_rows"]
+            + ([f"if {prefilter_src}"] if prefilter_src is not None else [])
+            + clauses)
+        lines = ["def _term(delta_rows, partition, runtime):"]
+        lines += prologue
+        lines.append("    _E = ()")
+        lines.append(f"    return [{row} {comp}]")
+        source_text = "\n".join(lines)
+    else:
+        emit(f"_append(({', '.join(projection_parts)},))", indent)
+        header = ["def _term(delta_rows, partition, runtime):"]
+        header += prologue
+        header.append("    _out = []")
+        header.append("    _append = _out.append")
+        header.append("    for d in delta_rows:")
+        if prefilter_src is not None:
+            header.append(f"        if not {prefilter_src}:")
+            header.append("            continue")
+        source_text = "\n".join(header + body + ["    return _out"])
 
     env["_build_state_table"] = _build_state_table
     try:
@@ -272,6 +358,13 @@ def _build_state_table(rows: list[tuple], key_positions: tuple[int, ...]) -> dic
 # step metadata recovery (the physical steps don't carry their AST origin,
 # so codegen re-derives what it needs from the rule plan)
 # ---------------------------------------------------------------------------
+
+
+def _is_delta_only(expr: ast.Expr, layout: Layout, lo: int, hi: int) -> bool:
+    """True when *expr* reads at least one delta slot and nothing else."""
+    slots = [layout.slot_of(node) for node in expr.walk()
+             if isinstance(node, ast.ColumnRef)]
+    return bool(slots) and all(lo <= s < hi for s in slots)
 
 
 def _delta_arity(term: CompiledTerm, layout: Layout) -> int:
@@ -350,14 +443,92 @@ def _fix_hash_join_segment(step: HashJoinStep, layout: Layout) -> int:
     raise PlanningError("codegen: cannot locate build segment")
 
 
+def grouped_dedup_spec(
+        term: CompiledTerm,
+        aggregates: tuple[AggregateFunction | None, ...],
+) -> GroupedDedupSpec | None:
+    """Recognize the column-decomposed fixpoint shape, if *term* has it.
+
+    The shape is a single broadcast hash join probed by delta columns,
+    projecting delta-only parts followed by exactly one build column
+    (transitive closure's ``tc(x, z), edge(z, y) -> (x, y)`` is the
+    canonical instance).  The decomposed driver exploits it by keeping
+    the member set as ``prefix -> {last column}`` and deduplicating
+    whole adjacency sets at C speed; duplicate-heavy fixpoints never
+    build (or hash) the duplicate row tuples at all.
+    """
+    rule = term.rule
+    if rule is None or rule.layout is None:
+        return None
+    if term.negate or any(a is not None for a in aggregates):
+        return None
+    if term.delta_prefilter is not None:
+        return None
+    if len(term.steps) != 1:
+        return None
+    step = term.steps[0]
+    if not isinstance(step, HashJoinStep) or step.source != "broadcast":
+        return None
+    layout = rule.layout
+    lo = term.delta_offset
+    hi = lo + _delta_arity(term, layout)
+    probe = []
+    for slot in step.probe_slots:
+        if not lo <= slot < hi:
+            return None
+        probe.append(slot - lo)
+    namer = _SlotNamer(lo, hi - lo)
+    namer.add_segment(_fix_hash_join_segment(step, layout),
+                      _step_arity(step, layout), "r", False)
+    projections = rule.projections
+    if not projections:
+        return None
+    prefix = []
+    for expr in projections[:-1]:
+        if not isinstance(expr, ast.ColumnRef):
+            return None
+        slot = layout.slot_of(expr)
+        if not lo <= slot < hi:
+            return None
+        prefix.append(slot - lo)
+    last = projections[-1]
+    if not isinstance(last, ast.ColumnRef):
+        return None
+    last_slot = layout.slot_of(last)
+    if lo <= last_slot < hi:
+        return None
+    ref = namer.ref(last_slot)  # "r[<bucket row index>]"
+    return GroupedDedupSpec(step_id=step.step_id,
+                            probe=tuple(probe),
+                            prefix=tuple(prefix),
+                            build_index=int(ref[2:-1]))
+
+
 def attach_generated_code(term: CompiledTerm,
-                          aggregates: tuple[AggregateFunction | None, ...]) -> bool:
-    """Try to attach a generated function to *term*; returns success."""
+                          aggregates: tuple[AggregateFunction | None, ...],
+                          kernels: bool = False) -> bool:
+    """Try to attach a generated function to *term*; returns success.
+
+    With ``kernels`` the kernel-layer specializations are applied, and —
+    for aggregate-free, non-negated terms — the inline-dedup variant is
+    additionally generated onto ``term.codegen_dedup_fn`` (consumed by
+    the decomposed set-fixpoint driver).
+    """
     try:
-        fn = generate_term_function(term, aggregates)
+        fn = generate_term_function(term, aggregates, kernels=kernels)
     except PlanningError:
         fn = None
     if fn is None:
         return False
     term.codegen_fn = fn
+    if kernels:
+        try:
+            term.codegen_dedup_fn = generate_term_function(
+                term, aggregates, kernels=True, dedup=True)
+        except PlanningError:
+            term.codegen_dedup_fn = None
+        try:
+            term.grouped_spec = grouped_dedup_spec(term, aggregates)
+        except PlanningError:
+            term.grouped_spec = None
     return True

@@ -60,6 +60,19 @@ class ExecutionConfig:
         Seed the recursion with the final SELECT's equality constants on
         delta-preserved columns (a lightweight magic-sets rewrite; see
         :func:`repro.core.optimizer.magic_filter_pushdown`).
+    kernels:
+        Run the fixpoint hot path through the precompiled specialized
+        kernels of :mod:`repro.engine.kernels` (itemgetter key extractors,
+        batched shuffle routing, cached state build tables, unrolled
+        aggregate merges).  ``False`` routes everything through the naive
+        reference loops — the bit-exact baseline the differential suite
+        (``pytest -m kernels``) compares against.  Wall-clock only: the
+        simulated cost model is identical either way.
+    adaptive_joins:
+        Re-choose the join strategy of co-partitioned base joins per
+        evaluation from observed delta/build cardinalities (hash vs
+        sort-merge vs nested-loop; AQE-style).  Requires ``kernels``;
+        choices are surfaced in EXPLAIN ANALYZE's "kernels" section.
     max_iterations:
         Safety budget; exceeding it raises
         :class:`repro.errors.FixpointNotReachedError`.  Also bounds the
@@ -84,6 +97,8 @@ class ExecutionConfig:
     partial_aggregation: bool = True
     use_setrdd: bool = True
     magic_filters: bool = True
+    kernels: bool = True
+    adaptive_joins: bool = True
     max_iterations: int = 100_000
     deadline_seconds: float | None = None
 

@@ -59,6 +59,9 @@ class RunInfo:
     #: query -> fixpoint -> iteration -> stage -> task, each with
     #: simulated duration, counter deltas, and per-view delta sizes.
     trace: dict | None = None
+    #: Where the cProfile capture of this call was written (``sql``'s
+    #: ``profile_path`` argument / the CLI's ``--profile``), or ``None``.
+    profile_path: str | None = None
 
     def explain_analyze(self) -> str:
         """Per-iteration timeline of the traced run (EXPLAIN ANALYZE)."""
@@ -88,6 +91,23 @@ class RunInfo:
             if key.startswith("memory_hwm_bytes_w"):
                 out[key] = value
         return out
+
+    def kernels_summary(self) -> dict[str, float]:
+        """Kernel-layer counters of the run (zeros when kernels are off).
+
+        Keys: ``kernel_state_cache_hits``, ``kernel_state_cache_misses``,
+        ``kernel_state_cache_updates``, ``kernel_state_cache_bypass``,
+        ``adaptive_join_hash``, ``adaptive_join_sort_merge``,
+        ``adaptive_join_nested_loop``, ``adaptive_join_overrides``,
+        ``kernel_grouped_fixpoint_stages``, ``kernel_fused_fixpoint_stages``.
+        """
+        keys = ("kernel_state_cache_hits", "kernel_state_cache_misses",
+                "kernel_state_cache_updates", "kernel_state_cache_bypass",
+                "adaptive_join_hash", "adaptive_join_sort_merge",
+                "adaptive_join_nested_loop", "adaptive_join_overrides",
+                "kernel_grouped_fixpoint_stages",
+                "kernel_fused_fixpoint_stages")
+        return {key: self.metrics.get(key, 0) for key in keys}
 
     def fault_summary(self) -> dict[str, float]:
         """Recovery counters of the run (zeros when nothing failed).
@@ -209,7 +229,8 @@ class RaSQLContext:
                 total += rows_size(self.catalog.get(name).rows)
         return total
 
-    def sql(self, query: str, config: ExecutionConfig | None = None) -> Relation:
+    def sql(self, query: str, config: ExecutionConfig | None = None,
+            profile_path: str | None = None) -> Relation:
         """Execute a RaSQL script and return the final SELECT's relation.
 
         Resource governance brackets the whole call: the session's
@@ -219,6 +240,12 @@ class RaSQLContext:
         ``deadline_seconds`` — the cluster's cooperative deadline is
         armed.  A deadline abort re-raises with the partial trace
         attached and recorded on :attr:`last_run`.
+
+        ``profile_path`` wraps the execution (planning through the final
+        stratum, excluding admission) in :mod:`cProfile` and dumps the
+        pstats capture there; the path lands on
+        :attr:`RunInfo.profile_path`.  Inspect with
+        ``python -m pstats PATH``.
         """
         effective = config or self.config
         label = _query_label(query)
@@ -233,7 +260,19 @@ class RaSQLContext:
             if effective.deadline_seconds is not None:
                 self.cluster.deadline = (self.cluster.metrics.sim_time
                                          + effective.deadline_seconds)
-            return self._run_sql(query, effective, label)
+            if profile_path is None:
+                return self._run_sql(query, effective, label)
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                return self._run_sql(query, effective, label)
+            finally:
+                profiler.disable()
+                profiler.dump_stats(profile_path)
+                # _run_sql set last_run even on a deadline abort.
+                self.last_run.profile_path = profile_path
         finally:
             self.cluster.deadline = None
             self.governor.release(ticket)

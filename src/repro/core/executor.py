@@ -14,6 +14,7 @@ Figure 10, which drive recursion as a loop of these ordinary queries.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Callable
 
 from repro.core import ast_nodes as ast
@@ -132,10 +133,18 @@ def _join_from_list(query: ast.SelectQuery,
         offset = layout.offsets[binding_key]
         arity = len(relation.columns)
         # Scan with single-binding pushdown, padded into the full layout
-        # so every compiled expression sees one row shape.
-        scan_layout_row = lambda r: (None,) * offset + r + (None,) * (
-            layout.arity - offset - arity)
-        rows = [scan_layout_row(tuple(r)) for r in relation.rows]
+        # so every compiled expression sees one row shape.  Relation rows
+        # are plain tuples, so the pads concatenate directly.
+        prefix = (None,) * offset
+        suffix = (None,) * (layout.arity - offset - arity)
+        if prefix and suffix:
+            rows = [prefix + r + suffix for r in relation.rows]
+        elif prefix:
+            rows = [prefix + r for r in relation.rows]
+        elif suffix:
+            rows = [r + suffix for r in relation.rows]
+        else:
+            rows = list(relation.rows)
         for i, (refs, conjunct) in enumerate(classified):
             if not consumed[i] and refs == {binding_key}:
                 predicate = compile_expr(conjunct, layout)
@@ -284,6 +293,15 @@ def _execute_select(query: ast.SelectQuery,
                 continue
             out_rows.append(tuple(fn(representative, agg_values)
                                   for fn in compiled_items))
+    elif all(isinstance(e, ast.ColumnRef) for e in item_exprs):
+        # Pure-projection fast path: one itemgetter per row instead of a
+        # closure call per cell.
+        slots = tuple(layout.slot_of(e) for e in item_exprs)
+        if len(slots) == 1:
+            slot = slots[0]
+            out_rows = [(row[slot],) for row in rows]
+        else:
+            out_rows = list(map(itemgetter(*slots), rows))
     else:
         compiled = [compile_expr(e, layout) for e in item_exprs]
         out_rows = [tuple(fn(row) for fn in compiled) for row in rows]
@@ -319,4 +337,5 @@ def _execute_select(query: ast.SelectQuery,
 
     if query.limit is not None:
         out_rows = out_rows[:query.limit]
-    return Relation(result_name, column_names, out_rows)
+    # Every path above produced plain tuples of the output arity.
+    return Relation.from_tuples(result_name, column_names, out_rows)

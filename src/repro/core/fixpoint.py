@@ -38,15 +38,25 @@ from repro.core.physical import (
     CompiledTerm,
     HashJoinStep,
     PhysicalView,
-    SortMergeJoinStep,
     TermRuntime,
+    TotalizeStep,
     make_slots_key,
+    merge_padded,
     pad_row,
 )
 from repro.core.planner import PlannedClique
 from repro.engine.cluster import Cluster, StageTask
 from repro.engine.dataset import Dataset, Partition
-from repro.engine.joins import build_hash_table, sort_rows
+from repro.engine.joins import build_hash_table, sort_merge_join, sort_rows
+from repro.engine.kernels import (
+    AdaptiveJoinSelector,
+    hash_probe_join,
+    make_extractor,
+    make_fold_kernel,
+    make_padder,
+    make_router,
+    nested_loop_equi,
+)
 from repro.engine.partitioner import HashPartitioner, make_key_fn
 from repro.engine.setrdd import KeyedStateRDD, SetRDD
 from repro.errors import FixpointNotReachedError, PlanningError
@@ -132,6 +142,23 @@ class FixpointOperator:
         self._base_partition_objects: dict[int, list[Partition]] = {}
         #: Memory-charge groups of this clique's broadcast variables.
         self._broadcast_groups: list[str] = []
+        # --- kernel layer (wall-clock only; see repro.engine.kernels) ---
+        self._use_kernels = config.kernels
+        self._adaptive = config.kernels and config.adaptive_joins
+        #: Per-view batched shuffle routers (kernels mode).
+        self._routers: dict[str, Callable] = {}
+        #: Per-view fused partial-aggregation folds for two-column heads.
+        self._fold_kernels: dict[str, Callable | None] = {}
+        #: Cached state-side build tables:
+        #: (view, partition, key_positions, pad) -> [version, count, table].
+        self._state_tables: dict[tuple, list] = {}
+        #: Planner's strategy per co-partitioned step ("hash"/"sort_merge").
+        self._copartition_strategy: dict[int, str] = {}
+        #: Alternative build structures the adaptive selector re-indexes:
+        #: (step_id, partition, kind) -> hash table or sorted run.
+        self._alt_builds: dict[tuple[int, int, str], object] = {}
+        self.selector = (AdaptiveJoinSelector(cluster.metrics)
+                         if self._adaptive else None)
         self._validate()
 
     def resolve(self, name: str) -> Relation:
@@ -173,7 +200,8 @@ class FixpointOperator:
         for name, view in self.planned.views.items():
             if view.has_aggregates:
                 self.states[name] = KeyedStateRDD(
-                    self.n, view.aggregate_functions, self.partitioner)
+                    self.n, view.aggregate_functions, self.partitioner,
+                    use_kernels=self._use_kernels)
             else:
                 self.states[name] = SetRDD(self.n, self.partitioner)
             self.splitters[name] = _make_splitter(view)
@@ -185,6 +213,12 @@ class FixpointOperator:
             # rows and (key, values) pairs coincide up to 1-tuple wrapping.
             self._two_col[name] = (view.group_positions == (0,)
                                    and view.aggregate_positions == (1,))
+            if self._use_kernels:
+                self._routers[name] = make_router(
+                    view.partition_key_positions, self.n)
+                self._fold_kernels[name] = (
+                    make_fold_kernel(view.aggregate_functions[0])
+                    if self._two_col[name] else None)
 
         def state_rows(view_name: str, partition: int) -> list[tuple]:
             state = self.states[view_name]
@@ -211,6 +245,89 @@ class FixpointOperator:
         self.runtime.state_rows = state_rows
         self.runtime.delta_rows = delta_rows
         self.runtime.state_total = state_total
+        if self._use_kernels:
+            self.runtime.state_table = self._state_table
+
+    # ------------------------------------------------------------------
+    # kernel layer: cached state-side build tables
+    # ------------------------------------------------------------------
+
+    def _state_table(self, view_name: str, partition: int,
+                     key_positions: tuple[int, ...],
+                     pad: tuple[int, int] | None) -> dict:
+        """Version-validated hash table over a view's state partition.
+
+        ``pad=None`` keys *raw* state rows by relative positions (the
+        codegen path); ``pad=(offset, arity)`` keys *padded* rows by
+        absolute slots (the interpreted HashJoinStep path).  Invalidation
+        rules (see docs/INTERNALS.md):
+
+        - ``partition == -1`` (gather) always bypasses the cache: gathered
+          state spans partitions that sibling tasks of the *current* stage
+          are still mutating, so no stable version exists to validate.
+        - A cached entry is reused verbatim when the partition's
+          ``(version, row count)`` is unchanged.
+        - A SetRDD partition whose version matches but whose count grew by
+          exactly the current fresh delta is updated *incrementally* (the
+          all-relation is append-only between snapshots); anything else —
+          keyed states change values in place, restores bump the version —
+          is rebuilt from scratch.
+        """
+        metrics = self.cluster.metrics
+        if partition == -1:
+            metrics.inc("kernel_state_cache_bypass")
+            return self._build_state_side(
+                self.runtime.state_rows(view_name, -1), key_positions, pad)
+
+        state = self.states[view_name]
+        version = state.versions[partition]
+        count = len(state.partitions[partition])
+        cache_key = (view_name, partition, key_positions, pad)
+        entry = self._state_tables.get(cache_key)
+        if entry is not None and entry[0] == version:
+            if entry[1] == count:
+                metrics.inc("kernel_state_cache_hits")
+                return entry[2]
+            fresh = self._current_d[view_name][partition]
+            if (isinstance(state, SetRDD)
+                    and entry[1] + len(fresh) == count):
+                # Append-only growth: exactly the fresh rows are missing.
+                self._append_state_rows(entry[2], fresh, key_positions, pad)
+                entry[1] = count
+                metrics.inc("kernel_state_cache_updates")
+                return entry[2]
+        metrics.inc("kernel_state_cache_misses")
+        table = self._build_state_side(
+            self.runtime.state_rows(view_name, partition), key_positions, pad)
+        self._state_tables[cache_key] = [version, count, table]
+        return table
+
+    @staticmethod
+    def _build_state_side(rows: list[tuple], key_positions: tuple[int, ...],
+                          pad: tuple[int, int] | None) -> dict:
+        table: dict = {}
+        if pad is not None:
+            offset, arity = pad
+            rows = [pad_row(r, offset, arity) for r in rows]
+            key_fn = make_slots_key(key_positions)
+        else:
+            key_fn = make_key_fn(key_positions)
+        for row in rows:
+            table.setdefault(key_fn(row), []).append(row)
+        return table
+
+    @staticmethod
+    def _append_state_rows(table: dict, rows: list[tuple],
+                           key_positions: tuple[int, ...],
+                           pad: tuple[int, int] | None) -> None:
+        if pad is not None:
+            offset, arity = pad
+            rows = [pad_row(r, offset, arity) for r in rows]
+            key_fn = make_slots_key(key_positions)
+        else:
+            key_fn = make_key_fn(key_positions)
+        for row in rows:
+            table.setdefault(key_fn(row), []).append(row)
 
     def _setup_base_relations(self) -> None:
         """Broadcast / co-partition every base input and build join sides."""
@@ -225,8 +342,13 @@ class FixpointOperator:
         for plan in self.planned.base_plans:
             relation = self.resolve(plan.relation)
             t0 = time.perf_counter()
-            padded = [pad_row(row, plan.offset, plan.arity)
-                      for row in relation.rows]
+            if self._use_kernels and relation.rows:
+                padder = make_padder(plan.offset, plan.arity,
+                                     len(relation.rows[0]))
+                padded = [padder(row) for row in relation.rows]
+            else:
+                padded = [pad_row(row, plan.offset, plan.arity)
+                          for row in relation.rows]
             if plan.filter is not None:
                 predicate = plan.filter
                 padded = [row for row in padded if predicate(row)]
@@ -250,9 +372,12 @@ class FixpointOperator:
                     self.runtime.broadcast_tables[plan.step_id] = padded
             else:  # copartition
                 key_fn = make_slots_key(plan.build_slots)
-                buckets: list[list[tuple]] = [[] for _ in range(self.n)]
-                for row in padded:
-                    buckets[self.partitioner.partition_of(key_fn(row))].append(row)
+                if self._use_kernels:
+                    buckets = make_router(plan.build_slots, self.n)(padded)
+                else:
+                    buckets = [[] for _ in range(self.n)]
+                    for row in padded:
+                        buckets[self.partitioner.partition_of(key_fn(row))].append(row)
                 partitions = [
                     Partition(i, bucket, cluster.worker_for_partition(i))
                     for i, bucket in enumerate(buckets)
@@ -267,10 +392,16 @@ class FixpointOperator:
                             partition.worker, partition.size_bytes())
                 if config.join_strategy == "sort_merge":
                     built = [sort_rows(bucket, key_fn) for bucket in buckets]
+                    self._copartition_strategy[plan.step_id] = "sort_merge"
                 else:
                     built = [build_hash_table(bucket, key_fn)
                              for bucket in buckets]
+                    self._copartition_strategy[plan.step_id] = "hash"
                 self.runtime.base_partitions[plan.step_id] = built
+                # The raw bucket lists alias Partition.rows: streaming
+                # inserts reach both; the adaptive selector scans or
+                # re-indexes them when overriding the planner's strategy.
+                self.runtime.base_raw[plan.step_id] = buckets
             build_cpu += time.perf_counter() - t0
 
         # The builds above happen on workers in parallel; charge them as
@@ -349,16 +480,40 @@ class FixpointOperator:
         incoming: dict[str, Dataset] = {}
         for name, view in self.planned.views.items():
             key_fn = self.key_fns[name]
+            router = self._routers.get(name)
             map_outputs = []
             for source, rows in per_view_buckets.get(name, {}).items():
-                buckets: dict[int, list[tuple]] = defaultdict(list)
-                for row in rows:
-                    pid = self.partitioner.partition_of(key_fn(row))
-                    buckets[pid].append(row)
+                if router is not None:
+                    buckets = {pid: bucket
+                               for pid, bucket in enumerate(router(rows))
+                               if bucket}
+                else:
+                    buckets: dict[int, list[tuple]] = defaultdict(list)
+                    for row in rows:
+                        pid = self.partitioner.partition_of(key_fn(row))
+                        buckets[pid].append(row)
                 worker = (source_workers or {}).get(source, source % self.cluster.num_workers)
                 map_outputs.append((worker, buckets))
             incoming[name] = self.cluster.exchange(
                 map_outputs, self.n, self.partitioner,
+                view.partition_key_positions)
+        return incoming
+
+    def _exchange_prebucketed(
+            self, per_view_outputs: dict[str, list[tuple[int, dict]]]
+    ) -> dict[str, Dataset]:
+        """Exchange task-emitted shuffle buckets directly (kernels mode).
+
+        The combined-stage tasks already routed their output rows into
+        per-partition buckets; re-flattening and re-routing them (what
+        :meth:`_exchange_outputs` does) is pure overhead.  Per-partition
+        row sequences — and therefore results and memory charges — are
+        identical either way.
+        """
+        incoming: dict[str, Dataset] = {}
+        for name, view in self.planned.views.items():
+            incoming[name] = self.cluster.exchange(
+                per_view_outputs.get(name, []), self.n, self.partitioner,
                 view.partition_key_positions)
         return incoming
 
@@ -397,16 +552,14 @@ class FixpointOperator:
         state = self.states[view_name]
         if not self.config.use_setrdd:
             # Immutable-RDD ablation: every union copies the partition.
-            state.partitions[partition] = (
+            state.replace_partition(partition, (
                 set(state.partitions[partition])
                 if isinstance(state, SetRDD)
-                else dict(state.partitions[partition]))
+                else dict(state.partitions[partition])))
         if isinstance(state, SetRDD):
             fresh = state.union_in_place(partition, rows)
         elif self._two_col[view_name]:
-            delta_pairs = state.merge(
-                partition, [(row[0], row[1:]) for row in rows])
-            fresh = [(key, values[0]) for key, values in delta_pairs]
+            fresh = state.merge_rows(partition, rows)
         else:
             splitter = self.splitters[view_name]
             assembler = self.assemblers[view_name]
@@ -445,7 +598,7 @@ class FixpointOperator:
                 delta = self._current_d[term.delta_view][partition]
             if not delta:
                 continue
-            rows = term.evaluate(delta, partition, self.runtime)
+            rows = self._evaluate_term(term, delta, partition)
             if term.negate and rows:
                 negate = self.negators[term.view]
                 rows = [negate(r) for r in rows]
@@ -455,7 +608,10 @@ class FixpointOperator:
             view = self.planned.views[view_name]
             if view.has_aggregates and self.config.partial_aggregation:
                 functions = view.aggregate_functions
-                if self._two_col[view_name]:
+                fold = self._fold_kernels.get(view_name)
+                if fold is not None:
+                    rows = fold(rows)
+                elif self._two_col[view_name]:
                     # Fused split+combine+assemble for (key, value) heads.
                     combine = functions[0].combine
                     combined: dict = {}
@@ -471,13 +627,110 @@ class FixpointOperator:
                     pairs = partial_aggregate(
                         [splitter(r) for r in rows], functions)
                     rows = [assembler(k, v) for k, v in pairs]
-            buckets: dict[int, list[tuple]] = defaultdict(list)
-            key_fn = self.key_fns[view_name]
-            partition_of = self.partitioner.partition_of
-            for row in rows:
-                buckets[partition_of(key_fn(row))].append(row)
-            per_view[view_name] = buckets
+            router = self._routers.get(view_name)
+            if router is not None:
+                per_view[view_name] = {
+                    pid: bucket for pid, bucket in enumerate(router(rows))
+                    if bucket}
+            else:
+                buckets: dict[int, list[tuple]] = defaultdict(list)
+                key_fn = self.key_fns[view_name]
+                partition_of = self.partitioner.partition_of
+                for row in rows:
+                    buckets[partition_of(key_fn(row))].append(row)
+                per_view[view_name] = buckets
         return per_view
+
+    def _evaluate_term(self, term: CompiledTerm, delta: list[tuple],
+                       partition: int) -> list[tuple]:
+        """Evaluate one term, letting the adaptive selector re-strategize
+        its co-partitioned join when the observed cardinalities warrant."""
+        selector = self.selector
+        if selector is None or term.copartition_index is None:
+            return term.evaluate(delta, partition, self.runtime)
+        step = term.steps[term.copartition_index]
+        default = self._copartition_strategy[step.step_id]
+        build_rows = self.runtime.base_raw[step.step_id][partition]
+        choice = selector.choose(
+            step.step_id, partition, default,
+            term.codegen_fn is not None, len(delta), len(build_rows))
+        if choice == default:
+            return term.evaluate(delta, partition, self.runtime)
+        return self._evaluate_with_strategy(term, delta, partition, choice)
+
+    def _evaluate_with_strategy(self, term: CompiledTerm, delta: list[tuple],
+                                partition: int, strategy: str) -> list[tuple]:
+        """Interpreted pipeline with the co-partitioned join re-strategized.
+
+        All three bodies compute the same equi join over the same cached
+        build rows, so results match :meth:`CompiledTerm.evaluate` exactly
+        (hash and nested-loop even emit the same row order; a sort-merge
+        override reorders rows, which set/monotone-aggregate consumption
+        absorbs).
+        """
+        if term.padder is not None:
+            rows = [term.padder(r) for r in delta]
+        else:
+            rows = [pad_row(r, term.delta_offset, term.arity) for r in delta]
+        if term.delta_prefilter is not None:
+            predicate = term.delta_prefilter
+            rows = [row for row in rows if predicate(row)]
+        for index, step in enumerate(term.steps):
+            if not rows:
+                return []
+            if index == term.copartition_index:
+                rows = self._apply_copartition_join(step, rows, partition,
+                                                    strategy)
+            else:
+                rows = step.apply(rows, partition, self.runtime)
+        project = term.project
+        return [project(row) for row in rows]
+
+    def _apply_copartition_join(self, step, rows: list[tuple], partition: int,
+                                strategy: str) -> list[tuple]:
+        """One co-partitioned base join under an overridden strategy."""
+        step_id = step.step_id
+        default = self._copartition_strategy[step_id]
+        build_rows = self.runtime.base_raw[step_id][partition]
+        if strategy == "nested_loop":
+            return nested_loop_equi(rows, build_rows, step.probe_key,
+                                    step.build_key, merge_padded)
+        if strategy == "hash":
+            if default == "hash":
+                table = self.runtime.base_partitions[step_id][partition]
+            else:
+                table = self._alt_build(step_id, partition, "hash",
+                                        step.build_key, build_rows)
+            return hash_probe_join(rows, table, step.probe_key, merge_padded)
+        # sort_merge
+        if default == "sort_merge":
+            base_sorted = self.runtime.base_partitions[step_id][partition]
+        else:
+            base_sorted = self._alt_build(step_id, partition, "sorted",
+                                          step.build_key, build_rows)
+        sorted_delta = sort_rows(rows, step.probe_key)
+        return sort_merge_join(sorted_delta, base_sorted, step.probe_key,
+                               step.build_key, merge_padded)
+
+    def _alt_build(self, step_id: int, partition: int, kind: str,
+                   build_key: Callable, build_rows: list[tuple]):
+        """Lazily build (and cache) the non-default build structure."""
+        key = (step_id, partition, kind)
+        built = self._alt_builds.get(key)
+        if built is None:
+            built = (build_hash_table(build_rows, build_key) if kind == "hash"
+                     else sort_rows(build_rows, build_key))
+            self._alt_builds[key] = built
+        return built
+
+    def invalidate_base_build(self, step_id: int, partition: int) -> None:
+        """Drop adaptive build caches after a streaming base insert.
+
+        The primary builds (``runtime.base_partitions``) and the raw
+        buckets are updated in place by the streaming absorber; only the
+        lazily re-indexed alternates can go stale."""
+        self._alt_builds.pop((step_id, partition, "hash"), None)
+        self._alt_builds.pop((step_id, partition, "sorted"), None)
 
     # ------------------------------------------------------------------
     # main loop
@@ -628,9 +881,21 @@ class FixpointOperator:
         results = self.cluster.run_stage("fixpoint-shufflemap", tasks)
         self._release_consumed_shuffles(incoming)
 
+        d_total = 0
+        if self._use_kernels:
+            # The tasks' buckets are already routed by the target view's
+            # partition key: hand them to the exchange as-is instead of
+            # flattening and re-routing every row.
+            outputs: dict[str, list[tuple[int, dict]]] = defaultdict(list)
+            for result in results:
+                d_count, per_view = result.output
+                d_total += d_count
+                for view_name, buckets in per_view.items():
+                    outputs[view_name].append((result.worker, buckets))
+            return self._exchange_prebucketed(outputs), d_total
+
         merged: dict[str, dict[int, list[tuple]]] = defaultdict(dict)
         workers: dict[int, int] = {}
-        d_total = 0
         for result in results:
             workers[result.index] = result.worker
             d_count, per_view = result.output
@@ -694,6 +959,13 @@ class FixpointOperator:
                 preferred_worker=self.cluster.worker_for_partition(p)))
         map_results = self.cluster.run_stage("fixpoint-map", map_tasks)
 
+        if self._use_kernels:
+            outputs: dict[str, list[tuple[int, dict]]] = defaultdict(list)
+            for result in map_results:
+                for view_name, buckets in result.output.items():
+                    outputs[view_name].append((result.worker, buckets))
+            return self._exchange_prebucketed(outputs), d_total
+
         merged: dict[str, dict[int, list[tuple]]] = defaultdict(dict)
         workers: dict[int, int] = {}
         for result in map_results:
@@ -718,6 +990,161 @@ class FixpointOperator:
         global_state = self.states[view_name]
         max_iters = self.config.max_iterations
 
+        def _dedup_fusable(term: CompiledTerm) -> bool:
+            """Fused dedup must not read evolving state mid-round: its
+            inline adds would be visible where the reference path's
+            union defers them to the next round."""
+            if term.codegen_dedup_fn is None:
+                return False
+            for step in term.steps:
+                if isinstance(step, TotalizeStep):
+                    return False
+                if (isinstance(step, HashJoinStep)
+                        and step.source in ("state", "delta")):
+                    return False
+            return True
+
+        fused = (self._use_kernels and isinstance(global_state, SetRDD)
+                 and all(_dedup_fusable(t) for t in terms))
+        grouped = (self._use_kernels and isinstance(global_state, SetRDD)
+                   and all(t.grouped_spec is not None for t in terms))
+
+        def local_grouped_fixpoint(partition):
+            """Column-decomposed set fixpoint (see ``GroupedDedupSpec``).
+
+            Members live as ``prefix -> {last column}``; each round
+            collects the adjacency sets hit by the delta, unions them
+            per prefix and subtracts the already-known values — all
+            C-level set algebra over bare column values.  Duplicate
+            derivations (the bulk of a transitive closure's work) are
+            collapsed before any row tuple is built or hashed.
+            ``derived_any`` mirrors the reference loop's accounting: a
+            final round that derives only duplicates still counts."""
+            pair = all(len(t.grouped_spec.prefix) == 1 for t in terms)
+
+            def run(delta_rows):
+                probes = []
+                for term in terms:
+                    spec = term.grouped_spec
+                    col = spec.build_index
+                    adj = {k: {r[col] for r in rows}
+                           for k, rows in
+                           self.runtime.broadcast_tables[spec.step_id].items()}
+                    probes.append((make_extractor(spec.probe),
+                                   make_extractor(spec.prefix), adj.get))
+                seed = set(delta_rows)
+                members: dict = {}
+                for row in seed:
+                    key = row[0] if pair else row[:-1]
+                    known = members.get(key)
+                    if known is None:
+                        members[key] = {row[-1]}
+                    else:
+                        known.add(row[-1])
+                delta = list(seed)
+                iterations = 0
+                derived_any = False
+                while delta:
+                    iterations += 1
+                    if iterations > max_iters:
+                        raise FixpointNotReachedError(
+                            "decomposed local fixpoint exceeded budget",
+                            iterations - 1)
+                    groups: dict = {}
+                    gget = groups.get
+                    for probe, prefix, aget in probes:
+                        for d in delta:
+                            adj_set = aget(probe(d))
+                            if adj_set is not None:
+                                key = prefix(d)
+                                group = gget(key)
+                                if group is None:
+                                    groups[key] = [adj_set]
+                                else:
+                                    group.append(adj_set)
+                    derived_any = bool(groups)
+                    delta = []
+                    extend = delta.extend
+                    mget = members.get
+                    for key, sets in groups.items():
+                        candidates = (sets[0] if len(sets) == 1
+                                      else sets[0].union(*sets[1:]))
+                        known = mget(key)
+                        if known is None:
+                            fresh = set(candidates)  # adj sets stay pristine
+                            members[key] = fresh
+                        else:
+                            fresh = candidates - known
+                            if not fresh:
+                                continue
+                            known.update(fresh)
+                        if pair:
+                            extend((key, y) for y in fresh)
+                        else:
+                            extend(key + (y,) for y in fresh)
+                if derived_any:
+                    # The reference loop runs one more (all-duplicate)
+                    # round before its union comes back empty.
+                    iterations += 1
+                    if iterations > max_iters:
+                        raise FixpointNotReachedError(
+                            "decomposed local fixpoint exceeded budget",
+                            iterations - 1)
+                if pair:
+                    rows = {(key, y)
+                            for key, ys in members.items() for y in ys}
+                else:
+                    rows = {key + (y,)
+                            for key, ys in members.items() for y in ys}
+                return rows, iterations
+            return run
+
+        def local_fused_fixpoint(partition):
+            """Set-view fast path: each generated term emits the round's
+            derived rows (duplicates included) from one comprehension,
+            and the union pass collapses to C-level set algebra.  The
+            first occurrence of a new row counts as fresh and every
+            other derived occurrence as a duplicate — exactly the
+            reference loop's accounting — so ``dups`` reproduces its
+            iteration count: a final round that derives only duplicates
+            still counts there."""
+            def run(delta_rows):
+                local_runtime = TermRuntime()
+                local_runtime.broadcast_tables = self.runtime.broadcast_tables
+                members = set(delta_rows)
+                delta = list(members)
+                single = terms[0].codegen_dedup_fn if len(terms) == 1 else None
+                iterations = 0
+                dups = 0
+                while delta:
+                    iterations += 1
+                    if iterations > max_iters:
+                        raise FixpointNotReachedError(
+                            "decomposed local fixpoint exceeded budget",
+                            iterations - 1)
+                    if single is not None:
+                        derived = single(delta, 0, local_runtime)
+                    else:
+                        derived = []
+                        for term in terms:
+                            derived.extend(term.codegen_dedup_fn(
+                                delta, 0, local_runtime))
+                    fresh = set(derived)
+                    fresh.difference_update(members)
+                    dups = len(derived) - len(fresh)
+                    members.update(fresh)
+                    delta = list(fresh)
+                if dups:
+                    # The reference loop runs one more (all-duplicate)
+                    # round before its union comes back empty.
+                    iterations += 1
+                    if iterations > max_iters:
+                        raise FixpointNotReachedError(
+                            "decomposed local fixpoint exceeded budget",
+                            iterations - 1)
+                return members, iterations
+            return run
+
         def local_fixpoint(partition):
             def run(delta_rows):
                 local_runtime = TermRuntime()
@@ -725,7 +1152,8 @@ class FixpointOperator:
                 if isinstance(global_state, SetRDD):
                     local = SetRDD(1)
                 else:
-                    local = KeyedStateRDD(1, view.aggregate_functions)
+                    local = KeyedStateRDD(1, view.aggregate_functions,
+                                          use_kernels=self._use_kernels)
                 local_runtime.state_rows = (
                     lambda _v, _p: (list(local.partitions[0])
                                     if isinstance(local, SetRDD)
@@ -753,9 +1181,16 @@ class FixpointOperator:
                 return local.partitions[0], iterations
             return run
 
+        make_task_fn = (local_grouped_fixpoint if grouped
+                        else local_fused_fixpoint if fused
+                        else local_fixpoint)
+        if grouped:
+            self.cluster.metrics.inc("kernel_grouped_fixpoint_stages")
+        elif fused:
+            self.cluster.metrics.inc("kernel_fused_fixpoint_stages")
         tasks = [
             StageTask(p, [incoming[view_name].partitions[p]],
-                      local_fixpoint(p),
+                      make_task_fn(p),
                       preferred_worker=self.cluster.worker_for_partition(p))
             for p in range(self.n)
         ]
@@ -765,7 +1200,7 @@ class FixpointOperator:
         per_partition: dict[int, int] = {}
         for result in results:
             local_partition, local_iterations = result.output
-            global_state.partitions[result.index] = local_partition
+            global_state.replace_partition(result.index, local_partition)
             per_partition[result.index] = local_iterations
             iterations = max(iterations, local_iterations)
             self.cluster.memory.charge(
@@ -796,7 +1231,8 @@ class FixpointOperator:
             if (self.config.evaluation == "stratified"
                     and original.has_aggregates):
                 rows = self._apply_stratified_aggregates(original, rows)
-            out[original.name] = Relation(original.name, original.columns, rows)
+            out[original.name] = Relation.from_tuples(
+                original.name, original.columns, rows)
         return out
 
     @staticmethod

@@ -29,6 +29,7 @@ from typing import Callable
 from repro.core.logical import RulePlan, ViewPlan
 from repro.engine.aggregates import AggregateFunction
 from repro.engine.joins import build_hash_table, sort_merge_join, sort_rows
+from repro.engine.kernels import make_extractor
 
 
 def pad_row(row: tuple, offset: int, arity: int) -> tuple:
@@ -43,10 +44,7 @@ def merge_padded(left: tuple, right: tuple) -> tuple:
 
 def make_slots_key(slots: tuple[int, ...]) -> Callable[[tuple], object]:
     """Key extractor over combined-row slots (scalar for one slot)."""
-    if len(slots) == 1:
-        index = slots[0]
-        return lambda row: row[index]
-    return lambda row: tuple(row[s] for s in slots)
+    return make_extractor(slots)
 
 
 class TermRuntime:
@@ -65,14 +63,26 @@ class TermRuntime:
       (for the δ⋈δ correction terms of two-recursive-reference rules).
     - ``state_total(view, p, key)`` — current aggregate values of a group
       (increment→total conversion for filters over sum/count columns).
+    - ``state_table(view, p, key_positions, pad)`` — version-validated
+      cached hash table over a view's all-relation partition (the kernel
+      layer; ``None`` when ``ExecutionConfig.kernels`` is off, in which
+      case callers rebuild from ``state_rows``).  ``pad=None`` keys raw
+      rows by relative positions (the codegen path); ``pad=(offset,
+      arity)`` keys padded rows by absolute slots (the interpreted path).
+    - ``base_raw[step_id][p]`` — the raw padded bucket list behind a
+      co-partitioned build (what the adaptive join selector scans or
+      re-indexes when it overrides the planner's strategy).
     """
 
     def __init__(self):
         self.broadcast_tables: dict[int, object] = {}
         self.base_partitions: dict[int, list] = {}
+        self.base_raw: dict[int, list[list[tuple]]] = {}
         self.state_rows: Callable[[str, int], list[tuple]] | None = None
         self.delta_rows: Callable[[str, int], list[tuple]] | None = None
         self.state_total: Callable[[str, int, object], tuple | None] | None = None
+        self.state_table: Callable[
+            [str, int, tuple[int, ...], tuple[int, int] | None], dict] | None = None
 
 
 class Step:
@@ -108,25 +118,36 @@ class HashJoinStep(Step):
     arity: int = 0
     gather: bool = False
 
+    def __post_init__(self):
+        # Extractors are specialized once per step, not once per task.
+        self.probe_key = make_slots_key(self.probe_slots)
+        self.build_key = make_slots_key(self.build_slots)
+
     def apply(self, rows, partition, runtime):
-        probe_key = make_slots_key(self.probe_slots)
+        probe_key = self.probe_key
         if self.source == "broadcast":
             table = runtime.broadcast_tables[self.step_id]
         elif self.source == "base_partition":
             table = runtime.base_partitions[self.step_id][partition]
         else:  # state or delta
-            build_key = make_slots_key(self.build_slots)
-            accessor = (runtime.state_rows if self.source == "state"
-                        else runtime.delta_rows)
             source_partition = -1 if self.gather else partition
-            state = accessor(self.state_view, source_partition)
-            table = build_hash_table(
-                (pad_row(r, self.state_offset, self.arity) for r in state),
-                build_key)
+            if self.source == "state" and runtime.state_table is not None:
+                # Kernel layer: version-validated cached build table.
+                table = runtime.state_table(
+                    self.state_view, source_partition, self.build_slots,
+                    (self.state_offset, self.arity))
+            else:
+                accessor = (runtime.state_rows if self.source == "state"
+                            else runtime.delta_rows)
+                state = accessor(self.state_view, source_partition)
+                table = build_hash_table(
+                    (pad_row(r, self.state_offset, self.arity) for r in state),
+                    self.build_key)
         out: list[tuple] = []
         append = out.append
+        get = table.get
         for row in rows:
-            bucket = table.get(probe_key(row))
+            bucket = get(probe_key(row))
             if bucket is None:
                 continue
             for build_row in bucket:
@@ -145,13 +166,16 @@ class SortMergeJoinStep(Step):
     probe_slots: tuple[int, ...]
     build_slots: tuple[int, ...]
 
+    def __post_init__(self):
+        self.probe_key = make_slots_key(self.probe_slots)
+        self.build_key = make_slots_key(self.build_slots)
+
     def apply(self, rows, partition, runtime):
-        probe_key = make_slots_key(self.probe_slots)
-        build_key = make_slots_key(self.build_slots)
+        probe_key = self.probe_key
         sorted_delta = sort_rows(rows, probe_key)
         base_sorted = runtime.base_partitions[self.step_id][partition]
         return sort_merge_join(sorted_delta, base_sorted, probe_key,
-                               build_key, merge_padded)
+                               self.build_key, merge_padded)
 
     def describe(self) -> str:
         return f"SortMergeJoin probe={self.probe_slots} build={self.build_slots}"
@@ -228,6 +252,27 @@ class FilterStep(Step):
         return f"Filter[{self.sql}]"
 
 
+@dataclass(frozen=True)
+class GroupedDedupSpec:
+    """Shape descriptor for the column-decomposed set fixpoint.
+
+    Applies to terms of the form ``view(p..., y) <- delta(..), rel(..)``
+    where ``rel`` is a single broadcast hash join, every projection part
+    but the last reads only the delta row, and the last reads one build
+    column.  The decomposed driver then keeps the member set as
+    ``prefix -> {last column}`` and dedups whole adjacency sets with
+    C-level set algebra instead of hashing every derived row tuple.
+
+    ``probe`` and ``prefix`` are positions into delta (= view) rows;
+    ``build_index`` indexes rows of the broadcast bucket list.
+    """
+
+    step_id: int
+    probe: tuple[int, ...]
+    prefix: tuple[int, ...]
+    build_index: int
+
+
 @dataclass
 class CompiledTerm:
     """One delta-expansion term of one recursive rule, fully compiled.
@@ -250,14 +295,31 @@ class CompiledTerm:
     #: Fused whole-pipeline function (Section 7.3); set by the planner when
     #: code generation is enabled and the pipeline is fusible.
     codegen_fn: Callable | None = field(default=None, repr=False)
+    #: Comprehension variant ``(delta, partition, runtime) -> derived``
+    #: (duplicates included) for aggregate-free terms (kernel layer); the
+    #: decomposed set-fixpoint driver dedups each round with set algebra.
+    codegen_dedup_fn: Callable | None = field(default=None, repr=False)
+    #: Column-decomposed fixpoint shape (kernel layer); set when the term
+    #: is a single broadcast join whose projection is delta-only parts
+    #: followed by one build column — see ``codegen.grouped_dedup_spec``.
+    grouped_spec: "GroupedDedupSpec | None" = field(default=None, repr=False)
+    #: Index into ``steps`` of the co-partitioned first join (the one the
+    #: adaptive selector may re-strategize), or ``None``.
+    copartition_index: int | None = None
+    #: Specialized delta padder (``kernels.make_padder``); set at plan time.
+    padder: Callable[[tuple], tuple] | None = field(default=None, repr=False)
 
     def evaluate(self, delta_rows: list[tuple], partition: int,
                  runtime: TermRuntime) -> list[tuple]:
         """Run the pipeline over one partition's delta rows."""
         if self.codegen_fn is not None:
             return self.codegen_fn(delta_rows, partition, runtime)
-        offset, arity = self.delta_offset, self.arity
-        rows = [pad_row(r, offset, arity) for r in delta_rows]
+        padder = self.padder
+        if padder is not None:
+            rows = [padder(r) for r in delta_rows]
+        else:
+            offset, arity = self.delta_offset, self.arity
+            rows = [pad_row(r, offset, arity) for r in delta_rows]
         if self.delta_prefilter is not None:
             predicate = self.delta_prefilter
             rows = [row for row in rows if predicate(row)]

@@ -54,6 +54,7 @@ from repro.core.physical import (
     TotalizeStep,
     make_projector,
 )
+from repro.engine.kernels import make_padder
 from repro.errors import PlanningError
 
 
@@ -233,6 +234,7 @@ def _compile_term(ctx: _TermContext, target: PhysicalView, rule: RulePlan,
     steps.extend(applicable_filters())
 
     first_join = True
+    copartition_index: int | None = None
     while pending:
         # Prefer an input reachable through an equi conjunct.
         chosen = None
@@ -302,6 +304,7 @@ def _compile_term(ctx: _TermContext, target: PhysicalView, rule: RulePlan,
 
             step_id = ctx.step_ids.take()
             if can_copartition:
+                copartition_index = len(steps)
                 if ctx.config.join_strategy == "sort_merge":
                     steps.append(SortMergeJoinStep(step_id, probe_slots,
                                                    build_slots))
@@ -357,6 +360,9 @@ def _compile_term(ctx: _TermContext, target: PhysicalView, rule: RulePlan,
         project=project,
         negate=negate,
         rule=rule,
+        copartition_index=copartition_index,
+        padder=(make_padder(delta_offset, arity, delta_arity)
+                if ctx.config.kernels else None),
     )
 
 
@@ -504,6 +510,8 @@ def _compile_base_rule(ctx: _TermContext, target: PhysicalView,
         project=project,
         delta_prefilter=prefilter,
         rule=rule,
+        padder=(make_padder(offset, layout.arity, driving_arity)
+                if ctx.config.kernels else None),
     )
 
 
@@ -717,14 +725,17 @@ def plan_clique(clique: CliquePlan, config: ExecutionConfig,
         from repro.core.codegen import attach_generated_code
 
         for term in terms:
-            attach_generated_code(term, views[term.view].aggregates)
+            attach_generated_code(term, views[term.view].aggregates,
+                                  kernels=config.kernels)
         for base_rule in base_rules:
             if base_rule.term is not None:
                 attach_generated_code(base_rule.term,
-                                      views[base_rule.term.view].aggregates)
+                                      views[base_rule.term.view].aggregates,
+                                      kernels=config.kernels)
         for table_terms in maintenance_terms.values():
             for term in table_terms:
-                attach_generated_code(term, views[term.view].aggregates)
+                attach_generated_code(term, views[term.view].aggregates,
+                                      kernels=config.kernels)
 
     return PlannedClique(
         views=views,

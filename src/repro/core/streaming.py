@@ -205,8 +205,12 @@ class IncrementalView:
                 for row in padded:
                     pid = partitioner.partition_of(key_fn(row))
                     tables[pid].setdefault(key_fn(row), []).append(row)
+                    # Partition.rows aliases runtime.base_raw's bucket, so
+                    # the adaptive selector's scan inputs stay in sync; its
+                    # lazily re-indexed alternates must be dropped.
                     partitions[pid].rows.append(row)
                     partitions[pid]._size_bytes = None
+                    self.operator.invalidate_base_build(plan.step_id, pid)
 
     # ------------------------------------------------------------------
 

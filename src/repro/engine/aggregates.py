@@ -127,7 +127,20 @@ def partial_aggregate(pairs: Iterable[tuple[object, tuple]],
     here is associative and commutative (tested property-style in
     ``tests/engine/test_aggregates.py``).
     """
-    state: dict = {}
+    if len(aggregates) == 1:
+        # Fast path: a single aggregate column (every library query) skips
+        # the zip/tuple machinery — scalar state, one dict probe per pair.
+        agg = aggregates[0]
+        normalize = agg.normalize
+        combine = agg.combine
+        state: dict = {}
+        get = state.get
+        for key, values in pairs:
+            value = normalize(values[0])
+            old = get(key)
+            state[key] = value if old is None else combine(old, value)
+        return [(key, (value,)) for key, value in state.items()]
+    state = {}
     for key, values in pairs:
         current = state.get(key)
         if current is None:

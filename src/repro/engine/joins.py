@@ -13,6 +13,11 @@ kernels mirror the paper's join menu:
   uses less memory (Figure 11).
 - *nested-loop join* — the fallback for non-equi predicates (Interval
   Coalesce joins on ``coal.S <= inter.S AND inter.S <= coal.E``).
+
+These are also the *reference* kernels for the specialized hot-path loops
+in :mod:`repro.engine.kernels`: ``ExecutionConfig.kernels=False`` routes
+every join through the functions below, and the differential suite
+(``pytest -m kernels``) pins both paths to bit-exact results.
 """
 
 from __future__ import annotations

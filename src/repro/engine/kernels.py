@@ -1,0 +1,446 @@
+"""Specialized wall-clock kernels for the fixpoint hot path.
+
+The interpreted engine pays a per-row toll on every hot loop: a lambda
+call to extract a key, a method call to pick a shuffle bucket, a closure
+dispatch per aggregate merge.  The simulated *cost model* never sees that
+toll — but the wall clock does, and the ROADMAP's north star ("as fast as
+the hardware allows") is a wall-clock claim.  This module precompiles the
+common shapes once, at plan/setup time, into tight specialized loops:
+
+- :func:`make_extractor` — ``operator.itemgetter``-based key extractors
+  (C-level slot access instead of a Python lambda frame per row).
+- :func:`make_padder` — segment padding with cached prefix/suffix tuples
+  instead of two tuple multiplications per row.
+- :func:`make_router` — single-pass batched shuffle routing: one loop
+  fills per-partition bucket lists, replacing a ``partition_of`` method
+  call per row while preserving ``_stable_hash`` semantics bit-exactly.
+- :func:`make_merge_kernel` / :func:`make_merge_rows_kernel` — unrolled
+  min/max/sum/count merge loops for :class:`~repro.engine.setrdd.
+  KeyedStateRDD`, replacing the generic ``AggregateFunction`` dispatch.
+- :func:`make_fold_kernel` — the map-side partial-aggregation fold for
+  ``(key, value)`` heads with the comparison inlined.
+- :func:`hash_probe_join` / :func:`nested_loop_equi` — the join bodies
+  the adaptive selector (see ``repro.core.fixpoint``) switches between.
+
+Every kernel is a drop-in replacement for a naive reference loop that
+stays in the codebase (``joins.py``, ``setrdd.py``, ``partitioner.py``);
+``ExecutionConfig.kernels=False`` routes execution through the reference
+loops, and the differential suite (``pytest -m kernels``) pins that both
+paths produce bit-exact results.  Kernels may emit join output in a
+different *order* than the reference (e.g. an incrementally-updated build
+table keeps insertion order where a rebuild follows set order); every
+consumer is an idempotent set union or a commutative monotonic aggregate,
+so results are unaffected.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Callable, Iterable
+
+from repro.engine.aggregates import BY_NAME, AggregateFunction
+from repro.engine.partitioner import _stable_hash
+
+__all__ = [
+    "AdaptiveJoinSelector",
+    "hash_probe_join",
+    "make_extractor",
+    "make_fold_kernel",
+    "make_merge_kernel",
+    "make_merge_rows_kernel",
+    "make_padder",
+    "make_router",
+    "nested_loop_equi",
+]
+
+
+# ---------------------------------------------------------------------------
+# key extraction / padding
+# ---------------------------------------------------------------------------
+
+
+def make_extractor(positions: tuple[int, ...]) -> Callable[[tuple], object]:
+    """``row -> key`` over column positions, specialized at plan time.
+
+    Single-position keys stay unwrapped scalars and multi-position keys
+    become tuples — the exact contract of ``partitioner.key_of`` — but the
+    extraction is an ``operator.itemgetter`` (no Python frame per row).
+    """
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        return itemgetter(positions[0])
+    return itemgetter(*positions)
+
+
+def make_padder(offset: int, arity: int, width: int) -> Callable[[tuple], tuple]:
+    """Specialized ``pad_row`` for rows of a known segment and width.
+
+    ``pad_row`` pays two tuple multiplications and a ``tuple()`` call per
+    row; here the ``None`` prefix/suffix are built once.
+    """
+    prefix = (None,) * offset
+    suffix = (None,) * (arity - offset - width)
+    if prefix and suffix:
+        return lambda row: prefix + row + suffix
+    if prefix:
+        return lambda row: prefix + row
+    if suffix:
+        return lambda row: row + suffix
+    return lambda row: row
+
+
+# ---------------------------------------------------------------------------
+# batched shuffle routing
+# ---------------------------------------------------------------------------
+
+
+def make_router(key_positions: tuple[int, ...],
+                num_partitions: int) -> Callable[[Iterable[tuple]], list[list[tuple]]]:
+    """Single-pass batched routing: rows -> per-partition bucket lists.
+
+    Bit-exact with routing each row through
+    ``HashPartitioner.partition_of(key_of(row))``: the ``type(key) is
+    int`` fast path and the ``_stable_hash`` fallback are inlined into
+    one loop, and rows keep their relative order inside each bucket.
+    """
+    n = num_partitions
+    if n == 1:
+        def route_single(rows):
+            return [list(rows)]
+        return route_single
+
+    if len(key_positions) == 1:
+        index = key_positions[0]
+
+        def route(rows):
+            buckets: list[list[tuple]] = [[] for _ in range(n)]
+            appends = [bucket.append for bucket in buckets]
+            stable_hash = _stable_hash
+            for row in rows:
+                key = row[index]
+                if type(key) is int:
+                    appends[key % n](row)
+                else:
+                    appends[stable_hash(key) % n](row)
+            return buckets
+
+        return route
+
+    getter = itemgetter(*key_positions)
+
+    def route_multi(rows):
+        buckets: list[list[tuple]] = [[] for _ in range(n)]
+        appends = [bucket.append for bucket in buckets]
+        stable_hash = _stable_hash
+        for row in rows:
+            # Multi-column keys are tuples, never ints: always stable-hash.
+            appends[stable_hash(getter(row)) % n](row)
+        return buckets
+
+    return route_multi
+
+
+# ---------------------------------------------------------------------------
+# KeyedStateRDD merge kernels
+# ---------------------------------------------------------------------------
+
+
+def make_merge_kernel(aggregates: tuple[AggregateFunction, ...]
+                      ) -> Callable[[dict, Iterable], list] | None:
+    """Unrolled ``(state, pairs) -> delta pairs`` merge loop, or ``None``.
+
+    Specialized for the single-aggregate column every library query uses;
+    multi-aggregate states fall back to the generic
+    ``AggregateFunction.merge`` dispatch in ``setrdd.py``.  Each kernel
+    replays Algorithm 5's Reduce semantics exactly: min/max deltas carry
+    the improved totals, sum/count deltas carry the increments, and an
+    insert always enters the delta (``delta_for_insert`` is the identity
+    for all four aggregates).
+
+    Only the canonical builtin singletons qualify: a custom
+    :class:`AggregateFunction` that borrows a builtin *name* but swaps
+    any hook (``merge``/``delta_for_insert``/...) must keep flowing
+    through the generic dispatch that honours those hooks.
+    """
+    if len(aggregates) != 1 or aggregates[0] is not BY_NAME.get(
+            aggregates[0].name):
+        return None
+    name = aggregates[0].name
+
+    if name == "min":
+        def merge_min(state, pairs):
+            delta: list = []
+            append = delta.append
+            get = state.get
+            for key, values in pairs:
+                current = get(key)
+                value = values[0]
+                if current is None:
+                    state[key] = values
+                    append((key, (value,)))
+                elif value < current[0]:
+                    state[key] = (value,)
+                    append((key, (value,)))
+            return delta
+        return merge_min
+
+    if name == "max":
+        def merge_max(state, pairs):
+            delta: list = []
+            append = delta.append
+            get = state.get
+            for key, values in pairs:
+                current = get(key)
+                value = values[0]
+                if current is None:
+                    state[key] = values
+                    append((key, (value,)))
+                elif value > current[0]:
+                    state[key] = (value,)
+                    append((key, (value,)))
+            return delta
+        return merge_max
+
+    if name in ("sum", "count"):
+        def merge_sum(state, pairs):
+            delta: list = []
+            append = delta.append
+            get = state.get
+            for key, values in pairs:
+                current = get(key)
+                value = values[0]
+                if current is None:
+                    state[key] = values
+                    append((key, (value,)))
+                elif value != 0:
+                    state[key] = (current[0] + value,)
+                    append((key, (value,)))
+            return delta
+        return merge_sum
+
+    return None
+
+
+def make_merge_rows_kernel(aggregates: tuple[AggregateFunction, ...]
+                           ) -> Callable[[dict, Iterable], list] | None:
+    """Merge loop over raw ``(key, value)`` rows, skipping pair splitting.
+
+    The ubiquitous two-column head shape (SSSP, CC, BOM, ...) otherwise
+    pays two intermediate lists per merge: ``rows -> (key, values) pairs``
+    before the merge and ``delta pairs -> rows`` after.  This kernel fuses
+    all three loops; output rows are the delta in head schema.  Custom
+    aggregate clones are rejected for the same reason as in
+    :func:`make_merge_kernel`.
+    """
+    if len(aggregates) != 1 or aggregates[0] is not BY_NAME.get(
+            aggregates[0].name):
+        return None
+    name = aggregates[0].name
+
+    if name == "min":
+        def merge_rows_min(state, rows):
+            fresh: list = []
+            append = fresh.append
+            get = state.get
+            for row in rows:
+                key = row[0]
+                value = row[1]
+                current = get(key)
+                if current is None:
+                    state[key] = (value,)
+                    append((key, value))
+                elif value < current[0]:
+                    state[key] = (value,)
+                    append((key, value))
+            return fresh
+        return merge_rows_min
+
+    if name == "max":
+        def merge_rows_max(state, rows):
+            fresh: list = []
+            append = fresh.append
+            get = state.get
+            for row in rows:
+                key = row[0]
+                value = row[1]
+                current = get(key)
+                if current is None:
+                    state[key] = (value,)
+                    append((key, value))
+                elif value > current[0]:
+                    state[key] = (value,)
+                    append((key, value))
+            return fresh
+        return merge_rows_max
+
+    if name in ("sum", "count"):
+        def merge_rows_sum(state, rows):
+            fresh: list = []
+            append = fresh.append
+            get = state.get
+            for row in rows:
+                key = row[0]
+                value = row[1]
+                current = get(key)
+                if current is None:
+                    state[key] = (value,)
+                    append((key, value))
+                elif value != 0:
+                    state[key] = (current[0] + value,)
+                    append((key, value))
+            return fresh
+        return merge_rows_sum
+
+    return None
+
+
+def make_fold_kernel(aggregate: AggregateFunction
+                     ) -> Callable[[Iterable[tuple]], list] | None:
+    """Map-side partial aggregation over ``(key, value)`` rows, inlined.
+
+    Replaces the ``combine`` closure call per row with the comparison /
+    addition itself.  Ties resolve exactly as ``min``/``max`` builtins do
+    (keep the incumbent), matching the reference fold bit-exactly.
+    Custom aggregate clones are rejected (see :func:`make_merge_kernel`).
+    """
+    if aggregate is not BY_NAME.get(aggregate.name):
+        return None
+    name = aggregate.name
+    if name == "min":
+        def fold_min(rows):
+            combined: dict = {}
+            get = combined.get
+            for key, value in rows:
+                old = get(key)
+                if old is None or value < old:
+                    combined[key] = value
+            return list(combined.items())
+        return fold_min
+
+    if name == "max":
+        def fold_max(rows):
+            combined: dict = {}
+            get = combined.get
+            for key, value in rows:
+                old = get(key)
+                if old is None or value > old:
+                    combined[key] = value
+            return list(combined.items())
+        return fold_max
+
+    if name in ("sum", "count"):
+        def fold_sum(rows):
+            combined: dict = {}
+            get = combined.get
+            for key, value in rows:
+                old = get(key)
+                combined[key] = value if old is None else old + value
+            return list(combined.items())
+        return fold_sum
+
+    return None
+
+
+# ---------------------------------------------------------------------------
+# join bodies for the adaptive selector
+# ---------------------------------------------------------------------------
+
+
+def hash_probe_join(rows: Iterable[tuple], table: dict,
+                    probe_key: Callable[[tuple], object],
+                    combine: Callable[[tuple, tuple], tuple]) -> list[tuple]:
+    """Probe a prebuilt table; identical output to ``HashJoinStep.apply``."""
+    out: list[tuple] = []
+    append = out.append
+    get = table.get
+    for row in rows:
+        bucket = get(probe_key(row))
+        if bucket is None:
+            continue
+        for build_row in bucket:
+            append(combine(row, build_row))
+    return out
+
+
+def nested_loop_equi(rows: Iterable[tuple], build_rows: list[tuple],
+                     probe_key: Callable[[tuple], object],
+                     build_key: Callable[[tuple], object],
+                     combine: Callable[[tuple, tuple], tuple]) -> list[tuple]:
+    """Equi join as a scan of the build rows — no table, no sort.
+
+    For tiny inputs the hash machinery costs more than the comparisons it
+    saves.  Matching build rows are emitted in build order, which is the
+    same per-key sequence a hash probe emits (buckets preserve insertion
+    order), so the two strategies produce identical output row-for-row.
+    """
+    out: list[tuple] = []
+    append = out.append
+    for row in rows:
+        key = probe_key(row)
+        for build_row in build_rows:
+            if build_key(build_row) == key:
+                append(combine(row, build_row))
+    return out
+
+
+class AdaptiveJoinSelector:
+    """AQE-style per-iteration join-strategy choice (Appendix D, revisited).
+
+    The planner fixes a strategy per term from ``config.join_strategy``;
+    at runtime the observed cardinalities often disagree with that static
+    choice.  Per ``(join step, partition)`` evaluation the selector picks:
+
+    - ``nested_loop`` when ``|delta| x |build|`` is tiny — scanning a
+      handful of rows beats hashing (and, under sort-merge, beats sorting
+      the delta).
+    - ``hash`` when the planner chose sort-merge but the cumulative
+      probed delta has reached the build size: building a hash table once
+      now amortizes over the remaining iterations (the cached-build
+      rationale of Appendix D, applied adaptively).
+    - the planner's strategy otherwise.  A fused (code-generated) hash
+      term is never overridden: its probe loop is already optimal, and
+      re-routing it through the interpreted pipeline would only add
+      dispatch overhead.
+
+    Choices never change results — all three bodies compute the same
+    equi join — only where the wall-clock time goes.
+    """
+
+    #: Override to nested-loop only below this probe x build product.
+    nested_loop_budget = 64
+    #: ... and only when the build side itself is this small.
+    nested_loop_max_build = 16
+
+    def __init__(self, metrics=None):
+        self.metrics = metrics
+        #: Cumulative delta rows probed per (step_id, partition).
+        self.probed: dict[tuple[int, int], int] = {}
+        #: Chosen-strategy counts, mirrored into the metrics registry.
+        self.choices = {"hash": 0, "sort_merge": 0, "nested_loop": 0}
+        self.overrides = 0
+
+    def choose(self, step_id: int, partition: int, default: str,
+               fused: bool, delta_n: int, build_n: int) -> str:
+        """Pick a strategy for one term evaluation; records counters."""
+        if default == "hash" and fused:
+            choice = "hash"
+        elif (delta_n * build_n <= self.nested_loop_budget
+                and build_n <= self.nested_loop_max_build):
+            choice = "nested_loop"
+        elif default == "sort_merge":
+            key = (step_id, partition)
+            seen = self.probed.get(key, 0)
+            self.probed[key] = seen + delta_n
+            choice = "hash" if seen + delta_n >= build_n else "sort_merge"
+        else:
+            choice = "hash"
+        self.choices[choice] += 1
+        if choice != default:
+            self.overrides += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc(f"adaptive_join_{choice}")
+            if choice != default:
+                metrics.inc("adaptive_join_overrides")
+        return choice

@@ -9,6 +9,7 @@ the partition-local joins and set operations of Algorithms 4–6.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import itemgetter
 
 
 def _stable_hash(value) -> int:
@@ -77,8 +78,14 @@ def key_of(row: tuple, key_indices: tuple[int, ...]):
 
 
 def make_key_fn(key_indices: tuple[int, ...]):
-    """Return a fast ``row -> key`` callable for the given column positions."""
+    """Return a fast ``row -> key`` callable for the given column positions.
+
+    ``operator.itemgetter`` extracts at C level — no Python frame per row —
+    while keeping ``key_of``'s contract (scalar for one column, tuple for
+    several).
+    """
+    if not key_indices:
+        return lambda row: ()
     if len(key_indices) == 1:
-        idx = key_indices[0]
-        return lambda row: row[idx]
-    return lambda row: tuple(row[i] for i in key_indices)
+        return itemgetter(key_indices[0])
+    return itemgetter(*key_indices)

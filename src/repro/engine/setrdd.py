@@ -16,6 +16,15 @@ hash set that supports in-place union.  We reproduce both flavours:
 Both structures are deliberately *not* Datasets: they are long-lived mutable
 state cached on workers for the whole fixpoint, exactly like the paper's
 cached SetRDD partitions.
+
+Both also carry a per-partition *version* counter, bumped whenever a
+partition changes other than by pure append (restore after a fault,
+wholesale replacement, an aggregate-value improvement).  Versions let the
+fixpoint's kernel layer validate cached derivatives — hash-join build
+tables, materialized row lists, memoized wire sizes — with an O(1) check
+instead of a rebuild: a ``(version, row count)`` pair pins append-only
+growth exactly, because appends change the count and everything else
+changes the version.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.engine.aggregates import AggregateFunction
+from repro.engine.kernels import make_merge_kernel, make_merge_rows_kernel
 from repro.engine.partitioner import HashPartitioner
 from repro.engine.serialization import rows_size
 
@@ -33,6 +43,9 @@ class SetRDD:
     def __init__(self, num_partitions: int, partitioner: HashPartitioner | None = None):
         self.partitions: list[set[tuple]] = [set() for _ in range(num_partitions)]
         self.partitioner = partitioner or HashPartitioner(num_partitions)
+        self.versions: list[int] = [0] * num_partitions
+        self._size_cache: list[tuple[tuple[int, int], int] | None] = \
+            [None] * num_partitions
 
     @property
     def num_partitions(self) -> int:
@@ -43,7 +56,8 @@ class SetRDD:
         """Insert rows into one partition; return those that were new.
 
         This is lines 14–16 of Algorithm 4 collapsed into one pass: the
-        returned list is the new delta partition ``D``.
+        returned list is the new delta partition ``D``.  Pure append: the
+        partition version is untouched (the row count records the growth).
         """
         target = self.partitions[partition_index]
         fresh: list[tuple] = []
@@ -69,6 +83,15 @@ class SetRDD:
                           saved: set[tuple]) -> None:
         """Reset one partition to a previously-snapshotted state."""
         self.partitions[partition_index] = set(saved)
+        self.versions[partition_index] += 1
+        self._size_cache[partition_index] = None
+
+    def replace_partition(self, partition_index: int,
+                          rows: set[tuple]) -> None:
+        """Install a whole new partition (immutability ablation, gather)."""
+        self.partitions[partition_index] = rows
+        self.versions[partition_index] += 1
+        self._size_cache[partition_index] = None
 
     def num_rows(self) -> int:
         return sum(len(p) for p in self.partitions)
@@ -80,11 +103,24 @@ class SetRDD:
         return out
 
     def partition_size_bytes(self, partition_index: int) -> int:
-        """Wire-size estimate of one partition (memory accounting)."""
-        return rows_size(self.partitions[partition_index])
+        """Wire-size estimate of one partition (memory accounting).
+
+        Memoized on ``(version, row count)``: the memory manager re-charges
+        every cached partition per stage, and most partitions are quiescent
+        in any given iteration.
+        """
+        partition = self.partitions[partition_index]
+        key = (self.versions[partition_index], len(partition))
+        entry = self._size_cache[partition_index]
+        if entry is not None and entry[0] == key:
+            return entry[1]
+        size = rows_size(partition)
+        self._size_cache[partition_index] = (key, size)
+        return size
 
     def size_bytes(self) -> int:
-        return sum(rows_size(p) for p in self.partitions)
+        return sum(self.partition_size_bytes(i)
+                   for i in range(self.num_partitions))
 
 
 class KeyedStateRDD:
@@ -94,18 +130,38 @@ class KeyedStateRDD:
     A *row* of this state is ``key_columns + value_columns``; helpers exist
     to reassemble full rows for the final result and for joins against the
     all-relation (the cross terms of mutual recursion).
+
+    With ``use_kernels`` (the default), single-aggregate merges run through
+    the unrolled loops of :mod:`repro.engine.kernels`; the generic
+    :class:`AggregateFunction` dispatch below remains the bit-exact
+    reference path (``ExecutionConfig.kernels=False``) and the only path
+    for multi-aggregate states.
     """
 
     def __init__(self, num_partitions: int,
                  aggregates: tuple[AggregateFunction, ...],
-                 partitioner: HashPartitioner | None = None):
+                 partitioner: HashPartitioner | None = None,
+                 use_kernels: bool = True):
         self.partitions: list[dict] = [{} for _ in range(num_partitions)]
         self.aggregates = aggregates
         self.partitioner = partitioner or HashPartitioner(num_partitions)
+        self.versions: list[int] = [0] * num_partitions
+        self._rows_cache: list[tuple[int, list[tuple]] | None] = \
+            [None] * num_partitions
+        self._size_cache: list[tuple[int, int] | None] = [None] * num_partitions
+        self._merge_kernel = make_merge_kernel(aggregates) if use_kernels else None
+        self._merge_rows_kernel = \
+            make_merge_rows_kernel(aggregates) if use_kernels else None
 
     @property
     def num_partitions(self) -> int:
         return len(self.partitions)
+
+    def _touch(self, partition_index: int) -> None:
+        """Invalidate cached derivatives after a state change."""
+        self.versions[partition_index] += 1
+        self._rows_cache[partition_index] = None
+        self._size_cache[partition_index] = None
 
     def merge(self, partition_index: int,
               pairs: Iterable[tuple[object, tuple]]) -> list[tuple[object, tuple]]:
@@ -118,6 +174,12 @@ class KeyedStateRDD:
         the *increments*, which is what downstream linear recursion must
         propagate (see ``repro.engine.aggregates``).
         """
+        kernel = self._merge_kernel
+        if kernel is not None:
+            delta = kernel(self.partitions[partition_index], pairs)
+            if delta:
+                self._touch(partition_index)
+            return delta
         state = self.partitions[partition_index]
         aggregates = self.aggregates
         delta: list[tuple[object, tuple]] = []
@@ -135,6 +197,8 @@ class KeyedStateRDD:
                 if changed:
                     state[key] = (merged,)
                     delta.append((key, (delta_value,)))
+            if delta:
+                self._touch(partition_index)
             return delta
         for key, values in pairs:
             current = state.get(key)
@@ -154,7 +218,28 @@ class KeyedStateRDD:
             if changed:
                 state[key] = tuple(new_state)
                 delta.append((key, tuple(delta_values)))
+        if delta:
+            self._touch(partition_index)
         return delta
+
+    def merge_rows(self, partition_index: int,
+                   rows: Iterable[tuple]) -> list[tuple]:
+        """Merge two-column ``(key, value)`` head rows; return delta rows.
+
+        Fuses the ``rows -> pairs -> merge -> rows`` chain the fixpoint's
+        two-column fast path otherwise spells out (one intermediate list on
+        each side of :meth:`merge`).  Only valid for single-aggregate
+        states with scalar keys — the shape of every two-column head.
+        """
+        kernel = self._merge_rows_kernel
+        if kernel is not None:
+            fresh = kernel(self.partitions[partition_index], rows)
+            if fresh:
+                self._touch(partition_index)
+            return fresh
+        delta = self.merge(partition_index,
+                           [(row[0], row[1:]) for row in rows])
+        return [(key, values[0]) for key, values in delta]
 
     def snapshot_partition(self, partition_index: int) -> dict:
         """Copy one partition's state for fault recovery (see SetRDD)."""
@@ -163,6 +248,12 @@ class KeyedStateRDD:
     def restore_partition(self, partition_index: int, saved: dict) -> None:
         """Reset one partition to a previously-snapshotted state."""
         self.partitions[partition_index] = dict(saved)
+        self._touch(partition_index)
+
+    def replace_partition(self, partition_index: int, state: dict) -> None:
+        """Install a whole new partition (decomposed-plan write-back)."""
+        self.partitions[partition_index] = state
+        self._touch(partition_index)
 
     def num_groups(self) -> int:
         return sum(len(p) for p in self.partitions)
@@ -170,24 +261,38 @@ class KeyedStateRDD:
     def collect_rows(self) -> list[tuple]:
         """All groups as full ``key + values`` rows."""
         out: list[tuple] = []
-        for partition in self.partitions:
-            for key, values in partition.items():
-                key_part = key if isinstance(key, tuple) else (key,)
-                out.append(key_part + tuple(values))
+        for i in range(self.num_partitions):
+            out.extend(self.partition_rows(i))
         return out
 
     def partition_rows(self, partition_index: int) -> list[tuple]:
-        """Full rows of one partition (used for all-relation cross joins)."""
+        """Full rows of one partition (used for all-relation cross joins).
+
+        Memoized per version: joins against the all-relation re-read the
+        same quiescent partitions every iteration.  Callers must treat the
+        returned list as read-only.
+        """
+        cached = self._rows_cache[partition_index]
+        version = self.versions[partition_index]
+        if cached is not None and cached[0] == version:
+            return cached[1]
         out = []
         for key, values in self.partitions[partition_index].items():
             key_part = key if isinstance(key, tuple) else (key,)
             out.append(key_part + tuple(values))
+        self._rows_cache[partition_index] = (version, out)
         return out
 
     def partition_size_bytes(self, partition_index: int) -> int:
         """Wire-size estimate of one partition (memory accounting)."""
-        return rows_size(self.partition_rows(partition_index))
+        cached = self._size_cache[partition_index]
+        version = self.versions[partition_index]
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        size = rows_size(self.partition_rows(partition_index))
+        self._size_cache[partition_index] = (version, size)
+        return size
 
     def size_bytes(self) -> int:
-        return sum(rows_size(self.partition_rows(i))
+        return sum(self.partition_size_bytes(i)
                    for i in range(self.num_partitions))

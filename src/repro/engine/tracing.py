@@ -319,6 +319,11 @@ def format_explain_analyze(trace: dict | None) -> str:
                 f"select [{span.get('name')}]  "
                 f"rows={span.get('attrs', {}).get('output_rows', '?')}")
 
+    kernels = _format_kernels_section(trace)
+    if kernels:
+        lines.append("")
+        lines.extend(kernels)
+
     memory = _format_memory_section(trace)
     if memory:
         lines.append("")
@@ -329,6 +334,55 @@ def format_explain_analyze(trace: dict | None) -> str:
         lines.append("")
         lines.extend(recovery)
     return "\n".join(lines)
+
+
+def _format_kernels_section(trace: dict) -> list[str]:
+    """The kernel-layer report: state-cache traffic + adaptive choices.
+
+    Reads the root span's counter deltas; only rendered when the query
+    ran through the specialized kernels (``ExecutionConfig.kernels``) and
+    touched the state-table cache or the adaptive join selector.
+    """
+    metrics = trace.get("metrics", {})
+    hits = metrics.get("kernel_state_cache_hits", 0)
+    misses = metrics.get("kernel_state_cache_misses", 0)
+    updates = metrics.get("kernel_state_cache_updates", 0)
+    bypass = metrics.get("kernel_state_cache_bypass", 0)
+    choices = {name: metrics.get(f"adaptive_join_{name}", 0)
+               for name in ("hash", "sort_merge", "nested_loop")}
+    grouped = metrics.get("kernel_grouped_fixpoint_stages", 0)
+    fused = metrics.get("kernel_fused_fixpoint_stages", 0)
+    if not (hits or misses or updates or bypass or grouped or fused
+            or any(choices.values())):
+        return []
+    lines = ["kernels"]
+    if grouped:
+        lines.append(
+            f"  decomposed fixpoint: column-decomposed set kernel "
+            f"({grouped:.0f} stages)")
+    elif fused:
+        lines.append(
+            f"  decomposed fixpoint: fused dedup comprehension "
+            f"({fused:.0f} stages)")
+    if hits or misses or updates or bypass:
+        lookups = hits + misses + updates
+        rate = 100.0 * (hits + updates) / lookups if lookups else 0.0
+        lines.append(
+            f"  state build-table cache: {hits:.0f} hits, "
+            f"{updates:.0f} incremental updates, {misses:.0f} rebuilds "
+            f"({rate:.1f}% reused)")
+        if bypass:
+            lines.append(
+                f"  gather-stage bypasses (mid-stage evolving state): "
+                f"{bypass:.0f}")
+    if any(choices.values()):
+        picks = ", ".join(f"{name}={count:.0f}"
+                          for name, count in choices.items() if count)
+        lines.append(
+            f"  adaptive join choices: {picks} "
+            f"(overrides of the planned strategy: "
+            f"{metrics.get('adaptive_join_overrides', 0):.0f})")
+    return lines
 
 
 def _format_memory_section(trace: dict) -> list[str]:

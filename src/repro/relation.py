@@ -61,12 +61,29 @@ class Relation:
                  rows: Iterable[Sequence] | None = None):
         self.name = name
         self.schema = Schema(tuple(columns))
-        self.rows: list[tuple] = [tuple(r) for r in rows] if rows is not None else []
+        self.rows: list[tuple] = (list(map(tuple, rows))
+                                  if rows is not None else [])
+        width = len(self.schema)
         for row in self.rows:
-            if len(row) != len(self.schema):
+            if len(row) != width:
                 raise ValueError(
                     f"row {row!r} does not match schema {self.schema.columns} "
                     f"of relation {name!r}")
+
+    @classmethod
+    def from_tuples(cls, name: str, columns: Sequence[str],
+                    rows: list[tuple]) -> "Relation":
+        """Trusted constructor for engine-internal results.
+
+        Skips the per-row coercion and arity validation of ``__init__``
+        for rows the engine just produced (already plain tuples of the
+        right width); the list is taken by reference, not copied.
+        """
+        relation = cls.__new__(cls)
+        relation.name = name
+        relation.schema = Schema(tuple(columns))
+        relation.rows = rows
+        return relation
 
     @property
     def columns(self) -> tuple[str, ...]:
