@@ -1,0 +1,138 @@
+"""Serving-layer benchmark: thousands of clients; writes BENCH_6.json.
+
+Drives the multi-tenant query service (``repro.serving``) with the
+seeded mixed workload — ~70% served-view reads, ~25% SQL split between
+hot repeated statements and a pooled set, ~5% inserts — from a large
+population of named client sessions, and records the scorecard:
+
+- p50/p99/mean **simulated** end-to-end latency (submit → finish,
+  admission queue time included), overall and per request kind;
+- plan-cache, result-cache, and view-snapshot hit rates;
+- admission traffic (queued / rejected counts).
+
+Latencies are simulated-clock readings; the cost model folds measured
+task CPU seconds in (``CostModel.cpu_scale``), so repeated runs agree
+to ~milliseconds rather than bit-for-bit.  Everything else — the op
+stream, the scheduler's interleaving, every result row — is exactly
+reproducible from the seed.
+
+Modes:
+
+    python benchmarks/bench_serving.py             # full -> "full"
+    python benchmarks/bench_serving.py --quick     # small -> "quick"
+    python benchmarks/bench_serving.py --quick --check BENCH_6.json
+
+``--check`` re-runs and fails (exit 1) when the service degrades against
+the committed baseline: requests failing, cache hit rates falling, or
+p99 simulated latency inflating beyond tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.serving import run_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_6.json"
+
+#: (clients, requests) per mode.  Full mode satisfies the "thousands of
+#: simulated clients" bar; quick is the CI perf-smoke size.
+SCALE = {"full": (1200, 2400), "quick": (150, 450)}
+SEED = 7
+
+#: --check tolerances.
+P99_TOLERANCE = 0.25          # p99 may inflate by at most 25%
+HIT_RATE_SLACK = 0.10         # absolute slack on cache hit rates
+
+
+def measure(mode: str) -> dict:
+    clients, requests = SCALE[mode]
+    wall = time.perf_counter()
+    summary = run_workload(clients=clients, requests=requests, seed=SEED,
+                           quick=(mode == "quick"))
+    summary["wall_s"] = round(time.perf_counter() - wall, 2)
+    overall = summary["latency"]["overall"]
+    cache = summary["cache"]
+    print(f"{mode}: {requests} requests / {clients} clients in "
+          f"{summary['wall_s']}s wall, {summary['sim_time_s']}s simulated")
+    print(f"  latency p50={overall['p50_s']:.4f}s p99={overall['p99_s']:.4f}s")
+    print(f"  plan cache {cache['plan']['hit_rate']:.1%}, result cache "
+          f"{cache['result']['hit_rate']:.1%}, view snapshots "
+          f"{cache['view_snapshot_hit_rate']:.1%}")
+    print(f"  queued={summary['queued']} rejected={summary['rejected']} "
+          f"failed={summary['failed']}")
+    return summary
+
+
+def check(section: dict, baseline_path: pathlib.Path, mode: str) -> int:
+    baseline = json.loads(baseline_path.read_text()).get(mode)
+    if baseline is None:
+        print(f"check: baseline {baseline_path} has no '{mode}' section",
+              file=sys.stderr)
+        return 1
+    failures = []
+
+    def gauge(name, got, ok, detail):
+        status = "ok" if ok else "REGRESSED"
+        print(f"check {name:28s} {detail}  {status}")
+        if not ok:
+            failures.append(name)
+
+    gauge("completed", section["completed"],
+          section["completed"] == section["requests"],
+          f"{section['completed']}/{section['requests']} requests")
+    p99, base_p99 = (section["latency"]["overall"]["p99_s"],
+                     baseline["latency"]["overall"]["p99_s"])
+    gauge("p99_latency", p99, p99 <= base_p99 * (1 + P99_TOLERANCE),
+          f"baseline={base_p99:.4f}s measured={p99:.4f}s "
+          f"ceiling={base_p99 * (1 + P99_TOLERANCE):.4f}s")
+    for name, got, base in (
+            ("plan_cache_hit_rate", section["cache"]["plan"]["hit_rate"],
+             baseline["cache"]["plan"]["hit_rate"]),
+            ("result_cache_hit_rate", section["cache"]["result"]["hit_rate"],
+             baseline["cache"]["result"]["hit_rate"]),
+            ("view_snapshot_hit_rate",
+             section["cache"]["view_snapshot_hit_rate"],
+             baseline["cache"]["view_snapshot_hit_rate"])):
+        gauge(name, got, got >= base - HIT_RATE_SLACK,
+              f"baseline={base:.1%} floor={base - HIT_RATE_SLACK:.1%} "
+              f"measured={got:.1%}")
+    if failures:
+        print(f"serving regression in: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller population (CI perf smoke)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="results file to update (default: BENCH_6.json)")
+    parser.add_argument("--check", type=pathlib.Path, metavar="BASELINE",
+                        help="compare against a committed baseline instead "
+                             "of updating --out")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    section = measure(mode)
+
+    if args.check:
+        return check(section, args.check, mode)
+
+    existing = (json.loads(args.out.read_text())
+                if args.out.exists() else {})
+    existing[mode] = section
+    args.out.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"wrote {args.out} [{mode}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,9 +4,13 @@
     python -m repro --table edge=graph.tsv -q "SELECT count(*) FROM edge"
     python -m repro --table edge=graph.tsv --explain query.sql
     echo "SELECT ..." | python -m repro --table edge=graph.tsv -
+    python -m repro workload --clients 50 --requests 300 --quick
 
 Tables load from CSV (header row) or whitespace edge lists; results print
-as an aligned table, with the fixpoint statistics on stderr.
+as an aligned table, with the fixpoint statistics on stderr.  The
+``workload`` subcommand (alias ``serve``) drives the multi-tenant query
+service (``repro.serving``) with a seeded mix of concurrent sessions and
+prints the latency/cache scorecard.
 """
 
 from __future__ import annotations
@@ -64,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-adaptive-join", action="store_true",
                         help="disable per-iteration adaptive join-strategy "
                              "selection for co-partitioned joins")
+    parser.add_argument("--kernel-min-rows", type=int, default=None,
+                        metavar="N",
+                        help="size gate for the kernel layer: cliques whose "
+                             "base inputs total fewer than N rows skip "
+                             "kernel dispatch (0 disables the gate; default "
+                             "256)")
     parser.add_argument("--profile", metavar="PATH",
                         help="profile the query's execution with cProfile "
                              "and write pstats output here (inspect with "
@@ -142,11 +152,75 @@ def _iter_spans(span: dict, kind: str):
         yield from _iter_spans(child, kind)
 
 
+def run_workload_command(argv: list[str]) -> int:
+    """``python -m repro workload``: the multi-tenant serving demo."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro workload",
+        description="Drive the query service with a seeded mix of "
+                    "concurrent sessions (view reads, repeated SQL, "
+                    "inserts) and print the latency/cache scorecard.")
+    parser.add_argument("--clients", type=int, default=50,
+                        help="named client sessions (default 50)")
+    parser.add_argument("--requests", type=int, default=300,
+                        help="total requests across all clients "
+                             "(default 300)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload + scheduler seed (default 7)")
+    parser.add_argument("--scheduler", choices=["fifo", "seeded"],
+                        default="seeded",
+                        help="interleaving policy of the cooperative "
+                             "driver (default seeded)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="simulated worker count (default 4)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller base graph (CI smoke)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full summary as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.serving import run_workload
+
+    summary = run_workload(clients=args.clients, requests=args.requests,
+                           seed=args.seed, quick=args.quick,
+                           num_workers=args.workers,
+                           scheduler=args.scheduler)
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2))
+        return 0
+    overall = summary["latency"]["overall"]
+    cache = summary["cache"]
+    print(f"workload: {summary['requests']} requests from "
+          f"{summary['clients']} sessions "
+          f"({summary['completed']} ok, {summary['failed']} failed, "
+          f"{summary['rejected']} rejected, {summary['queued']} queued)")
+    print(f"latency (simulated): p50={overall['p50_s']:.4f}s "
+          f"p99={overall['p99_s']:.4f}s mean={overall['mean_s']:.4f}s")
+    for kind in ("sql", "view_read", "insert"):
+        if kind in summary["latency"]:
+            stats = summary["latency"][kind]
+            print(f"  {kind:10s} n={stats['count']:<5d} "
+                  f"p50={stats['p50_s']:.4f}s p99={stats['p99_s']:.4f}s")
+    print(f"caches: plan hit rate {cache['plan']['hit_rate']:.1%}, "
+          f"result hit rate {cache['result']['hit_rate']:.1%}, "
+          f"view snapshot hit rate {cache['view_snapshot_hit_rate']:.1%}")
+    print(f"simulated cluster time: {summary['sim_time_s']:.4f}s")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in ("workload", "serve"):
+        return run_workload_command(argv[1:])
     args = build_parser().parse_args(argv)
     query = read_query(args)
 
     try:
+        config_kwargs = {}
+        if args.kernel_min_rows is not None:
+            config_kwargs["kernel_min_rows"] = args.kernel_min_rows
         config = ExecutionConfig(
             codegen=not args.no_codegen,
             stage_combination=not args.no_stage_combination,
@@ -154,6 +228,7 @@ def main(argv: list[str] | None = None) -> int:
             adaptive_joins=not args.no_adaptive_join,
             evaluation=args.evaluation,
             deadline_seconds=args.timeout,
+            **config_kwargs,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")

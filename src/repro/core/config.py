@@ -73,6 +73,16 @@ class ExecutionConfig:
         evaluation from observed delta/build cardinalities (hash vs
         sort-merge vs nested-loop; AQE-style).  Requires ``kernels``;
         choices are surfaced in EXPLAIN ANALYZE's "kernels" section.
+    kernel_min_rows:
+        Size gate for the kernel layer: a clique whose distinct base
+        inputs total fewer rows than this runs through the reference
+        loops even when ``kernels`` is on.  Router construction, padder
+        specialization and state-table caching are per-query setup costs
+        that dominate sub-millisecond queries (BENCH_5.json showed
+        ``same_generation`` at 0.75x and ``bom_stratified`` at 0.68x);
+        below the threshold the dispatch overhead cannot amortize.
+        ``0`` disables the gate.  Results are bit-exact either way —
+        the gate moves only wall-clock time.
     max_iterations:
         Safety budget; exceeding it raises
         :class:`repro.errors.FixpointNotReachedError`.  Also bounds the
@@ -99,6 +109,7 @@ class ExecutionConfig:
     magic_filters: bool = True
     kernels: bool = True
     adaptive_joins: bool = True
+    kernel_min_rows: int = 256
     max_iterations: int = 100_000
     deadline_seconds: float | None = None
 
@@ -107,6 +118,9 @@ class ExecutionConfig:
             raise ValueError(f"unknown evaluation mode {self.evaluation!r}")
         if self.join_strategy not in ("shuffle_hash", "sort_merge"):
             raise ValueError(f"unknown join strategy {self.join_strategy!r}")
+        if self.kernel_min_rows < 0:
+            raise ValueError(
+                f"kernel_min_rows must be >= 0, got {self.kernel_min_rows}")
         if self.max_iterations < 1:
             raise ValueError(
                 f"max_iterations must be >= 1, got {self.max_iterations}")

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 from repro.core.analyzer import analyze
@@ -33,7 +34,7 @@ from repro.core.config import DEFAULT_CONFIG, ExecutionConfig
 from repro.core.executor import execute_select
 from repro.core.fixpoint import FixpointOperator
 from repro.core.governor import QueryGovernor
-from repro.core.logical import CliquePlan, DerivedViewPlan
+from repro.core.logical import CliquePlan, DerivedViewPlan, ScanNode
 from repro.core.optimizer import optimize
 from repro.core.parser import parse
 from repro.core.planner import plan_clique
@@ -99,14 +100,17 @@ class RunInfo:
         ``kernel_state_cache_updates``, ``kernel_state_cache_bypass``,
         ``adaptive_join_hash``, ``adaptive_join_sort_merge``,
         ``adaptive_join_nested_loop``, ``adaptive_join_overrides``,
-        ``kernel_grouped_fixpoint_stages``, ``kernel_fused_fixpoint_stages``.
+        ``kernel_grouped_fixpoint_stages``, ``kernel_fused_fixpoint_stages``,
+        ``kernel_small_input_gate`` (cliques the size gate routed through
+        the reference loops; see ``ExecutionConfig.kernel_min_rows``).
         """
         keys = ("kernel_state_cache_hits", "kernel_state_cache_misses",
                 "kernel_state_cache_updates", "kernel_state_cache_bypass",
                 "adaptive_join_hash", "adaptive_join_sort_merge",
                 "adaptive_join_nested_loop", "adaptive_join_overrides",
                 "kernel_grouped_fixpoint_stages",
-                "kernel_fused_fixpoint_stages")
+                "kernel_fused_fixpoint_stages",
+                "kernel_small_input_gate")
         return {key: self.metrics.get(key, 0) for key in keys}
 
     def fault_summary(self) -> dict[str, float]:
@@ -134,6 +138,41 @@ class RunInfo:
             lines.append(f"{label:32s} {seconds:8.4f}s  {share:5.1f}%")
         lines.append(f"{'total':32s} {total:8.4f}s")
         return "\n".join(lines)
+
+
+@lru_cache(maxsize=32)
+def _gated_config(config: ExecutionConfig) -> ExecutionConfig:
+    """The reference-path twin of a config (kernel gate engaged).
+
+    Cached because the gate fires per executed query — a served
+    small-query workload would otherwise rebuild the frozen dataclass
+    thousands of times.
+    """
+    return config.but(kernels=False, adaptive_joins=False)
+
+
+def _clique_input_rows(unit: CliquePlan, resolve) -> int:
+    """Total distinct base-table rows feeding one recursive clique.
+
+    The input of the size gate (``ExecutionConfig.kernel_min_rows``):
+    counts each scanned base relation once, ignoring clique-internal
+    recursive references.
+    """
+    clique_views = {name.lower() for name in unit.view_names}
+    seen: set[str] = set()
+    total = 0
+    for view in unit.views:
+        for rule in view.base_rules + view.recursive_rules:
+            if rule.join is None:
+                continue
+            for node in rule.join.inputs:
+                if isinstance(node, ScanNode):
+                    key = node.relation.lower()
+                    if key in clique_views or key in seen:
+                        continue
+                    seen.add(key)
+                    total += len(resolve(node.relation).rows)
+    return total
 
 
 def _query_label(query: str) -> str:
@@ -229,6 +268,20 @@ class RaSQLContext:
                 total += rows_size(self.catalog.get(name).rows)
         return total
 
+    def analyze_query(self, query: str,
+                      config: ExecutionConfig | None = None):
+        """Parse → analyze → optimize a script against the live catalog.
+
+        The returned analyzed script is the expensive, reusable front
+        half of :meth:`sql`; ``repro.serving``'s plan cache stores it
+        keyed on the normalized text and :attr:`Catalog.version` (name
+        resolution binds to the schema epoch), then replays it through
+        :meth:`execute_admitted` without re-planning.
+        """
+        effective = config or self.config
+        return optimize(analyze(parse(query), self.catalog),
+                        magic_filters=effective.magic_filters)
+
     def sql(self, query: str, config: ExecutionConfig | None = None,
             profile_path: str | None = None) -> Relation:
         """Execute a RaSQL script and return the final SELECT's relation.
@@ -250,6 +303,33 @@ class RaSQLContext:
         effective = config or self.config
         label = _query_label(query)
         ticket = self.governor.admit(label, self._estimate_query_bytes(query))
+        admission = {"queued": ticket.queued, "wait_s": ticket.wait_s,
+                     "reserved_bytes": ticket.reserved_bytes}
+        try:
+            return self.execute_admitted(query, effective, label=label,
+                                         profile_path=profile_path,
+                                         admission=admission)
+        finally:
+            self.governor.release(ticket)
+
+    def execute_admitted(self, query: str,
+                         config: ExecutionConfig | None = None, *,
+                         label: str | None = None,
+                         profile_path: str | None = None,
+                         analyzed=None,
+                         admission: dict | None = None) -> Relation:
+        """Run an *already admitted* query (the back half of :meth:`sql`).
+
+        The caller owns the governor ticket — acquiring it before this
+        call and releasing it after, on success and error paths alike.
+        ``repro.serving.QueryService`` admits at submit time, dispatches
+        when the ticket holds a slot, and passes any cached ``analyzed``
+        plan plus an ``admission`` dict (queued?, simulated queue wait,
+        session) that lands on the query span's attributes for EXPLAIN
+        ANALYZE.
+        """
+        effective = config or self.config
+        label = label or _query_label(query)
         try:
             # Fresh memory slate per query: charges from the previous call
             # are dead weight (touch re-creates anything still live, e.g.
@@ -261,13 +341,15 @@ class RaSQLContext:
                 self.cluster.deadline = (self.cluster.metrics.sim_time
                                          + effective.deadline_seconds)
             if profile_path is None:
-                return self._run_sql(query, effective, label)
+                return self._run_sql(query, effective, label,
+                                     analyzed=analyzed, admission=admission)
             import cProfile
 
             profiler = cProfile.Profile()
             profiler.enable()
             try:
-                return self._run_sql(query, effective, label)
+                return self._run_sql(query, effective, label,
+                                     analyzed=analyzed, admission=admission)
             finally:
                 profiler.disable()
                 profiler.dump_stats(profile_path)
@@ -275,12 +357,12 @@ class RaSQLContext:
                 self.last_run.profile_path = profile_path
         finally:
             self.cluster.deadline = None
-            self.governor.release(ticket)
 
     def _run_sql(self, query: str, effective: ExecutionConfig,
-                 label: str) -> Relation:
-        analyzed = optimize(analyze(parse(query), self.catalog),
-                            magic_filters=effective.magic_filters)
+                 label: str, analyzed=None,
+                 admission: dict | None = None) -> Relation:
+        if analyzed is None:
+            analyzed = self.analyze_query(query, effective)
 
         materialized: dict[str, Relation] = {}
 
@@ -296,6 +378,8 @@ class RaSQLContext:
         query_span = None
         try:
             with tracer.span("query", label) as query_span:
+                if admission is not None:
+                    query_span.annotate(admission=dict(admission))
                 for unit in analyzed.units:
                     if isinstance(unit, DerivedViewPlan):
                         rows: list[tuple] = []
@@ -311,9 +395,23 @@ class RaSQLContext:
                             unit.name, unit.columns, rows)
                     else:
                         assert isinstance(unit, CliquePlan)
-                        planned = plan_clique(unit, effective)
+                        # Size gate *before* planning: the kernel layer's
+                        # costs start at plan time (extra codegen
+                        # variants), so a clique too small to amortize
+                        # them plans and runs entirely on the reference
+                        # paths.  The operator repeats this check for
+                        # callers that plan directly.
+                        clique_config = effective
+                        if (effective.kernels
+                                and effective.kernel_min_rows > 0
+                                and _clique_input_rows(unit, resolve)
+                                < effective.kernel_min_rows):
+                            clique_config = _gated_config(effective)
+                            self.cluster.metrics.inc(
+                                "kernel_small_input_gate")
+                        planned = plan_clique(unit, clique_config)
                         operator = FixpointOperator(planned, self.cluster,
-                                                    effective, resolve)
+                                                    clique_config, resolve)
                         result = operator.execute()
                         for view_name, relation in result.relations.items():
                             materialized[view_name.lower()] = relation

@@ -736,7 +736,44 @@ class FixpointOperator:
     # main loop
     # ------------------------------------------------------------------
 
+    def _apply_kernel_gate(self) -> None:
+        """Disable kernel dispatch for tiny inputs (wall-clock only).
+
+        The kernel layer pays per-query setup — router/padders compiled
+        per view, state-table cache plumbing, adaptive-selector state —
+        that a sub-millisecond query never amortizes (the BENCH_5
+        regressions on ``same_generation``/``bom_stratified``).  When
+        the clique's distinct base inputs total fewer than
+        ``config.kernel_min_rows`` rows, route everything through the
+        reference loops instead.  Kernels are bit-exact with the
+        reference paths (including iteration counts), so the gate can
+        never change results — only where the wall-clock time goes.
+        """
+        threshold = self.config.kernel_min_rows
+        if not self._use_kernels or threshold <= 0:
+            return
+        seen: set[str] = set()
+        total = 0
+        for plan in self.planned.base_plans:
+            key = plan.relation.lower()
+            if key not in seen:
+                seen.add(key)
+                total += len(self.resolve(plan.relation).rows)
+        for base_rule in self.planned.base_rules:
+            if base_rule.driving_relation:
+                key = base_rule.driving_relation.lower()
+                if key not in seen:
+                    seen.add(key)
+                    total += len(self.resolve(base_rule.driving_relation).rows)
+        if total >= threshold:
+            return
+        self._use_kernels = False
+        self._adaptive = False
+        self.selector = None
+        self.cluster.metrics.inc("kernel_small_input_gate")
+
     def execute(self) -> FixpointResult:
+        self._apply_kernel_gate()
         tracer = self.cluster.tracer
         with tracer.span("fixpoint", ",".join(self.planned.views)) as span:
             self._setup_states()

@@ -6,17 +6,27 @@ executors, and a burst of queries should queue rather than thrash the
 memory manager.  :class:`QueryGovernor` models both policies for the
 simulated cluster:
 
-- at most ``max_concurrent`` queries hold admission *tickets* at once;
+- at most ``max_concurrent`` queries hold admission *slots* at once;
 - up to ``max_queue`` further queries wait in a FIFO queue, each charging
   ``queue_wait_s`` simulated seconds per slot ahead of it;
 - beyond that — or when a query's estimated memory reservation would push
   the total over ``max_reserved_bytes`` — admission fails with
   :class:`repro.errors.AdmissionRejectedError`.
 
-The simulator executes queries one at a time, so "concurrent" here means
-tickets that are *held*: a caller that acquires tickets without releasing
-them (a session running overlapping incremental views, or a test) exerts
-back-pressure on later queries exactly like long-running jobs would.
+Releasing a ticket promotes queued waiters in FIFO order into the freed
+slots, re-checking the reserved-memory cap per promotion, so occupancy
+gauges (``report()``) and the ``queries_queued`` / ``admission-wait``
+accounting stay consistent through a burst that queues and then drains.
+
+Two kinds of caller share this class:
+
+- the synchronous :meth:`repro.core.context.RaSQLContext.sql` path runs
+  queries one at a time; a *queued* ticket there models waiting behind
+  held slots (overlapping incremental views, a test pinning slots) by
+  charging simulated wait time, then proceeds;
+- :class:`repro.serving.QueryService` holds many tickets in flight and
+  only dispatches requests whose tickets occupy a slot
+  (``ticket.waiting`` is ``False``), so promotions gate execution order.
 """
 
 from __future__ import annotations
@@ -28,23 +38,33 @@ from repro.errors import AdmissionRejectedError
 
 @dataclass
 class AdmissionTicket:
-    """Proof of admission for one query; release it when the query ends."""
+    """Proof of admission for one query; release it when the query ends.
+
+    ``queued`` records whether the ticket ever waited in the queue (it
+    stays ``True`` after promotion — latency accounting keys off it);
+    ``waiting`` is the live state: ``True`` while the ticket sits in the
+    governor's FIFO queue, flipped to ``False`` on promotion to a slot.
+    """
 
     label: str
     reserved_bytes: int
     queued: bool = False
+    waiting: bool = field(default=False, init=False)
     released: bool = field(default=False, init=False)
+    #: Simulated seconds charged for the queue at admission time
+    #: (surfaces in EXPLAIN ANALYZE's admission line).
+    wait_s: float = field(default=0.0, init=False)
 
 
 class QueryGovernor:
-    """Slots + queue + reserved-memory cap for one :class:`RaSQLContext`.
+    """Slots + FIFO queue + reserved-memory cap for one session/service.
 
     metrics is any object with ``inc(name, value)`` / ``advance(seconds,
     label=...)`` — normally the cluster's
     :class:`repro.engine.metrics.MetricsRegistry`, so admission decisions
     show up as ``queries_admitted`` / ``queries_queued`` /
-    ``queries_rejected`` counters and queue time is charged to the
-    simulated clock under the ``admission-wait`` label.
+    ``queries_promoted`` / ``queries_rejected`` counters and queue time
+    is charged to the simulated clock under the ``admission-wait`` label.
     """
 
     def __init__(self, max_concurrent: int = 4, max_queue: int = 4,
@@ -67,12 +87,22 @@ class QueryGovernor:
         self.max_reserved_bytes = max_reserved_bytes
         self.queue_wait_s = queue_wait_s
         self.metrics = metrics
+        #: Tickets occupying slots (never more than ``max_concurrent``).
         self.active: list[AdmissionTicket] = []
+        #: Tickets waiting for a slot, in FIFO admission order.
+        self.waiting: list[AdmissionTicket] = []
 
     # ------------------------------------------------------------------
 
     @property
     def reserved_bytes(self) -> int:
+        """Total reservation held by slotted *and* queued tickets."""
+        return (sum(t.reserved_bytes for t in self.active)
+                + sum(t.reserved_bytes for t in self.waiting))
+
+    @property
+    def active_reserved_bytes(self) -> int:
+        """Reservation held by slotted tickets only (promotion check)."""
         return sum(t.reserved_bytes for t in self.active)
 
     def admit(self, label: str, estimated_bytes: int = 0) -> AdmissionTicket:
@@ -91,41 +121,74 @@ class QueryGovernor:
                 label=label, reason="memory",
                 active=len(self.active), reserved_bytes=self.reserved_bytes)
 
-        backlog = len(self.active) - self.max_concurrent
-        queued = False
-        if backlog >= 0:
-            # All slots taken: this query joins the queue behind `backlog`
-            # already-queued queries — if the queue has room.
-            if backlog >= self.max_queue:
-                self._count("queries_rejected")
-                raise AdmissionRejectedError(
-                    f"query {label!r} rejected: {self.max_concurrent} "
-                    f"queries running and {backlog} queued "
-                    f"(max_queue={self.max_queue}); retry later or raise "
-                    f"the governor's limits",
-                    label=label, reason="concurrency",
-                    active=len(self.active),
-                    reserved_bytes=self.reserved_bytes)
-            queued = True
-            self._count("queries_queued")
-            if self.metrics is not None and self.queue_wait_s > 0:
-                self.metrics.advance(self.queue_wait_s * (backlog + 1),
-                                     label="admission-wait")
+        if len(self.active) < self.max_concurrent and not self.waiting:
+            ticket = AdmissionTicket(label, estimated_bytes)
+            self.active.append(ticket)
+            self._count("queries_admitted")
+            return ticket
 
-        ticket = AdmissionTicket(label, estimated_bytes, queued=queued)
-        self.active.append(ticket)
+        # All slots taken (or a FIFO queue already formed): this query
+        # joins the queue behind `backlog` earlier waiters — if the queue
+        # has room.
+        backlog = len(self.waiting)
+        if backlog >= self.max_queue:
+            self._count("queries_rejected")
+            raise AdmissionRejectedError(
+                f"query {label!r} rejected: {len(self.active)} "
+                f"queries running and {backlog} queued "
+                f"(max_queue={self.max_queue}); retry later or raise "
+                f"the governor's limits",
+                label=label, reason="concurrency",
+                active=len(self.active),
+                reserved_bytes=self.reserved_bytes)
+        ticket = AdmissionTicket(label, estimated_bytes, queued=True)
+        ticket.waiting = True
+        self.waiting.append(ticket)
         self._count("queries_admitted")
+        self._count("queries_queued")
+        ticket.wait_s = self.queue_wait_s * (backlog + 1)
+        if self.metrics is not None and ticket.wait_s > 0:
+            self.metrics.advance(ticket.wait_s, label="admission-wait")
         return ticket
 
     def release(self, ticket: AdmissionTicket) -> None:
-        """Return a ticket's slot and reservation (idempotent)."""
+        """Return a ticket's slot/queue entry and promote waiters (FIFO).
+
+        Idempotent.  Every release re-runs promotion, so a burst that
+        queued and then drains ends with ``active`` and ``waiting`` both
+        empty and every waiter having been moved through a real slot.
+        """
         if ticket.released:
             return
         ticket.released = True
+        ticket.waiting = False
         try:
             self.active.remove(ticket)
         except ValueError:
-            pass
+            try:
+                self.waiting.remove(ticket)
+            except ValueError:
+                pass
+        self._promote()
+
+    def _promote(self) -> None:
+        """Move queue heads into free slots while policy allows it.
+
+        FIFO order is strict: if the head does not fit under the
+        reserved-memory cap (re-checked here, against *slotted*
+        reservations only), later waiters do not jump it — they keep
+        their admission order, exactly like a FIFO scheduler pool.
+        """
+        while self.waiting and len(self.active) < self.max_concurrent:
+            head = self.waiting[0]
+            if (self.max_reserved_bytes is not None
+                    and self.active_reserved_bytes + head.reserved_bytes
+                    > self.max_reserved_bytes):
+                break
+            self.waiting.pop(0)
+            head.waiting = False
+            self.active.append(head)
+            self._count("queries_promoted")
 
     def _count(self, name: str) -> None:
         if self.metrics is not None:
@@ -134,6 +197,7 @@ class QueryGovernor:
     def report(self) -> dict:
         return {
             "active": len(self.active),
+            "waiting": len(self.waiting),
             "reserved_bytes": self.reserved_bytes,
             "max_concurrent": self.max_concurrent,
             "max_queue": self.max_queue,

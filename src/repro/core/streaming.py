@@ -98,6 +98,12 @@ class IncrementalView:
                                          self.config, self._resolve)
         initial = self.operator.execute()
         self.iterations = initial.iterations
+        #: Memoized final-SELECT output; dropped by the next ``insert``.
+        self._cached_result: Relation | None = None
+        #: How many times the final SELECT actually executed — repeated
+        #: ``result()`` calls between inserts must not grow this (the
+        #: serving layer reads it as the view's snapshot-hit telemetry).
+        self.result_evaluations = 0
 
     # ------------------------------------------------------------------
 
@@ -148,6 +154,11 @@ class IncrementalView:
                 raise AnalysisError(
                     f"row {row!r} does not match {table!r} schema "
                     f"{relation.columns}")
+
+        # The base table is about to change, so the memoized final SELECT
+        # goes stale even if the repair below derives nothing new (the
+        # final stratum may scan the base table directly).
+        self._cached_result = None
 
         # 1. make the new rows visible to every cached join side (before
         #    evaluating, so same-table multi-reference rules see them).
@@ -215,7 +226,17 @@ class IncrementalView:
     # ------------------------------------------------------------------
 
     def result(self) -> Relation:
-        """The final SELECT evaluated over the current state."""
+        """The final SELECT evaluated over the current state.
+
+        Memoized until the next :meth:`insert`: between mutations the
+        view's state is frozen, so repeated reads — the dominant access
+        pattern once the view is served to many clients — return the
+        cached relation without re-running the final stratum.  All
+        readers between two inserts therefore observe the *same*
+        snapshot object.
+        """
+        if self._cached_result is not None:
+            return self._cached_result
         states = self.operator._relations()
 
         def resolve(name: str) -> Relation:
@@ -226,7 +247,9 @@ class IncrementalView:
 
         # _relations() keys by original view name; index case-insensitively.
         states = {name.lower(): rel for name, rel in states.items()}
-        return execute_select(self.final, resolve, "result")
+        self.result_evaluations += 1
+        self._cached_result = execute_select(self.final, resolve, "result")
+        return self._cached_result
 
     def view_relation(self, name: str) -> Relation:
         """The current contents of one recursive view."""

@@ -149,6 +149,45 @@ class MetricsRegistry:
         """Labelled clock advances, for debugging cost attribution."""
         return list(self._events)
 
+    def scoped(self, scope: str) -> "ScopedCounters":
+        """A counter view that namespaces every name under ``<scope>.``.
+
+        The serving layer gives each client session one of these
+        (``session.<name>``), so per-tenant traffic — submissions,
+        completions, cache hits — lands in the same registry and the
+        same snapshots as the global counters without colliding with
+        them.
+        """
+        return ScopedCounters(self, scope)
+
     def __repr__(self) -> str:
         interesting = {k: v for k, v in sorted(self.counters.items())}
         return f"MetricsRegistry(sim_time={self.sim_time:.4f}, {interesting})"
+
+
+class ScopedCounters:
+    """A prefix-namespaced window onto a :class:`MetricsRegistry`.
+
+    ``inc``/``get`` address ``<scope>.<name>`` in the underlying
+    registry; :meth:`snapshot` returns only this scope's counters with
+    the prefix stripped.  Obtained via :meth:`MetricsRegistry.scoped`.
+    """
+
+    def __init__(self, registry: MetricsRegistry, scope: str):
+        self.registry = registry
+        self.scope = scope
+        self._prefix = scope + "."
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self.registry.inc(self._prefix + name, amount)
+
+    def get(self, name: str) -> float:
+        return self.registry.get(self._prefix + name)
+
+    def snapshot(self) -> dict[str, float]:
+        return {key[len(self._prefix):]: value
+                for key, value in self.registry.counters.items()
+                if key.startswith(self._prefix)}
+
+    def __repr__(self) -> str:
+        return f"ScopedCounters({self.scope!r}, {self.snapshot()})"

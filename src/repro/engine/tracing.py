@@ -279,6 +279,18 @@ def format_explain_analyze(trace: dict | None) -> str:
     lines.append(f"EXPLAIN ANALYZE  [{trace.get('name', 'query')}]")
     lines.append(f"total simulated time: {total:.4f}s")
 
+    admission = trace.get("attrs", {}).get("admission")
+    if admission:
+        state = "queued" if admission.get("queued") else "immediate"
+        line = f"admission: {state}"
+        if admission.get("wait_s"):
+            line += f"  queue wait: {admission['wait_s']:.4f}s"
+        if admission.get("reserved_bytes"):
+            line += f"  reserved: {admission['reserved_bytes']:.0f} bytes"
+        if admission.get("session"):
+            line += f"  session: {admission['session']}"
+        lines.append(line)
+
     for fixpoint in _find_dict(trace, "fixpoint"):
         attrs = fixpoint.get("attrs", {})
         iterations = list(_find_dict(fixpoint, "iteration"))

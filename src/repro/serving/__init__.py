@@ -1,0 +1,36 @@
+"""repro.serving — a multi-tenant query service over one RaSQL session.
+
+The paper positions RaSQL as a *service* for big-data analytics; this
+package supplies the serving tier the core engine lacks: named client
+sessions submit SQL, served-view reads, and inserts concurrently, a
+seeded cooperative driver executes them deterministically through the
+session's admission governor, and plan/result caches plus memoized
+incremental views absorb the repeated-read traffic that dominates a
+served deployment.
+
+Public API:
+
+- :class:`QueryService` — submit / drain / create_view; the driver.
+- :class:`Session` — one named tenant, with per-session counters.
+- :class:`QueryFuture` — handle to a submitted request.
+- :class:`ServedView` — a named, maintained, snapshot-consistent view.
+- :class:`PlanCache` / :class:`ResultCache` — the shared caches.
+- :func:`run_workload` — the seeded mixed workload (CLI + benchmark).
+"""
+
+from repro.serving.cache import PlanCache, ResultCache, normalize_sql
+from repro.serving.service import QueryFuture, QueryService
+from repro.serving.session import Session
+from repro.serving.views import ServedView
+from repro.serving.workload import run_workload
+
+__all__ = [
+    "PlanCache",
+    "QueryFuture",
+    "QueryService",
+    "ResultCache",
+    "ServedView",
+    "Session",
+    "normalize_sql",
+    "run_workload",
+]

@@ -1,0 +1,121 @@
+"""Plan and result caches for the query service.
+
+A served deployment sees the same statements over and over — dashboard
+refreshes, per-tenant template queries — so the service memoizes the two
+expensive halves of :meth:`repro.core.context.RaSQLContext.sql`
+separately:
+
+- :class:`PlanCache` keeps the *analyzed script* (parse → two-step
+  analysis → rule-based optimization), keyed on the whitespace-normalized
+  statement text, the catalog's **schema epoch**
+  (:attr:`repro.core.catalog.Catalog.version` — name resolution binds to
+  it), and the config knobs that change planning (``magic_filters``).
+  Row inserts leave plans valid.
+- :class:`ResultCache` keeps the final SELECT's relation, keyed on the
+  normalized text, the catalog's **data epoch** (``data_version`` — any
+  visible change invalidates), and the full execution config.  Between
+  mutations, repeated reads are served without touching the cluster.
+
+Both caches are bounded LRU (mutation-heavy workloads would otherwise
+accumulate dead epochs) and count their traffic into the session
+registry: ``plan_cache_hits`` / ``plan_cache_misses`` /
+``result_cache_hits`` / ``result_cache_misses``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+def normalize_sql(sql: str) -> str:
+    """Whitespace-insensitive cache key for a statement.
+
+    Collapses runs of whitespace and strips a trailing semicolon, so the
+    same query submitted with different indentation or line breaks hits
+    the same entry.  Deliberately *not* case-folded: string literals are
+    case-sensitive, and a lexer-level normalization is not worth the
+    marginal extra hit rate.
+    """
+    return " ".join(sql.split()).rstrip(";").strip()
+
+
+class _LRUCache:
+    """Bounded OrderedDict-backed LRU with hit/miss counters."""
+
+    def __init__(self, capacity: int, metrics=None, hit_counter: str = "",
+                 miss_counter: str = ""):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.metrics = metrics
+        self.hit_counter = hit_counter
+        self.miss_counter = miss_counter
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key):
+        """Return ``(found, value)`` and count the hit or miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if self.metrics is not None and self.hit_counter:
+                self.metrics.inc(self.hit_counter)
+            return True, self._entries[key]
+        self.misses += 1
+        if self.metrics is not None and self.miss_counter:
+            self.metrics.inc(self.miss_counter)
+        return False, None
+
+    def store(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def report(self) -> dict:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate, 4)}
+
+
+class PlanCache(_LRUCache):
+    """Analyzed-script cache: survives row inserts, dies on schema change."""
+
+    def __init__(self, capacity: int = 128, metrics=None):
+        super().__init__(capacity, metrics, "plan_cache_hits",
+                         "plan_cache_misses")
+
+    def key(self, sql: str, catalog, config) -> tuple:
+        return (normalize_sql(sql), catalog.version, config.magic_filters)
+
+
+class ResultCache(_LRUCache):
+    """Final-relation cache: any catalog mutation invalidates via the key.
+
+    The config enters the key through its ``repr`` — the frozen dataclass
+    renders every knob, and two configs answer identically exactly when
+    all knobs match (kernels on/off etc. are bit-exact by contract, but
+    e.g. ``max_iterations`` is not).
+    """
+
+    def __init__(self, capacity: int = 256, metrics=None):
+        super().__init__(capacity, metrics, "result_cache_hits",
+                         "result_cache_misses")
+
+    def key(self, sql: str, catalog, config) -> tuple:
+        return (normalize_sql(sql), catalog.version, catalog.data_version,
+                repr(config))

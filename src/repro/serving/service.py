@@ -1,0 +1,399 @@
+"""The multi-tenant query service: many in-flight requests, one cluster.
+
+:class:`QueryService` turns a :class:`repro.core.context.RaSQLContext`
+into a served endpoint.  Clients (named :class:`~repro.serving.session.
+Session` objects) *submit* work — SQL statements, reads of served
+incremental views, base-table inserts — and get a :class:`QueryFuture`
+back immediately; a cooperative driver later executes the backlog and
+resolves the futures.
+
+Scheduling model
+----------------
+
+Real Spark SQL servers (the Thrift server, Livy) multiplex sessions over
+one SparkContext with a fair/FIFO scheduler.  Here the cluster is
+*simulated* — one global clock, one metrics registry — so a preemptive
+thread pool would race on shared simulated state and destroy the
+bit-exact determinism every differential suite in this repo relies on.
+The driver is therefore **cooperative**: requests interleave at request
+granularity, and the interleaving is chosen by a seeded scheduler, so
+
+- ``scheduler="fifo"`` replays submissions in order;
+- ``scheduler="seeded"`` picks uniformly (``random.Random(seed)``) among
+  the *dispatchable* requests, modeling concurrent clients racing to
+  the driver — deterministically reproducible from the seed.
+
+Admission is decoupled from execution: the governor ticket is acquired
+at **submit** time (so a burst fills slots, queues FIFO, and rejects
+beyond capacity exactly as :class:`repro.core.governor.QueryGovernor`
+specifies), but a request only becomes dispatchable once its ticket
+holds a slot (``ticket.waiting`` is ``False`` — promotions happen as
+earlier requests release).  Tickets are released on *every* completion
+path: success, analysis errors, deadline aborts, memory overflows.
+
+Caching
+-------
+
+SQL statements pass through the shared :class:`~repro.serving.cache.
+PlanCache` (normalized text + catalog schema epoch) and
+:class:`~repro.serving.cache.ResultCache` (… + data epoch + config);
+served views memoize their final SELECT between inserts.  An insert
+submitted through the service appends to the session catalog (bumping
+``Catalog.data_version``, which invalidates result-cache entries by
+key) and fans out to every served view reading that table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.context import _query_label
+from repro.core.streaming import IncrementalView
+from repro.engine.serialization import rows_size
+from repro.errors import AdmissionRejectedError, AnalysisError, RaSQLError
+from repro.relation import Relation
+from repro.serving.cache import PlanCache, ResultCache
+from repro.serving.session import Session
+from repro.serving.views import ServedView
+
+
+@dataclass
+class QueryFuture:
+    """Handle to one submitted request; resolved by the driver.
+
+    ``submitted_at`` / ``finished_at`` are simulated-clock readings, so
+    :attr:`latency_s` is deterministic end-to-end simulated latency —
+    admission queue charge included (the clock advances under the
+    ``admission-wait`` label during submit for queued tickets).
+    """
+
+    request_id: int
+    session: str
+    kind: str  # "sql" | "view_read" | "insert"
+    label: str
+    submitted_at: float
+    started_at: float | None = None
+    finished_at: float | None = None
+    value: object | None = None
+    error: Exception | None = None
+    done: bool = False
+    #: Where the answer came from: "executed", "result_cache",
+    #: "view_snapshot", "view_evaluated", "applied", or "rejected".
+    source: str | None = None
+    queued: bool = False
+
+    def result(self):
+        """The request's value; re-raises its error; refuses if pending."""
+        if not self.done:
+            raise RuntimeError(
+                f"request #{self.request_id} ({self.label!r}) is still "
+                f"pending — drain() or step() the service first")
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    @property
+    def ok(self) -> bool:
+        return self.done and self.error is None
+
+    @property
+    def latency_s(self) -> float:
+        if self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.submitted_at
+
+
+@dataclass
+class _Request:
+    future: QueryFuture
+    session: Session
+    ticket: object  # AdmissionTicket
+    sql: str | None = None
+    config: object | None = None
+    view_name: str | None = None
+    table: str | None = None
+    rows: list = field(default_factory=list)
+
+
+class QueryService:
+    """A served, cached, admission-controlled front end to one context."""
+
+    def __init__(self, ctx, scheduler: str = "seeded", seed: int = 0,
+                 service_overhead_s: float = 0.0005,
+                 plan_cache_size: int = 128, result_cache_size: int = 256):
+        if scheduler not in ("fifo", "seeded"):
+            raise ValueError(
+                f"scheduler must be 'fifo' or 'seeded', got {scheduler!r}")
+        if service_overhead_s < 0:
+            raise ValueError("service_overhead_s must be >= 0")
+        self.ctx = ctx
+        self.scheduler = scheduler
+        self.seed = seed
+        self.service_overhead_s = service_overhead_s
+        self.metrics = ctx.metrics
+        self.plan_cache = PlanCache(plan_cache_size, metrics=self.metrics)
+        self.result_cache = ResultCache(result_cache_size,
+                                        metrics=self.metrics)
+        self._rng = random.Random(seed)
+        self._sessions: dict[str, Session] = {}
+        self._views: dict[str, ServedView] = {}
+        self._pending: list[_Request] = []
+        self._completed: list[QueryFuture] = []
+        self._next_request_id = 1
+        #: Execution order of completed requests (request ids), which the
+        #: interleaving differential replays serially.
+        self.execution_order: list[int] = []
+
+    # ------------------------------------------------------------------
+    # sessions and views
+    # ------------------------------------------------------------------
+
+    def session(self, name: str) -> Session:
+        """The named session, created on first use."""
+        if name not in self._sessions:
+            self._sessions[name] = Session(self, name)
+        return self._sessions[name]
+
+    def create_view(self, name: str, sql: str) -> ServedView:
+        """Materialize a served incremental view under ``name``.
+
+        DDL runs synchronously (the initial fixpoint executes now), under
+        a governor ticket so its memory reservation is accounted like any
+        query's.
+        """
+        key = name.lower()
+        if key in self._views:
+            raise AnalysisError(f"view {name!r} is already served")
+        ticket = self.ctx.governor.admit(
+            f"create view {name}", self.ctx._estimate_query_bytes(sql))
+        try:
+            view = IncrementalView(self.ctx, sql)
+        finally:
+            self.ctx.governor.release(ticket)
+        served = ServedView(name, view)
+        self._views[key] = served
+        self.metrics.inc("serving_views_created")
+        return served
+
+    def view(self, name: str) -> ServedView:
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise AnalysisError(
+                f"no served view {name!r} (serving: "
+                f"{sorted(v.name for v in self._views.values())})") from None
+
+    # ------------------------------------------------------------------
+    # submission (tickets acquired here)
+    # ------------------------------------------------------------------
+
+    def submit(self, session: Session, sql: str, config=None) -> QueryFuture:
+        """Submit a SQL statement; returns immediately with a future."""
+        future = self._new_future(session, "sql", _query_label(sql))
+        session.counters.inc("sql_queries")
+        estimate = self.ctx._estimate_query_bytes(sql)
+        request = self._admit(future, session, estimate)
+        if request is not None:
+            request.sql = sql
+            request.config = config
+        return future
+
+    def submit_view_read(self, session: Session,
+                         view_name: str) -> QueryFuture:
+        """Submit a read of a served view (cheap: state is resident)."""
+        served = self.view(view_name)  # raises for unknown views
+        future = self._new_future(session, "view_read",
+                                  f"read view {served.name}")
+        session.counters.inc("view_reads")
+        request = self._admit(future, session, estimated_bytes=0)
+        if request is not None:
+            request.view_name = served.name
+        return future
+
+    def submit_insert(self, session: Session, table: str,
+                      rows: Iterable[Sequence]) -> QueryFuture:
+        """Submit a base-table insert; maintains every affected view."""
+        rows = [tuple(r) for r in rows]
+        future = self._new_future(session, "insert",
+                                  f"insert {len(rows)} rows into {table}")
+        session.counters.inc("inserts")
+        request = self._admit(future, session, rows_size(rows))
+        if request is not None:
+            request.table = table
+            request.rows = rows
+        return future
+
+    def _new_future(self, session: Session, kind: str,
+                    label: str) -> QueryFuture:
+        future = QueryFuture(request_id=self._next_request_id,
+                             session=session.name, kind=kind, label=label,
+                             submitted_at=self.metrics.sim_time)
+        self._next_request_id += 1
+        session.counters.inc("submitted")
+        self.metrics.inc("serving_requests")
+        return future
+
+    def _admit(self, future: QueryFuture, session: Session,
+               estimated_bytes: int) -> _Request | None:
+        """Acquire the governor ticket; on rejection fail the future now."""
+        try:
+            ticket = self.ctx.governor.admit(
+                f"{session.name}: {future.label}", estimated_bytes)
+        except AdmissionRejectedError as exc:
+            session.counters.inc("rejected")
+            self.metrics.inc("serving_rejected")
+            self._finish(future, session, error=exc, source="rejected")
+            return None
+        future.queued = ticket.queued
+        request = _Request(future=future, session=session, ticket=ticket)
+        self._pending.append(request)
+        return request
+
+    # ------------------------------------------------------------------
+    # the cooperative driver
+    # ------------------------------------------------------------------
+
+    def step(self) -> QueryFuture | None:
+        """Execute one dispatchable request; ``None`` when idle.
+
+        Only requests whose tickets hold admission slots are eligible
+        (queued tickets become eligible when promotion flips them off
+        ``waiting``); among those the configured scheduler picks next.
+        """
+        ready = [r for r in self._pending if not r.ticket.waiting]
+        if not ready:
+            if self._pending:
+                raise RuntimeError(
+                    "serving backlog is stuck: every pending ticket is "
+                    "still queued (governor promotion failed to run?)")
+            return None
+        if self.scheduler == "fifo":
+            request = ready[0]
+        else:
+            request = self._rng.choice(ready)
+        self._pending.remove(request)
+        return self._execute(request)
+
+    def drain(self) -> list[QueryFuture]:
+        """Run the backlog to empty; returns the futures in finish order."""
+        finished = []
+        while True:
+            future = self.step()
+            if future is None:
+                return finished
+            finished.append(future)
+
+    # ------------------------------------------------------------------
+    # execution paths (tickets released here, on every path)
+    # ------------------------------------------------------------------
+
+    def _execute(self, request: _Request) -> QueryFuture:
+        future = request.future
+        future.started_at = self.metrics.sim_time
+        if self.service_overhead_s:
+            self.metrics.advance(self.service_overhead_s,
+                                 label="serving-overhead")
+        self.execution_order.append(future.request_id)
+        try:
+            if future.kind == "sql":
+                value, source = self._run_sql_request(request)
+            elif future.kind == "view_read":
+                value, source = self._run_view_read(request)
+            else:
+                value, source = self._run_insert(request)
+        except RaSQLError as exc:
+            self._finish(future, request.session, error=exc, source="error")
+        else:
+            self._finish(future, request.session, value=value, source=source)
+        finally:
+            # The one place tickets die: success, analysis errors,
+            # deadline aborts, memory overflows all pass through here.
+            self.ctx.governor.release(request.ticket)
+        return future
+
+    def _run_sql_request(self, request: _Request) -> tuple[Relation, str]:
+        session, sql = request.session, request.sql
+        config = request.config or self.ctx.config
+        catalog = self.ctx.catalog
+        result_key = self.result_cache.key(sql, catalog, config)
+        found, cached = self.result_cache.lookup(result_key)
+        if found:
+            session.counters.inc("result_cache_hits")
+            return cached, "result_cache"
+
+        plan_key = self.plan_cache.key(sql, catalog, config)
+        plan_found, analyzed = self.plan_cache.lookup(plan_key)
+        if plan_found:
+            session.counters.inc("plan_cache_hits")
+        else:
+            analyzed = self.ctx.analyze_query(sql, config)
+            self.plan_cache.store(plan_key, analyzed)
+
+        ticket = request.ticket
+        admission = {"queued": ticket.queued, "wait_s": ticket.wait_s,
+                     "reserved_bytes": ticket.reserved_bytes,
+                     "session": session.name}
+        result = self.ctx.execute_admitted(
+            sql, config, label=request.future.label, analyzed=analyzed,
+            admission=admission)
+        self.result_cache.store(result_key, result)
+        return result, "executed"
+
+    def _run_view_read(self, request: _Request) -> tuple[Relation, str]:
+        served = self.view(request.view_name)
+        hits_before = served.snapshot_hits
+        relation = served.read()
+        self.metrics.inc("serving_view_reads")
+        if served.snapshot_hits > hits_before:
+            self.metrics.inc("serving_view_snapshot_hits")
+            request.session.counters.inc("view_snapshot_hits")
+            return relation, "view_snapshot"
+        return relation, "view_evaluated"
+
+    def _run_insert(self, request: _Request) -> tuple[int, str]:
+        table, rows = request.table, request.rows
+        # Catalog first: append_rows validates the schema and bumps
+        # data_version, which retires every result-cache entry by key.
+        appended = self.ctx.catalog.append_rows(table, rows)
+        self.metrics.inc("serving_inserts")
+        self.metrics.inc("serving_rows_inserted", appended)
+        if appended:
+            key = table.lower()
+            for served in self._views.values():
+                if key in served.tables:
+                    served.maintain(table, rows)
+        return appended, "applied"
+
+    def _finish(self, future: QueryFuture, session: Session, value=None,
+                error=None, source=None) -> None:
+        future.value = value
+        future.error = error
+        future.source = source
+        future.finished_at = self.metrics.sim_time
+        future.done = True
+        self._completed.append(future)
+        session.counters.inc("failed" if error is not None else "completed")
+        session.counters.inc("latency_s", future.latency_s)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    @property
+    def completed(self) -> list[QueryFuture]:
+        return list(self._completed)
+
+    def report(self) -> dict:
+        """Service-wide gauges: governor, caches, views, sessions."""
+        return {
+            "pending": len(self._pending),
+            "completed": len(self._completed),
+            "governor": self.ctx.governor.report(),
+            "plan_cache": self.plan_cache.report(),
+            "result_cache": self.result_cache.report(),
+            "views": {v.name: v.report() for v in self._views.values()},
+            "sessions": {name: session.report()
+                         for name, session in sorted(self._sessions.items())},
+        }

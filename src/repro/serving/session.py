@@ -1,0 +1,46 @@
+"""Named client sessions of the query service.
+
+A session is the unit of tenancy: every request enters the service
+tagged with one, its traffic lands in the shared
+:class:`repro.engine.metrics.MetricsRegistry` under the
+``session.<name>.`` prefix (via :meth:`MetricsRegistry.scoped`), and the
+convenience methods here are just sugar over the service's submit API.
+
+Counters maintained per session (all lazily created):
+
+- ``submitted`` / ``completed`` / ``failed`` / ``rejected``
+- ``sql_queries`` / ``view_reads`` / ``inserts``
+- ``result_cache_hits`` / ``plan_cache_hits`` — this tenant's share of
+  the shared caches' traffic
+- ``latency_s`` — summed simulated end-to-end latency, so
+  ``latency_s / completed`` is the tenant's mean
+"""
+
+from __future__ import annotations
+
+
+class Session:
+    """One named client of a :class:`repro.serving.QueryService`."""
+
+    def __init__(self, service, name: str):
+        self.service = service
+        self.name = name
+        self.counters = service.ctx.metrics.scoped(f"session.{name}")
+
+    # Sugar over the service API; all return QueryFutures.
+
+    def sql(self, query: str, config=None):
+        return self.service.submit(self, query, config=config)
+
+    def read_view(self, view_name: str):
+        return self.service.submit_view_read(self, view_name)
+
+    def insert(self, table: str, rows):
+        return self.service.submit_insert(self, table, rows)
+
+    def report(self) -> dict:
+        """This session's counters, prefix stripped."""
+        return self.counters.snapshot()
+
+    def __repr__(self) -> str:
+        return f"Session({self.name!r})"

@@ -75,6 +75,87 @@ class TestAdmission:
         assert ticket.queued
 
 
+class TestFIFORelease:
+    """Release must dequeue waiters into freed slots, FIFO, re-checking
+    the memory cap — the burst-then-drain accounting regression."""
+
+    def test_burst_then_drain_keeps_occupancy_consistent(self):
+        metrics = MetricsRegistry()
+        governor = QueryGovernor(max_concurrent=2, max_queue=3,
+                                 metrics=metrics)
+        slotted = [governor.admit(f"q{i}") for i in range(2)]
+        queued = [governor.admit(f"q{i}") for i in range(2, 5)]
+        assert governor.report()["active"] == 2
+        assert governor.report()["waiting"] == 3
+        assert all(t.waiting for t in queued)
+
+        # Releasing a slot promotes exactly the queue head, FIFO.
+        governor.release(slotted[0])
+        assert governor.report()["active"] == 2
+        assert governor.report()["waiting"] == 2
+        assert not queued[0].waiting and queued[0].queued
+        assert queued[1].waiting and queued[2].waiting
+        assert metrics.get("queries_promoted") == 1
+
+        # Draining everything leaves no phantom occupancy behind.
+        for ticket in slotted[1:] + queued:
+            governor.release(ticket)
+        assert governor.report()["active"] == 0
+        assert governor.report()["waiting"] == 0
+        assert governor.reserved_bytes == 0
+        assert metrics.get("queries_promoted") == 3
+        # A fresh admit gets a real slot, not a stale queue position.
+        assert not governor.admit("fresh").queued
+
+    def test_promotion_is_fifo_not_lifo(self):
+        governor = QueryGovernor(max_concurrent=1, max_queue=3)
+        first = governor.admit("first")
+        a = governor.admit("a")
+        b = governor.admit("b")
+        governor.release(first)
+        assert not a.waiting
+        assert b.waiting
+
+    def test_release_of_waiting_ticket_dequeues_it(self):
+        governor = QueryGovernor(max_concurrent=1, max_queue=2)
+        holder = governor.admit("holder")
+        waiter = governor.admit("waiter")
+        other = governor.admit("other")
+        governor.release(waiter)  # gave up while queued
+        assert governor.report()["waiting"] == 1
+        governor.release(holder)
+        assert not other.waiting  # promoted past the abandoned waiter
+        assert governor.report()["active"] == 1
+
+    def test_promotion_rechecks_memory_cap(self):
+        governor = QueryGovernor(max_concurrent=2, max_queue=2,
+                                 max_reserved_bytes=1000)
+        big = governor.admit("big", estimated_bytes=600)
+        other = governor.admit("other", estimated_bytes=100)
+        heavy = governor.admit("heavy", estimated_bytes=300)  # queued
+        assert heavy.waiting
+        # Freeing the small slot is not enough: 600 + 300 fits, promote.
+        governor.release(other)
+        assert not heavy.waiting
+        governor.release(big)
+        governor.release(heavy)
+        assert governor.reserved_bytes == 0
+
+    def test_promotion_blocked_by_memory_keeps_fifo_order(self):
+        governor = QueryGovernor(max_concurrent=2, max_queue=2,
+                                 max_reserved_bytes=1000,
+                                 queue_wait_s=0)
+        a = governor.admit("a", estimated_bytes=500)
+        b = governor.admit("b", estimated_bytes=400)
+        c = governor.admit("c", estimated_bytes=90)  # queued behind slots
+        governor.release(b)
+        # 500 + 90 = 590 fits: head promoted even after a memory re-check.
+        assert not c.waiting
+        governor.release(a)
+        governor.release(c)
+        assert governor.report()["active"] == 0
+
+
 class TestValidation:
     @pytest.mark.parametrize("kwargs", [
         {"max_concurrent": 0},

@@ -114,6 +114,54 @@ class TestOtherSemantics:
         assert {(2, 3), (3, 2)} <= set(view.result().rows)
 
 
+class TestResultMemoization:
+    """result() runs the final SELECT once per view state, not per call."""
+
+    def view(self):
+        return make_view(get_query("sssp").formatted(source=1),
+                         {"edge": (["Src", "Dst", "Cost"],
+                                   [(1, 2, 4.0), (2, 3, 2.0)])})
+
+    def test_repeated_reads_do_no_executor_work(self):
+        view = self.view()
+        first = view.result()
+        second = view.result()
+        assert view.result_evaluations == 1
+        # Same snapshot object: concurrent readers between inserts all
+        # observe one consistent relation.
+        assert second is first
+
+    def test_insert_invalidates_the_snapshot(self):
+        view = self.view()
+        view.result()
+        view.insert("edge", [(1, 3, 1.0)])
+        updated = view.result()
+        assert view.result_evaluations == 2
+        assert updated.to_dict() == serial.sssp(
+            [(1, 2, 4.0), (2, 3, 2.0), (1, 3, 1.0)], 1)
+
+    def test_noop_repair_still_invalidates(self):
+        # The repair derives nothing (disconnected edge, 0 iterations)
+        # but the base table changed, so the memo must still drop: the
+        # final stratum could in principle scan the base table directly.
+        view = self.view()
+        view.result()
+        assert view.insert("edge", [(50, 51, 1.0)]) == 0
+        view.result()
+        assert view.result_evaluations == 2
+
+    def test_rejected_insert_keeps_the_snapshot(self):
+        view = self.view()
+        first = view.result()
+        with pytest.raises(AnalysisError):
+            view.insert("edge", [(1, 2)])  # schema mismatch
+        with pytest.raises(AnalysisError):
+            view.insert("nodes", [(1,)])   # not read by the view
+        assert view.insert("edge", []) == 0
+        assert view.result() is first
+        assert view.result_evaluations == 1
+
+
 class TestRestrictions:
     def test_requires_single_clique(self):
         ctx = RaSQLContext(num_workers=2)

@@ -103,16 +103,21 @@ def test_bit_exact_under_sort_merge_strategy(query_name):
 # 3. kernel counters are observable where the kernels engage
 # ----------------------------------------------------------------------
 
+#: The counter tests run on tiny canonical graphs, below the size gate's
+#: default threshold: disable the gate so the kernels actually dispatch.
+UNGATED = ExecutionConfig(kernel_min_rows=0)
+
+
 @pytest.mark.timeout(120)
 def test_adaptive_join_counters_fire_on_sssp():
-    _, ctx = run_query("sssp", SEEDS[0])
+    _, ctx = run_query("sssp", SEEDS[0], config=UNGATED)
     summary = ctx.last_run.kernels_summary()
     assert summary["adaptive_join_hash"] > 0
 
 
 @pytest.mark.timeout(120)
 def test_state_cache_counters_fire_on_company_control():
-    _, ctx = run_query("company_control", SEEDS[0])
+    _, ctx = run_query("company_control", SEEDS[0], config=UNGATED)
     summary = ctx.last_run.kernels_summary()
     assert (summary["kernel_state_cache_hits"]
             + summary["kernel_state_cache_updates"]) > 0
@@ -120,7 +125,7 @@ def test_state_cache_counters_fire_on_company_control():
 
 @pytest.mark.timeout(120)
 def test_grouped_fixpoint_kernel_engages_on_tc():
-    _, ctx = run_query("tc", SEEDS[0])
+    _, ctx = run_query("tc", SEEDS[0], config=UNGATED)
     summary = ctx.last_run.kernels_summary()
     assert summary["kernel_grouped_fixpoint_stages"] > 0
     # ... and never off the kernel path.
@@ -129,10 +134,53 @@ def test_grouped_fixpoint_kernel_engages_on_tc():
     assert reference_summary["kernel_grouped_fixpoint_stages"] == 0
 
 
+# ----------------------------------------------------------------------
+# 4. the small-input dispatch gate (ExecutionConfig.kernel_min_rows)
+# ----------------------------------------------------------------------
+
+@pytest.mark.timeout(120)
+def test_small_input_gate_routes_through_reference_loops():
+    # 60 edges < the default 256-row threshold: the gate engages and no
+    # kernel machinery runs, even though kernels are on in the config.
+    _, ctx = run_query("sssp", SEEDS[0])
+    summary = ctx.last_run.kernels_summary()
+    assert summary["kernel_small_input_gate"] == 1
+    assert summary["adaptive_join_hash"] == 0
+    assert summary["kernel_state_cache_hits"] == 0
+    assert summary["kernel_state_cache_misses"] == 0
+
+
+@pytest.mark.timeout(120)
+def test_small_input_gate_is_bit_exact_with_ungated_kernels():
+    for query_name in ("sssp", "tc", "company_control", "bom"):
+        gated_rows, gated_ctx = run_query(query_name, SEEDS[0])
+        ungated_rows, ungated_ctx = run_query(query_name, SEEDS[0],
+                                              config=UNGATED)
+        assert gated_rows == ungated_rows
+        assert (gated_ctx.last_run.iterations
+                == ungated_ctx.last_run.iterations)
+
+
+@pytest.mark.timeout(120)
+def test_gate_does_not_engage_above_threshold():
+    ctx = RaSQLContext(num_workers=NUM_WORKERS)
+    ctx.register_table("edge", ["Src", "Dst"],
+                       random_graph(60, 300, seed=SEEDS[0]))
+    _, make_query = QUERY_SETUPS["tc"]
+    ctx.sql(make_query())
+    assert ctx.last_run.kernels_summary()["kernel_small_input_gate"] == 0
+
+
+@pytest.mark.timeout(120)
+def test_gate_threshold_validated():
+    with pytest.raises(ValueError, match="kernel_min_rows"):
+        ExecutionConfig(kernel_min_rows=-1)
+
+
 @pytest.mark.timeout(120)
 def test_explain_analyze_reports_kernels_section():
     _, make_query = QUERY_SETUPS["company_control"]
-    ctx = RaSQLContext(num_workers=NUM_WORKERS)
+    ctx = RaSQLContext(num_workers=NUM_WORKERS, config=UNGATED)
     for name, (columns, rows) in tables_for("company_control",
                                             SEEDS[0]).items():
         ctx.register_table(name, columns, rows)
