@@ -209,11 +209,147 @@ def run_workload_command(argv: list[str]) -> int:
     return 0
 
 
+def _compile_parser(mode: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro {mode}",
+        description=("Lower a RaSQL query to standard WITH RECURSIVE SQL"
+                     if mode == "compile" else
+                     "Run a RaSQL query on the engine AND on an external "
+                     "SQL backend, then diff the results row-for-row."))
+    parser.add_argument("query", nargs="?",
+                        help="path to a .sql file, '-' for stdin, or omit "
+                             "when using -q / --library")
+    parser.add_argument("-q", "--query-text", help="inline query text")
+    parser.add_argument("--library", metavar="NAME",
+                        help="use a library query by name (see "
+                             "repro.queries.library); its base tables are "
+                             "registered empty unless --table supplies data")
+    parser.add_argument("--source", type=int, default=0,
+                        help="value for the {source} parameter of "
+                             "sssp/reach/count_paths (default 0)")
+    parser.add_argument("--table", action="append", default=[],
+                        metavar="NAME=PATH",
+                        help="register a base table from a CSV or edge-list "
+                             "file (repeatable)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="simulated worker count (default 4)")
+    parser.add_argument("--no-magic-filters", action="store_true",
+                        help="disable magic-filter pushdown before lowering "
+                             "(the one config knob that changes the "
+                             "analyzed plan)")
+    if mode == "compile":
+        parser.add_argument("--dialect", default="sqlite",
+                            choices=["sqlite", "duckdb", "bigquery"],
+                            help="target dialect (bigquery is emit-only)")
+        parser.add_argument("--depth-bound", type=int, default=None,
+                            metavar="N",
+                            help="derivation-depth guard for aggregate twin "
+                                 "CTEs (default 64; `diff` instead derives "
+                                 "it from the engine's iteration count)")
+    else:
+        parser.add_argument("--backend", default="sqlite",
+                            choices=["sqlite", "duckdb"],
+                            help="executing oracle backend (default sqlite; "
+                                 "duckdb requires the optional package)")
+        parser.add_argument("--no-kernels", action="store_true",
+                            help="run the engine side through the reference "
+                                 "loops instead of the specialized kernels")
+        parser.add_argument("--show-sql", action="store_true",
+                            help="print the emitted SQL even when the "
+                                 "results match")
+    return parser
+
+
+def run_compile_command(argv: list[str], mode: str) -> int:
+    """``python -m repro compile`` / ``python -m repro diff``.
+
+    Exit codes for ``diff``: 0 results match, 1 divergence (or twin
+    depth bound failed to converge), 2 the query has no standard
+    WITH RECURSIVE form (mutual recursion, non-linear accumulators).
+    """
+    args = _compile_parser(mode).parse_args(argv)
+
+    from repro.compile import compile_sql, diff_query, get_dialect
+    from repro.compile.backends import make_backend
+    from repro.errors import InexpressibleQueryError, RaSQLError
+
+    if args.library:
+        from repro.queries.library import get_query
+
+        try:
+            spec = get_query(args.library)
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc}")
+        query = (spec.formatted(source=args.source)
+                 if "{source}" in spec.sql else spec.sql)
+    else:
+        query = read_query(args)
+
+    config = ExecutionConfig(
+        magic_filters=not args.no_magic_filters,
+        kernels=not getattr(args, "no_kernels", False))
+    ctx = RaSQLContext(num_workers=args.workers, config=config)
+    provided = set()
+    for table_spec in args.table:
+        name, _, path = table_spec.partition("=")
+        if not path:
+            raise SystemExit(f"error: --table expects NAME=PATH, "
+                             f"got {table_spec!r}")
+        relation = load_table(path, name)
+        ctx.register_table(name, relation.columns, relation.rows)
+        provided.add(name.lower())
+    if args.library:
+        from repro.queries.library import get_query
+
+        for name, columns in get_query(args.library).tables.items():
+            if name.lower() not in provided:
+                ctx.register_table(name, columns, [])
+
+    try:
+        if mode == "compile":
+            compile_kwargs = {"dialect": get_dialect(args.dialect),
+                              "config": config}
+            if args.depth_bound is not None:
+                compile_kwargs["depth_bound"] = args.depth_bound
+            compiled = compile_sql(ctx, query, **compile_kwargs)
+            print(f"-- dialect: {compiled.dialect.name}")
+            print(f"-- columns: {', '.join(compiled.columns)}")
+            for view, twin, kind in compiled.twins:
+                print(f"-- twin: {view} -> {twin} ({kind}, depth bound "
+                      f"{compiled.depth_bound})")
+            for note in compiled.notes:
+                print(f"-- note: {note}")
+            print(compiled.sql)
+            return 0
+
+        try:
+            backend = make_backend(args.backend)
+        except RuntimeError as exc:
+            raise SystemExit(f"error: {exc}")
+        with backend:
+            report = diff_query(ctx, query, backend=backend,
+                                dialect=get_dialect(args.backend),
+                                config=config,
+                                label=args.library or "query")
+        print(report.summary())
+        if args.show_sql and report.equal:
+            print(report.sql)
+        return 0 if report.equal and report.converged is not False else 1
+    except InexpressibleQueryError as exc:
+        print(f"inexpressible ({exc.reason}): {exc}", file=sys.stderr)
+        return 2
+    except RaSQLError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] in ("workload", "serve"):
         return run_workload_command(argv[1:])
+    if argv and argv[0] in ("compile", "diff"):
+        return run_compile_command(argv[1:], argv[0])
     args = build_parser().parse_args(argv)
     query = read_query(args)
 

@@ -1,0 +1,63 @@
+"""Cross-engine compilation: lower analyzed RaSQL plans to standard SQL.
+
+RaSQL's aggregates-in-recursion extension is, by the PreM property
+(Section 3), *semantically* plain SQL: whenever the aggregate is
+pre-mappable to the recursive rules, the query has an equivalent vanilla
+``WITH RECURSIVE`` form — recurse over the un-aggregated twin relation,
+apply the aggregate in an outer query.  This package performs exactly
+that lowering and turns it into a permanent differential oracle:
+
+- :mod:`repro.compile.dialect` — target-dialect descriptors
+  (sqlite / duckdb / bigquery: quoting, count normalization).
+- :mod:`repro.compile.emitter` — ``compile_script``: analyzed plan
+  (the exact parse → analyze → optimize output ``PlanCache`` memoizes)
+  → ``WITH RECURSIVE`` SQL, including the PreM twin-form transformation
+  for aggregated recursive views.  Queries with no twin form (mutual
+  recursion, non-linear accumulators) raise
+  :class:`repro.errors.InexpressibleQueryError` with the reason.
+- :mod:`repro.compile.backends` — executing backends: ``sqlite3``
+  (stdlib, always available) and DuckDB (optional, auto-skipped when
+  the package is missing).  BigQuery is a string emitter only.
+- :mod:`repro.compile.canonical` — row canonicalization (numeric
+  affinity, NULL ordering, multiset semantics) so results from foreign
+  engines diff row-for-row against engine relations.
+- :mod:`repro.compile.differential` — the harness: run a query on the
+  RaSQL engine and on an external backend, canonicalize, and report the
+  first divergence with the emitted SQL attached.
+
+Nothing in the engine's serving/execution fast path imports this
+package; it loads only for the ``compile``/``diff`` CLI subcommands,
+the differential test suite, and explicit API use
+(``tests/compile/test_fastpath.py`` pins that).
+"""
+
+from repro.compile.backends import DuckDBBackend, SQLiteBackend, duckdb_available
+from repro.compile.canonical import (
+    canonical_rows,
+    canonical_value,
+    match_columns,
+    multiset_diff,
+)
+from repro.compile.dialect import BIGQUERY, DUCKDB, SQLITE, Dialect, get_dialect
+from repro.compile.differential import DiffReport, diff_query
+from repro.compile.emitter import CompiledQuery, compile_script, compile_sql
+
+__all__ = [
+    "BIGQUERY",
+    "CompiledQuery",
+    "DUCKDB",
+    "DiffReport",
+    "Dialect",
+    "DuckDBBackend",
+    "SQLITE",
+    "SQLiteBackend",
+    "canonical_rows",
+    "canonical_value",
+    "compile_script",
+    "compile_sql",
+    "diff_query",
+    "duckdb_available",
+    "get_dialect",
+    "match_columns",
+    "multiset_diff",
+]

@@ -1,0 +1,164 @@
+"""Executing backends for the differential oracle.
+
+A backend owns one in-memory database: :meth:`load` mirrors a
+:class:`repro.core.catalog.Catalog`'s base tables into it, and
+:meth:`execute` runs emitted SQL, returning ``(columns, rows)``.
+
+- :class:`SQLiteBackend` — the stdlib ``sqlite3`` module, always
+  available; the default oracle on every CI run.
+- :class:`DuckDBBackend` — optional: ``duckdb`` is imported lazily and
+  :func:`duckdb_available` gates the tests, which *skip visibly* (never
+  silently pass) when the package is absent.  No install is attempted.
+
+Identifiers are always quoted on the DDL side, so catalog spellings —
+including reserved words like the ``shares`` table's ``By``/``Of``
+columns — round-trip exactly; emitted queries reference them unquoted
+where legal, which both engines resolve case-insensitively.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable
+
+from repro.core.catalog import Catalog
+from repro.relation import Relation
+
+
+def _quote(identifier: str) -> str:
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+class SQLiteBackend:
+    """The stdlib oracle: one fresh in-memory SQLite database."""
+
+    name = "sqlite"
+
+    def __init__(self):
+        self._connection = sqlite3.connect(":memory:")
+
+    def load(self, catalog: Catalog) -> None:
+        for table_name in catalog.names():
+            self.load_relation(catalog.get(table_name))
+
+    def load_relation(self, relation: Relation) -> None:
+        columns = ", ".join(_quote(c) for c in relation.columns)
+        self._connection.execute(
+            f"CREATE TABLE {_quote(relation.name)} ({columns})")
+        if relation.rows:
+            placeholders = ", ".join("?" * len(relation.columns))
+            self._connection.executemany(
+                f"INSERT INTO {_quote(relation.name)} "
+                f"VALUES ({placeholders})", relation.rows)
+        self._connection.commit()
+
+    def execute(self, sql: str) -> tuple[list[str], list[tuple]]:
+        cursor = self._connection.execute(sql)
+        columns = [d[0] for d in cursor.description or []]
+        return columns, cursor.fetchall()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def duckdb_available() -> bool:
+    """True when the optional ``duckdb`` package can be imported."""
+    try:
+        import duckdb  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _duckdb_column_type(values: Iterable[object]) -> str:
+    """Infer a DuckDB column type from the values present.
+
+    DuckDB columns are typed (unlike SQLite's affinity), so the loader
+    picks the narrowest type covering the data; empty or all-NULL
+    columns default to VARCHAR, which is irrelevant to results (no
+    value ever materializes from them).
+    """
+    saw_int = saw_float = saw_str = saw_bool = False
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            saw_bool = True
+        elif isinstance(value, int):
+            saw_int = True
+        elif isinstance(value, float):
+            saw_float = True
+        else:
+            saw_str = True
+    if saw_str:
+        return "VARCHAR"
+    if saw_float:
+        return "DOUBLE"
+    if saw_int:
+        return "BIGINT"
+    if saw_bool:
+        return "BOOLEAN"
+    return "VARCHAR"
+
+
+class DuckDBBackend:
+    """Optional second oracle; construct only if :func:`duckdb_available`."""
+
+    name = "duckdb"
+
+    def __init__(self):
+        import duckdb  # lazy: missing package must not break import
+
+        self._connection = duckdb.connect(":memory:")
+
+    def load(self, catalog: Catalog) -> None:
+        for table_name in catalog.names():
+            self.load_relation(catalog.get(table_name))
+
+    def load_relation(self, relation: Relation) -> None:
+        column_specs = []
+        for i, column in enumerate(relation.columns):
+            kind = _duckdb_column_type(row[i] for row in relation.rows)
+            column_specs.append(f"{_quote(column)} {kind}")
+        self._connection.execute(
+            f"CREATE TABLE {_quote(relation.name)} "
+            f"({', '.join(column_specs)})")
+        if relation.rows:
+            placeholders = ", ".join("?" * len(relation.columns))
+            self._connection.executemany(
+                f"INSERT INTO {_quote(relation.name)} "
+                f"VALUES ({placeholders})", relation.rows)
+
+    def execute(self, sql: str) -> tuple[list[str], list[tuple]]:
+        cursor = self._connection.execute(sql)
+        columns = [d[0] for d in cursor.description or []]
+        return columns, cursor.fetchall()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "DuckDBBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def make_backend(name: str):
+    """CLI helper: instantiate a backend by dialect name."""
+    if name == "sqlite":
+        return SQLiteBackend()
+    if name == "duckdb":
+        if not duckdb_available():
+            raise RuntimeError(
+                "the optional 'duckdb' package is not installed; "
+                "use --backend sqlite or install the extra")
+        return DuckDBBackend()
+    raise ValueError(f"no executing backend for dialect {name!r} "
+                     f"(bigquery is emit-only)")

@@ -1,0 +1,99 @@
+"""Row canonicalization for cross-engine result comparison.
+
+Different engines agree on query *semantics* but not on value
+*presentation*: SQLite reports ``sum(1.0 + 2.0)`` as REAL ``3.0`` where
+the engine's Python executor may hold int ``3``; booleans come back as
+``0``/``1``; row order is unspecified; duplicate rows matter (multiset
+semantics).  This module maps both sides into one canonical space so a
+diff only fires on genuine divergence:
+
+- booleans → ints (SQLite has no bool storage class),
+- floats → rounded to 9 decimal places, then demoted to int when
+  integral (REAL ``1.0`` ≡ ``1``),
+- rows → tuples, compared as a multiset (``collections.Counter``),
+- ordering for display → ``repr``-keyed sort, the same total order
+  :meth:`repro.relation.Relation.sorted` uses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+#: Float comparison granularity.  9 decimal places tolerates
+#: accumulation-order differences between engines while still catching
+#: any real numeric bug in the library workloads (integer-weighted
+#: graphs and one-decimal bonuses).
+FLOAT_DECIMALS = 9
+
+
+def canonical_value(value: object) -> object:
+    """Map one cell into the canonical comparison space."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        rounded = round(value, FLOAT_DECIMALS)
+        if rounded.is_integer():
+            return int(rounded)
+        return rounded
+    return value
+
+
+def canonical_rows(rows: Iterable[Sequence],
+                   projection: Sequence[int] | None = None) -> list[tuple]:
+    """Canonicalize *rows* into a repr-sorted list of tuples.
+
+    *projection*, when given, reorders each row's cells by index first
+    (the output of :func:`match_columns`), so a backend's column order
+    can be aligned with the engine schema before comparing.
+    """
+    out = []
+    for row in rows:
+        cells = tuple(row[i] for i in projection) if projection is not None \
+            else tuple(row)
+        out.append(tuple(canonical_value(cell) for cell in cells))
+    out.sort(key=repr)
+    return out
+
+
+def match_columns(expected: Sequence[str],
+                  actual: Sequence[str]) -> tuple[int, ...]:
+    """Index into *actual* for each *expected* column name.
+
+    Matching is case-insensitive, mirroring
+    :meth:`repro.relation.Schema.index_of`; duplicate names pair up
+    positionally (first expected duplicate takes the first actual one).
+    Raises :class:`KeyError` when a name is missing and
+    :class:`ValueError` on arity mismatch.
+    """
+    if len(expected) != len(actual):
+        raise ValueError(f"column count mismatch: expected {len(expected)} "
+                         f"({list(expected)}), got {len(actual)} "
+                         f"({list(actual)})")
+    pools: dict[str, list[int]] = {}
+    for i, name in enumerate(actual):
+        pools.setdefault(name.lower(), []).append(i)
+    projection = []
+    for name in expected:
+        pool = pools.get(name.lower())
+        if not pool:
+            raise KeyError(f"column {name!r} not found in {list(actual)}")
+        projection.append(pool.pop(0))
+    return tuple(projection)
+
+
+def multiset_diff(left: Iterable[tuple],
+                  right: Iterable[tuple]) -> tuple[list[tuple], list[tuple]]:
+    """Rows only in *left* and only in *right*, duplicate-aware.
+
+    Both inputs should already be canonical (:func:`canonical_rows`).
+    Returns ``(missing_from_right, missing_from_left)``, each repr-sorted
+    with one entry per excess occurrence.
+    """
+    left_counts = Counter(left)
+    right_counts = Counter(right)
+    only_left = list((left_counts - right_counts).elements())
+    only_right = list((right_counts - left_counts).elements())
+    only_left.sort(key=repr)
+    only_right.sort(key=repr)
+    return only_left, only_right

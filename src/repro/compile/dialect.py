@@ -1,0 +1,93 @@
+"""Target-dialect descriptors for the cross-engine emitter.
+
+A :class:`Dialect` captures the few points where standard
+``WITH RECURSIVE`` SQL differs between the engines we target:
+identifier quoting, and how a ``count()``-in-recursion contribution is
+normalized (the engine counts non-numeric contributions as one derived
+fact — see ``repro.engine.aggregates.COUNT.normalize``).
+
+Everything else the emitter produces — recursive CTEs with compound
+UNION bodies, CTE column lists, ``HAVING`` without ``GROUP BY`` — is
+SQL:99 shared by all three targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """One SQL target: how to quote and how to normalize count inputs.
+
+    ``quote_char`` wraps identifiers (doubled when embedded);
+    ``count_normalize_template`` receives the rendered contribution
+    expression as ``{expr}`` and must yield the engine's normalization:
+    numeric values pass through, anything else counts as ``1``.
+    """
+
+    name: str
+    quote_char: str = '"'
+    count_normalize_template: str = (
+        "CASE WHEN TYPEOF({expr}) IN ('integer', 'real') "
+        "THEN {expr} ELSE 1 END")
+    #: Documented deviations from engine semantics (surfaced in docs and
+    #: the CLI's ``compile`` output as a leading comment).
+    caveats: tuple[str, ...] = ()
+
+    def quote(self, identifier: str) -> str:
+        q = self.quote_char
+        return f"{q}{identifier.replace(q, q + q)}{q}"
+
+    def normalize_count(self, expr_sql: str) -> str:
+        return self.count_normalize_template.format(expr=expr_sql)
+
+
+SQLITE = Dialect(name="sqlite")
+
+# DuckDB has no per-value TYPEOF storage class (columns are typed), so
+# count normalization probes castability instead; numeric-looking
+# strings therefore normalize to their value rather than 1.  No library
+# query feeds strings to count() on this path (Party Attendance, the
+# one that does, is inexpressible for the independent reason of mutual
+# recursion).
+DUCKDB = Dialect(
+    name="duckdb",
+    count_normalize_template=(
+        "CASE WHEN TRY_CAST({expr} AS DOUBLE) IS NULL "
+        "THEN 1 ELSE {expr} END"),
+    caveats=(
+        "count() normalization uses TRY_CAST: numeric-looking strings "
+        "count as their value, not 1",
+    ),
+)
+
+# BigQuery Standard SQL: backtick quoting, SAFE_CAST probing.  This
+# dialect is snapshot-tested only — we never execute against a real
+# BigQuery project — so string-literal escaping keeps the '' doubling
+# of the shared renderer (a documented caveat; BigQuery itself prefers
+# backslash escapes).
+BIGQUERY = Dialect(
+    name="bigquery",
+    quote_char="`",
+    count_normalize_template=(
+        "CASE WHEN SAFE_CAST({expr} AS FLOAT64) IS NULL "
+        "THEN 1 ELSE {expr} END"),
+    caveats=(
+        "snapshot-only dialect: emitted text is never executed by the "
+        "test suite",
+        "string literals keep '' doubling; BigQuery prefers backslash "
+        "escapes",
+    ),
+)
+
+BY_NAME = {d.name: d for d in (SQLITE, DUCKDB, BIGQUERY)}
+
+
+def get_dialect(name: str) -> Dialect:
+    """Look up a dialect by name with a helpful error."""
+    try:
+        return BY_NAME[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown dialect {name!r}; "
+                       f"available: {sorted(BY_NAME)}") from None

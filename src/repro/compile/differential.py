@@ -1,0 +1,195 @@
+"""The differential harness: engine vs. independent SQL oracle.
+
+:func:`diff_query` runs a RaSQL script twice — natively on a
+:class:`repro.RaSQLContext` and, via :mod:`repro.compile.emitter`, as
+standard ``WITH RECURSIVE`` SQL on an external engine loaded with the
+same catalog — then compares the canonicalized results as multisets and
+reports the first divergence with the emitted SQL attached.
+
+Three independent checks stack up per query:
+
+1. **row diff** — the headline oracle: canonical multisets must match.
+2. **depth convergence** — aggregate twin CTEs are truncated at the
+   engine's iteration count plus a margin; the harness re-runs the twin
+   at ``bound + 1`` on the same backend and requires an identical
+   result, so the bound is verified rather than trusted.
+3. **PreM admissibility** — for min/max twins the rewrite is only sound
+   when the aggregate is pre-mappable; ``core.prem.check_prem``
+   validates that on the live data (skipped with a note where the
+   checker's single-clique preconditions don't apply, e.g. base rules
+   driven by derived views).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.compile.backends import SQLiteBackend
+from repro.compile.canonical import canonical_rows, multiset_diff
+from repro.compile.dialect import SQLITE, Dialect
+from repro.compile.emitter import compile_script
+from repro.errors import AnalysisError, RaSQLError
+
+#: Extra twin-CTE depth on top of the engine's observed iteration
+#: count.  Twin derivation depth can exceed the engine's *semi-naive*
+#: iteration count only through rule chaining inside one iteration,
+#: which the margin covers with room to spare; the convergence check
+#: (bound + 1) catches any case it would not.
+DEPTH_MARGIN = 8
+
+#: How many divergent rows to keep in the report.
+MAX_DIVERGENCES = 10
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one engine-vs-oracle comparison."""
+
+    label: str
+    backend: str
+    equal: bool
+    engine_rows: int
+    backend_rows: int
+    #: Canonical rows the backend is missing / has in excess
+    #: (duplicate-aware, truncated to :data:`MAX_DIVERGENCES`).
+    missing_in_backend: list = field(default_factory=list)
+    extra_in_backend: list = field(default_factory=list)
+    sql: str = ""
+    columns: tuple = ()
+    depth_bound: int | None = None
+    #: ``True``/``False`` when a twin was emitted, ``None`` otherwise.
+    converged: bool | None = None
+    #: "holds" / "violated: ..." / "skipped: ..." / "not-applicable".
+    prem: str = "not-applicable"
+    notes: tuple = ()
+
+    @property
+    def first_divergence(self) -> tuple | None:
+        if self.missing_in_backend:
+            return ("missing in backend", self.missing_in_backend[0])
+        if self.extra_in_backend:
+            return ("extra in backend", self.extra_in_backend[0])
+        return None
+
+    def summary(self) -> str:
+        """Human-readable verdict; on divergence, attaches the SQL."""
+        if self.equal and self.converged is not False:
+            parts = [f"{self.label}: OK on {self.backend} "
+                     f"({self.engine_rows} rows)"]
+            if self.depth_bound is not None:
+                parts.append(f"twin depth bound {self.depth_bound}, "
+                             f"converged")
+            if self.prem != "not-applicable":
+                parts.append(f"PreM {self.prem}")
+            return "; ".join(parts)
+        lines = [f"{self.label}: DIVERGED on {self.backend} "
+                 f"(engine {self.engine_rows} rows, "
+                 f"backend {self.backend_rows} rows)"]
+        if self.converged is False:
+            lines.append(f"  twin did not converge at depth bound "
+                         f"{self.depth_bound} (bound+1 changed the result)")
+        kind_rows = self.first_divergence
+        if kind_rows is not None:
+            kind, row = kind_rows
+            lines.append(f"  first divergence ({kind}): {row!r}")
+            lines.append(f"  missing: {len(self.missing_in_backend)} shown, "
+                         f"extra: {len(self.extra_in_backend)} shown")
+        lines.append("  emitted SQL:")
+        lines.extend("    " + line for line in self.sql.splitlines())
+        return "\n".join(lines)
+
+
+def catalog_tables(catalog) -> dict[str, tuple[list[str], list]]:
+    """The catalog in ``check_prem``'s ``tables`` format."""
+    return {name: (list(catalog.get(name).columns),
+                   list(catalog.get(name).rows))
+            for name in catalog.names()}
+
+
+def diff_query(ctx, sql: str, *, backend=None, dialect: Dialect = SQLITE,
+               config=None, label: str = "query",
+               depth_margin: int = DEPTH_MARGIN,
+               check_convergence: bool = True,
+               check_admissibility: bool = True) -> DiffReport:
+    """Run *sql* on the engine and on an external backend; compare.
+
+    Raises :class:`repro.errors.InexpressibleQueryError` when the plan
+    has no ``WITH RECURSIVE`` form — callers keep those on an explicit
+    list rather than swallowing them.  The default backend is a fresh
+    in-memory SQLite database, closed before returning; a caller-owned
+    *backend* must arrive **unloaded** and is left open.
+    """
+    engine_result = ctx.sql(sql, config)
+    iterations = ctx.last_run.iterations
+
+    # Re-analyze through the same front half PlanCache memoizes; the
+    # engine run above already validated the script, so this cannot
+    # fail for new reasons.
+    analyzed = ctx.analyze_query(sql, config)
+    depth_bound = max(iterations, 1) + depth_margin
+    compiled = compile_script(analyzed, dialect=dialect,
+                              depth_bound=depth_bound)
+
+    owned = backend is None
+    if owned:
+        backend = SQLiteBackend()
+    try:
+        backend.load(ctx.catalog)
+        columns, rows = backend.execute(compiled.sql)
+
+        engine_canonical = canonical_rows(engine_result.rows)
+        backend_canonical = canonical_rows(rows)
+        missing, extra = multiset_diff(engine_canonical, backend_canonical)
+
+        converged = None
+        if compiled.depth_bound is not None and check_convergence:
+            deeper = compile_script(analyzed, dialect=dialect,
+                                    depth_bound=depth_bound + 1)
+            _, deeper_rows = backend.execute(deeper.sql)
+            converged = (Counter(backend_canonical)
+                         == Counter(canonical_rows(deeper_rows)))
+
+        prem = "not-applicable"
+        if check_admissibility and any(kind == "set"
+                                       for _, _, kind in compiled.twins):
+            prem = _prem_verdict(sql, ctx.catalog, max_steps=depth_bound)
+
+        return DiffReport(
+            label=label,
+            backend=getattr(backend, "name", dialect.name),
+            equal=not missing and not extra,
+            engine_rows=len(engine_result.rows),
+            backend_rows=len(rows),
+            missing_in_backend=missing[:MAX_DIVERGENCES],
+            extra_in_backend=extra[:MAX_DIVERGENCES],
+            sql=compiled.sql,
+            columns=compiled.columns,
+            depth_bound=compiled.depth_bound,
+            converged=converged,
+            prem=prem,
+            notes=compiled.notes,
+        )
+    finally:
+        if owned:
+            backend.close()
+
+
+def _prem_verdict(sql: str, catalog, max_steps: int) -> str:
+    """Run ``core.prem.check_prem`` and fold the outcome to a string.
+
+    The checker has stricter preconditions than the emitter (exactly one
+    single-view aggregated clique whose base rules drive from catalog
+    tables); where they don't hold the verdict is ``skipped`` — the row
+    diff and convergence check still stand on their own.
+    """
+    from repro.core.prem import check_prem
+
+    try:
+        report = check_prem(sql, catalog_tables(catalog),
+                            max_steps=max_steps)
+    except (AnalysisError, RaSQLError) as exc:
+        return f"skipped: {exc}"
+    if report.holds:
+        return "holds"
+    return f"violated: {report}"

@@ -149,6 +149,27 @@ class NoHealthyWorkersError(ExecutionError):
     """Raised when worker loss would leave the cluster with no live worker."""
 
 
+class InexpressibleQueryError(RaSQLError):
+    """Raised by :mod:`repro.compile` when an analyzed plan has no
+    standard ``WITH RECURSIVE`` form.
+
+    The two structural causes (Section 3 discussion): mutual recursion —
+    a multi-view clique cannot be expressed as a chain of single-table
+    recursive CTEs — and aggregate twin forms whose accumulator
+    contribution is not homogeneous-linear in the recursive aggregate
+    column, so replaying the derivation bag outside the recursion would
+    double- or under-count.  ``view`` names the offending recursive view
+    and ``reason`` is a stable machine-checkable tag
+    (``"mutual-recursion"``, ``"non-linear-accumulator"``,
+    ``"non-linear-recursion"``, ...).
+    """
+
+    def __init__(self, message: str, view: str = "", reason: str = ""):
+        self.view = view
+        self.reason = reason
+        super().__init__(message)
+
+
 class PreMViolationError(RaSQLError):
     """Raised by the PreM auto-validation tool when a query fails the check.
 

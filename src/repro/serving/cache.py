@@ -24,19 +24,71 @@ registry: ``plan_cache_hits`` / ``plan_cache_misses`` /
 
 from __future__ import annotations
 
+import re
 from collections import OrderedDict
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def _segments(sql: str):
+    """Split *sql* into ``(is_literal, text)`` segments.
+
+    Literal segments are ``'...'`` strings and ``"..."`` quoted
+    identifiers, with doubled quotes (``''``) as the escape, matching the
+    parser's lexer.  An unterminated quote swallows the rest of the
+    statement as a literal — the parser will reject it anyway, and the
+    key must not mangle it into colliding with a valid statement.
+    """
+    i, start = 0, 0
+    while i < len(sql):
+        quote = sql[i]
+        if quote not in ("'", '"'):
+            i += 1
+            continue
+        if start < i:
+            yield False, sql[start:i]
+        end = i + 1
+        while end < len(sql):
+            if sql[end] == quote:
+                if end + 1 < len(sql) and sql[end + 1] == quote:
+                    end += 2  # doubled quote: escaped, still inside
+                    continue
+                end += 1
+                break
+            end += 1
+        else:
+            end = len(sql)
+        yield True, sql[i:end]
+        i = start = end
+    if start < len(sql):
+        yield False, sql[start:]
 
 
 def normalize_sql(sql: str) -> str:
     """Whitespace-insensitive cache key for a statement.
 
-    Collapses runs of whitespace and strips a trailing semicolon, so the
-    same query submitted with different indentation or line breaks hits
-    the same entry.  Deliberately *not* case-folded: string literals are
-    case-sensitive, and a lexer-level normalization is not worth the
-    marginal extra hit rate.
+    Collapses runs of whitespace and strips trailing semicolons —
+    *outside string literals and quoted identifiers only*, so
+    ``WHERE name = 'a  b'`` and ``WHERE name = 'a b'`` key differently
+    and a trailing ``';'`` inside a literal survives.  Deliberately
+    *not* case-folded: string literals are case-sensitive, and a
+    lexer-level normalization is not worth the marginal extra hit rate.
     """
-    return " ".join(sql.split()).rstrip(";").strip()
+    parts = []
+    for is_literal, text in _segments(sql):
+        parts.append(text if is_literal else _WHITESPACE.sub(" ", text))
+    # Strip trailing statement terminators (and the whitespace around
+    # them), walking only over non-literal tail segments.
+    while parts:
+        tail = parts[-1]
+        if tail.startswith(("'", '"')):
+            break  # literal segment: its content is part of the key
+        stripped = tail.rstrip("; \t\r\n")
+        if stripped:
+            parts[-1] = stripped
+            break
+        parts.pop()
+    return "".join(parts).strip()
 
 
 class _LRUCache:

@@ -156,9 +156,16 @@ class TestExpectedPerformanceShape:
         assert bigdatalog.sim_seconds > rasql.sim_seconds
 
     def test_sn_beats_naive(self):
-        tree = tree_tables(random_tree(height=5, seed=3, max_nodes=600))
+        # Large enough that semi-naive's advantage (~1.2x here) clears
+        # the measured-CPU jitter in the sim clock; at a 600-node tree
+        # the ~4% margin is inside the noise floor and flakes.
+        tree = tree_tables(random_tree(height=7, seed=3, max_nodes=2500))
         sn = SparkSQLSNSystem(num_workers=4).run(
             Workload("management", {"report": tree["report"]}))
         naive = SparkSQLNaiveSystem(num_workers=4).run(
             Workload("management", {"report": tree["report"]}))
         assert naive.sim_seconds > sn.sim_seconds
+        # The structural claim behind the clock, pinned deterministically:
+        # naive reships full totals every round, semi-naive only deltas.
+        assert (naive.metrics["shuffle_bytes"]
+                > 2 * sn.metrics["shuffle_bytes"])

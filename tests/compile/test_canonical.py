@@ -1,0 +1,164 @@
+"""Type-fidelity edge cases for the diff canonicalizer and backends.
+
+An oracle is only as good as its equality notion: every engine-specific
+presentation quirk that leaks through canonicalization is a false
+positive waiting to page someone.  Each quirk named in the issue is
+pinned here — NULLs, SQLite REAL ``1.0`` vs Python ``1``, empty base
+relations, duplicate-row multisets, case-insensitive column matching —
+as a unit test, independent of the full differential suite.
+"""
+
+import pytest
+
+from repro import RaSQLContext
+from repro.compile import (
+    SQLiteBackend,
+    canonical_rows,
+    canonical_value,
+    diff_query,
+    match_columns,
+    multiset_diff,
+)
+from repro.relation import Relation
+
+
+class TestCanonicalValue:
+    def test_integral_float_demotes_to_int(self):
+        # SQLite reports sum()/arithmetic results as REAL; the engine's
+        # Python executor keeps ints.  1.0 and 1 must compare equal.
+        assert canonical_value(1.0) == 1
+        assert isinstance(canonical_value(1.0), int)
+
+    def test_fractional_float_survives(self):
+        assert canonical_value(2.5) == 2.5
+
+    def test_rounding_bridges_accumulation_order(self):
+        # 0.1 + 0.2 != 0.3 bitwise; both canonicalize to 0.3.
+        assert canonical_value(0.1 + 0.2) == canonical_value(0.3)
+
+    def test_bool_becomes_int(self):
+        # SQLite has no boolean storage class; TRUE comes back as 1.
+        assert canonical_value(True) == 1
+        assert canonical_value(False) == 0
+        assert not isinstance(canonical_value(True), bool)
+
+    def test_null_and_strings_pass_through(self):
+        assert canonical_value(None) is None
+        assert canonical_value("a  b") == "a  b"
+
+
+class TestCanonicalRows:
+    def test_sorted_deterministically_with_nulls(self):
+        # repr-keyed sort gives NULLs a stable place on both sides —
+        # engines disagree on NULL ordering, canonical space must not.
+        rows = [(None, 2), (1, None), (1, 2)]
+        assert (canonical_rows(rows)
+                == canonical_rows(list(reversed(rows))))
+
+    def test_duplicates_are_preserved(self):
+        assert canonical_rows([(1,), (1,)]) == [(1,), (1,)]
+
+    def test_projection_reorders_columns(self):
+        assert canonical_rows([(1, "a")], projection=(1, 0)) == [("a", 1)]
+
+    def test_real_vs_int_rows_compare_equal(self):
+        assert canonical_rows([(1.0, 2.0)]) == canonical_rows([(1, 2)])
+
+
+class TestMatchColumns:
+    def test_case_insensitive_against_relation_schema(self):
+        relation = Relation("edge", ["Src", "Dst"], [(1, 2)])
+        assert match_columns(relation.columns, ["DST", "src"]) == (1, 0)
+
+    def test_duplicate_names_pair_positionally(self):
+        # The executor suffixes duplicates, but raw backend cursors may
+        # report ("Src", "Src"); duplicates must pair up 1:1.
+        assert match_columns(["Src", "Src"], ["src", "SRC"]) == (0, 1)
+
+    def test_missing_column_raises(self):
+        with pytest.raises(KeyError, match="Cost"):
+            match_columns(["Src", "Cost"], ["Src", "Dst"])
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError, match="column count"):
+            match_columns(["Src"], ["Src", "Dst"])
+
+
+class TestMultisetDiff:
+    def test_equal_multisets_diff_empty(self):
+        rows = [(1,), (1,), (2,)]
+        assert multiset_diff(rows, list(rows)) == ([], [])
+
+    def test_duplicate_count_mismatch_is_a_divergence(self):
+        # Bag semantics: {1, 1} != {1} even though the sets match.
+        missing, extra = multiset_diff([(1,), (1,)], [(1,)])
+        assert missing == [(1,)]
+        assert extra == []
+
+    def test_reports_both_directions(self):
+        missing, extra = multiset_diff([(1,)], [(2,), (2,)])
+        assert missing == [(1,)]
+        assert extra == [(2,), (2,)]
+
+
+class TestBackendTypeFidelity:
+    def test_sqlite_real_arithmetic_matches_engine_ints(self):
+        # Through the whole pipeline: edge costs are ints, SQLite sums
+        # them as INTEGER but path costs go through + — the canonical
+        # space absorbs whatever affinity surfaces.
+        ctx = RaSQLContext(num_workers=2)
+        ctx.register_table("edge", ["Src", "Dst", "Cost"],
+                           [(0, 1, 1.0), (1, 2, 2.0)])
+        from repro.queries.library import get_query
+        report = diff_query(ctx, get_query("sssp").formatted(source=0))
+        assert report.equal, report.summary()
+
+    def test_null_cells_round_trip(self):
+        backend = SQLiteBackend()
+        backend.load_relation(Relation("t", ["A", "B"],
+                                       [(1, None), (None, "x")]))
+        _, rows = backend.execute("SELECT A, B FROM t")
+        assert (canonical_rows(rows)
+                == canonical_rows([(1, None), (None, "x")]))
+        backend.close()
+
+    def test_reserved_word_columns_round_trip(self):
+        # The shares table's By/Of columns are SQL keywords; loading and
+        # querying them must work via quoting.
+        backend = SQLiteBackend()
+        backend.load_relation(Relation("shares", ["By", "Of", "Percent"],
+                                       [("a", "b", 60)]))
+        columns, rows = backend.execute('SELECT "By", "Of" FROM shares')
+        assert columns == ["By", "Of"]
+        assert rows == [("a", "b")]
+        backend.close()
+
+    def test_empty_base_relation_loads_and_scans(self):
+        backend = SQLiteBackend()
+        backend.load_relation(Relation("edge", ["Src", "Dst"], []))
+        _, rows = backend.execute("SELECT * FROM edge")
+        assert rows == []
+        backend.close()
+
+
+class TestEmptyInputSemantics:
+    """Engine semantics the emitter must reproduce on empty inputs."""
+
+    def test_global_aggregate_over_empty_input_yields_zero_rows(self):
+        # SQL returns one all-NULL row for SELECT count(...) over
+        # nothing; the engine returns zero rows.  The emitted HAVING
+        # guard reconciles them — checked end-to-end on empty tables.
+        ctx = RaSQLContext(num_workers=2)
+        ctx.register_table("edge", ["Src", "Dst"], [])
+        from repro.queries.library import get_query
+        report = diff_query(ctx, get_query("cc").sql)
+        assert report.engine_rows == 0
+        assert report.equal, report.summary()
+
+    def test_constant_base_rule_with_empty_edges_agrees(self):
+        ctx = RaSQLContext(num_workers=2)
+        ctx.register_table("edge", ["Src", "Dst", "Cost"], [])
+        from repro.queries.library import get_query
+        report = diff_query(ctx, get_query("sssp").formatted(source=0))
+        assert report.engine_rows == 1  # just the source at cost 0
+        assert report.equal, report.summary()

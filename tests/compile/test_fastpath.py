@@ -1,0 +1,47 @@
+"""Perf-smoke guard: the compiler stays off the non-differential path.
+
+The emitter, backends, and differential harness are diagnostic tooling.
+Importing them costs module-init time and — worse — would tempt coupling
+into the hot planning/execution path.  This test runs a normal engine
+query in a clean interpreter and asserts ``repro.compile`` was never
+imported; CI's perf-smoke job runs it alongside the benchmarks.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.differential
+
+FAST_PATH_PROBE = """
+import sys
+from repro import RaSQLContext
+
+ctx = RaSQLContext(num_workers=2)
+ctx.register_table("edge", ["Src", "Dst"], [(0, 1), (1, 2)])
+result = ctx.sql(
+    "WITH recursive tc(Src, Dst) AS"
+    " (SELECT Src, Dst FROM edge) UNION"
+    " (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)"
+    " SELECT Src, Dst FROM tc")
+assert len(result.rows) == 3
+
+leaked = sorted(m for m in sys.modules if m.startswith("repro.compile"))
+assert not leaked, f"compile subsystem imported on the fast path: {leaked}"
+
+# __main__'s dispatch must also be lazy: importing the CLI module alone
+# must not drag the compiler in.
+import repro.__main__  # noqa: F401
+leaked = sorted(m for m in sys.modules if m.startswith("repro.compile"))
+assert not leaked, f"CLI import leaked the compile subsystem: {leaked}"
+print("fast path clean")
+"""
+
+
+def test_engine_query_never_imports_compile_subsystem():
+    proc = subprocess.run(
+        [sys.executable, "-c", FAST_PATH_PROBE],
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert "fast path clean" in proc.stdout
