@@ -78,6 +78,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="profile the query's execution with cProfile "
                              "and write pstats output here (inspect with "
                              "python -m pstats PATH)")
+    parser.add_argument("--checkpoint", metavar="DIR",
+                        help="persist the fixpoint working set under DIR "
+                             "every --checkpoint-interval iterations; a "
+                             "killed run continues bit-exactly with "
+                             "--resume QUERY_ID (the id prints after a "
+                             "checkpointed run)")
+    parser.add_argument("--checkpoint-interval", type=int, default=None,
+                        metavar="N",
+                        help="iterations between durable checkpoints "
+                             "(default 4; only meaningful with "
+                             "--checkpoint)")
+    parser.add_argument("--resume", metavar="QUERY_ID",
+                        help="resume a crashed or timed-out checkpointed "
+                             "query from its last durable iteration "
+                             "(requires --checkpoint DIR and the same "
+                             "--table data; the query text is read from "
+                             "the checkpoint manifest)")
     parser.add_argument("--evaluation", default="dsn",
                         choices=["dsn", "naive", "stratified"])
     parser.add_argument("--timeout", type=float, metavar="SECONDS",
@@ -351,12 +368,25 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] in ("compile", "diff"):
         return run_compile_command(argv[1:], argv[0])
     args = build_parser().parse_args(argv)
-    query = read_query(args)
+    # --resume reads the statement from the checkpoint manifest.
+    query = "" if args.resume else read_query(args)
 
     try:
         config_kwargs = {}
         if args.kernel_min_rows is not None:
             config_kwargs["kernel_min_rows"] = args.kernel_min_rows
+        if args.checkpoint is not None:
+            from repro.core.config import DEFAULT_CHECKPOINT_INTERVAL
+
+            config_kwargs["checkpoint_dir"] = args.checkpoint
+            config_kwargs["checkpoint_interval"] = (
+                args.checkpoint_interval
+                if args.checkpoint_interval is not None
+                else DEFAULT_CHECKPOINT_INTERVAL)
+        elif args.resume is not None:
+            raise SystemExit(
+                "error: --resume needs --checkpoint DIR (the directory "
+                "the crashed run checkpointed into)")
         config = ExecutionConfig(
             codegen=not args.no_codegen,
             stage_combination=not args.no_stage_combination,
@@ -398,12 +428,23 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.errors import (
         AdmissionRejectedError,
+        CheckpointError,
         MemoryBudgetExceededError,
         QueryDeadlineExceededError,
     )
 
     try:
-        result = ctx.sql(query, profile_path=args.profile)
+        if args.resume:
+            # Forward the CLI-built config: flags on the resume command
+            # line win over the manifest's replayed ones, so a run that
+            # died on its deadline resumes with the raised --timeout.
+            result = ctx.resume(args.resume, checkpoint_dir=args.checkpoint,
+                                config=config)
+        else:
+            result = ctx.sql(query, profile_path=args.profile)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 6
     except QueryDeadlineExceededError as exc:
         print(f"error: {exc}", file=sys.stderr)
         if exc.partial_trace is not None:
@@ -414,6 +455,11 @@ def main(argv: list[str] | None = None) -> int:
                   f"{stages} completed stages before the deadline "
                   f"(re-run with --trace PATH to save it)",
                   file=sys.stderr)
+        if args.checkpoint is not None and ctx.last_run.query_id:
+            print(f"-- continue from the last durable iteration with "
+                  f"--checkpoint {args.checkpoint} --resume "
+                  f"{ctx.last_run.query_id} (raise --timeout for a "
+                  f"fresh window)", file=sys.stderr)
         return 3
     except MemoryBudgetExceededError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -426,6 +472,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"-- {len(result)} rows; {stats.iterations} fixpoint iterations; "
           f"{stats.sim_time:.4f} simulated cluster seconds",
           file=sys.stderr)
+    if args.checkpoint is not None and stats.query_id:
+        ckpt = stats.checkpoint_summary()
+        resumed = (f"; resumed from iteration {stats.resumed_from}"
+                   if stats.resumed_from else "")
+        print(f"-- checkpoint: query_id={stats.query_id} "
+              f"writes={ckpt['checkpoint_writes']:.0f} "
+              f"({ckpt['checkpoint_bytes']:.0f} bytes){resumed}",
+              file=sys.stderr)
     if args.memory_budget is not None:
         mem = stats.memory_summary()
         hwm = max((v for k, v in mem.items()

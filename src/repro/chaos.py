@@ -19,22 +19,33 @@ and the lower-level ``--faults SPEC`` (see :func:`parse_fault_spec`).
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.core.checkpoint import make_query_id
 from repro.engine.faults import (
+    CorruptionInjector,
+    DriverKillInjector,
     FailureInjector,
     MemoryPressureInjector,
     WorkerLossInjector,
 )
+from repro.errors import DriverCrashError
 
 __all__ = [
     "ChaosReport",
     "ChaosSchedule",
+    "KillResumeReport",
+    "ServiceChaosReport",
+    "ServiceOp",
     "make_schedule",
+    "make_service_schedule",
     "parse_fault_spec",
+    "run_service_with_chaos",
     "run_with_chaos",
+    "run_with_kill_resume",
 ]
 
 _FAILURE_POINTS = ("before", "after")
@@ -141,9 +152,20 @@ def parse_fault_spec(spec: str):
         worker-loss:fixpoint:worker=2:at_task=1:skip_matches=3
         memory-pressure:fixpoint:fraction=0.4:skip_matches=1
 
+    Two durability-layer kinds ride the same grammar::
+
+        driver-kill:PATTERN[:key=value ...]     -> DriverKillInjector
+        corruption[:key=value ...]              -> CorruptionInjector
+
+    ``corruption`` takes no stage pattern (it strikes exchanges, counted
+    by ``skip_matches``): ``corruption:skip_matches=2:seed=7``.
+
     ``task_index=any`` targets every task of a matching stage.
     """
     parts = spec.split(":")
+    if parts and parts[0] == "corruption":
+        # Pattern-less grammar: every remaining part is an option.
+        parts = ["corruption", ""] + parts[1:]
     if len(parts) < 2:
         raise ValueError(
             f"bad fault spec {spec!r}: expected 'task:PATTERN[...]' or "
@@ -181,9 +203,13 @@ def parse_fault_spec(spec: str):
         return WorkerLossInjector(pattern, **kwargs)
     if kind == "memory-pressure":
         return MemoryPressureInjector(pattern, **kwargs)
+    if kind == "driver-kill":
+        return DriverKillInjector(pattern, **kwargs)
+    if kind == "corruption":
+        return CorruptionInjector(**kwargs)
     raise ValueError(f"unknown fault kind {kind!r} in {spec!r} "
-                     "(expected 'task', 'worker-loss', or "
-                     "'memory-pressure')")
+                     "(expected 'task', 'worker-loss', "
+                     "'memory-pressure', 'driver-kill', or 'corruption')")
 
 
 def _sorted_rows(rows: Sequence[tuple]) -> list[tuple]:
@@ -253,4 +279,293 @@ def run_with_chaos(query: str, make_context: Callable[[], "object"],
         chaos_sim_time=run.sim_time,
         counters=run.fault_summary(),
         trace=run.trace,
+    )
+
+
+# ----------------------------------------------------------------------
+# durability chaos: driver kills against checkpoints and the WAL
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class KillResumeReport:
+    """Outcome of one clean-vs-(kill+resume) differential."""
+
+    seed: int
+    #: Whether the injected driver kill actually fired (a skip count past
+    #: the end of the run means the query simply completed — the
+    #: comparison is then clean-vs-clean and must still match).
+    killed: bool
+    matches: bool
+    iterations_match: bool
+    converged_match: bool
+    clean_rows: int
+    resumed_rows: int
+    clean_iterations: int
+    resumed_iterations: int
+    #: The checkpointed iteration the resumed run continued from
+    #: (0 = crashed before the first checkpoint, resumed from scratch).
+    resumed_from: int
+
+    @property
+    def exact(self) -> bool:
+        return self.matches and self.iterations_match and self.converged_match
+
+    def summary(self) -> str:
+        verdict = "EXACT" if self.exact else "MISMATCH"
+        return (f"kill-resume[seed={self.seed} killed={self.killed} "
+                f"from_iter={self.resumed_from}] -> {verdict}: "
+                f"{self.resumed_rows} rows (clean {self.clean_rows}), "
+                f"iter {self.resumed_iterations} (clean "
+                f"{self.clean_iterations})")
+
+
+def _converged(run) -> bool:
+    """Did every clique's delta history drain to zero?"""
+    return all(history[-1] == 0
+               for history in run.delta_history.values() if history)
+
+
+def run_with_kill_resume(query: str, make_context: Callable[[], "object"],
+                         checkpoint_dir: str, seed: int = 0,
+                         checkpoint_interval: int | None = None
+                         ) -> KillResumeReport:
+    """Kill a checkpointed query mid-fixpoint, resume it, diff vs clean.
+
+    Three fresh contexts (``make_context`` must rebuild identical
+    deterministic state each call):
+
+    1. **clean** — the full uninterrupted run, checkpointing on (same
+       config as the victim, so plan choices are identical), writing
+       into a sibling directory;
+    2. **victim** — same config, with a :class:`DriverKillInjector`
+       whose strike position is drawn from ``seed`` using the clean
+       run's iteration count, so across seeds the kill lands early,
+       mid-run, and near convergence;
+    3. **resume** — a restarted driver continuing the victim via
+       :meth:`repro.RaSQLContext.resume`.
+
+    Exactness asks for identical result rows, identical total iteration
+    count, and an identical convergence verdict.
+    """
+    from repro.core.config import DEFAULT_CHECKPOINT_INTERVAL
+
+    interval = checkpoint_interval or DEFAULT_CHECKPOINT_INTERVAL
+    clean_ctx = make_context()
+    clean_cfg = clean_ctx.config.but(
+        checkpoint_interval=interval,
+        checkpoint_dir=os.path.join(checkpoint_dir, "clean"))
+    clean = clean_ctx.sql(query, config=clean_cfg)
+    clean_run = clean_ctx.last_run
+
+    rng = random.Random(seed)
+    # At least one matching stage per iteration; capping the skip by the
+    # iteration count keeps most seeds lethal while letting some overrun
+    # (exercising the query-completed-anyway path).
+    skip = rng.randrange(max(1, clean_run.iterations + 2))
+    chaos_dir = os.path.join(checkpoint_dir, "chaos")
+    victim_ctx = make_context()
+    victim_cfg = victim_ctx.config.but(checkpoint_interval=interval,
+                                       checkpoint_dir=chaos_dir)
+    victim_ctx.inject_faults(DriverKillInjector("fixpoint",
+                                                skip_matches=skip))
+    killed = False
+    try:
+        resumed = victim_ctx.sql(query, config=victim_cfg)
+        final_run = victim_ctx.last_run
+    except DriverCrashError:
+        killed = True
+        resume_ctx = make_context()
+        resumed = resume_ctx.resume(make_query_id(query),
+                                    checkpoint_dir=chaos_dir)
+        final_run = resume_ctx.last_run
+
+    return KillResumeReport(
+        seed=seed,
+        killed=killed,
+        matches=_sorted_rows(clean.rows) == _sorted_rows(resumed.rows),
+        iterations_match=clean_run.iterations == final_run.iterations,
+        converged_match=_converged(clean_run) == _converged(final_run),
+        clean_rows=len(clean.rows),
+        resumed_rows=len(resumed.rows),
+        clean_iterations=clean_run.iterations,
+        resumed_iterations=final_run.iterations,
+        resumed_from=final_run.resumed_from,
+    )
+
+
+# ----------------------------------------------------------------------
+# serving-layer chaos: kill a live service, recover it, diff vs serial
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ServiceOp:
+    """One client operation in a service chaos schedule."""
+
+    kind: str  # "sql" | "view_read" | "insert"
+    session: str
+    sql: str | None = None
+    view_name: str | None = None
+    table: str | None = None
+    rows: list = field(default_factory=list)
+
+
+def make_service_schedule(seed: int, queries: Sequence[str],
+                          view_name: str, insert_table: str,
+                          insert_rows: Sequence[Sequence],
+                          num_ops: int = 10) -> list[ServiceOp]:
+    """A seeded mixed op stream: SQL, served-view reads, inserts.
+
+    Insert rows are dealt from ``insert_rows`` round-robin (each row
+    submitted at most once, so replays of the schedule are idempotent at
+    the catalog level); sessions alternate between two tenants.
+    """
+    rng = random.Random(seed)
+    ops: list[ServiceOp] = []
+    deck = list(insert_rows)
+    for index in range(num_ops):
+        session = ("alice", "bob")[index % 2]
+        kind = rng.choice(("sql", "view_read", "insert"))
+        if kind == "insert" and not deck:
+            kind = "view_read"
+        if kind == "sql":
+            ops.append(ServiceOp("sql", session, sql=rng.choice(list(queries))))
+        elif kind == "view_read":
+            ops.append(ServiceOp("view_read", session, view_name=view_name))
+        else:
+            ops.append(ServiceOp("insert", session, table=insert_table,
+                                 rows=[tuple(deck.pop(0))]))
+    return ops
+
+
+@dataclass
+class ServiceChaosReport:
+    """Outcome of one killed-service-vs-serial-replay differential."""
+
+    seed: int
+    killed: bool
+    matches: bool
+    mismatched_requests: list = field(default_factory=list)
+    completed_before_crash: int = 0
+    readmitted: int = 0
+    compared: int = 0
+    corruption_detected: int = 0
+    execution_order: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        verdict = "EXACT" if self.matches else "MISMATCH"
+        return (f"service-chaos[seed={self.seed} killed={self.killed}] -> "
+                f"{verdict}: {self.compared} post-recovery results compared "
+                f"(pre-crash {self.completed_before_crash}, re-admitted "
+                f"{self.readmitted}, corruption detected "
+                f"{self.corruption_detected})")
+
+
+def _submit_op(service, op: ServiceOp, sql_config):
+    session = service.session(op.session)
+    if op.kind == "sql":
+        return service.submit(session, op.sql, config=sql_config)
+    if op.kind == "view_read":
+        return service.submit_view_read(session, op.view_name)
+    return service.submit_insert(session, op.table, op.rows)
+
+
+def run_service_with_chaos(make_context: Callable[[], "object"],
+                           ops: Sequence[ServiceOp], *,
+                           view_name: str, view_sql: str,
+                           wal_path: str, checkpoint_dir: str,
+                           seed: int = 0,
+                           kill_after_requests: int = 2,
+                           corruptions: int = 0) -> ServiceChaosReport:
+    """Kill a live :class:`repro.serving.QueryService` under load; verify.
+
+    Phase 1 boots a WAL-logged service, creates the served view, submits
+    the whole op stream up front (op *i* is request id ``i + 1``), steps
+    ``kill_after_requests`` requests, then arms a seeded
+    :class:`DriverKillInjector` and drains until the driver dies (or the
+    backlog ends — some seeds survive; the differential must still
+    match).  Phase 2 recovers a fresh service from the WAL on a
+    bootstrap-state context and drains the re-admitted backlog.  Phase 3
+    replays the recovered service's ``execution_order`` serially —
+    one op at a time on a fresh context, no service, no caches, no
+    checkpoints — and diffs every post-recovery result against it.
+    """
+    from repro.serving import QueryService
+
+    ctx = make_context()
+    service = QueryService(ctx, scheduler="seeded", seed=seed,
+                           wal_path=wal_path)
+    service.create_view(view_name, view_sql)
+    rng = random.Random(seed)
+    sql_config = ctx.config.but(
+        checkpoint_interval=3, checkpoint_dir=checkpoint_dir)
+    for op in ops:
+        _submit_op(service, op, sql_config)
+    for index in range(corruptions):
+        ctx.cluster.inject_failures(CorruptionInjector(
+            skip_matches=rng.randrange(4), seed=seed * 31 + index))
+
+    killed = False
+    completed_before_crash = 0
+    try:
+        for _ in range(kill_after_requests):
+            if service.step() is None:
+                break
+            completed_before_crash += 1
+        # Arm the kill only now: the view DDL and warm-up requests run
+        # unharmed, so the crash lands mid-backlog.
+        ctx.inject_faults(DriverKillInjector("fixpoint",
+                                             skip_matches=rng.randrange(6)))
+        while service.step() is not None:
+            completed_before_crash += 1
+    except DriverCrashError:
+        killed = True
+
+    # -- restart: bootstrap-state context, WAL replay, drain ------------
+    recovered_ctx = make_context()
+    recovered = QueryService.recover(recovered_ctx, wal_path)
+    recovered.drain()
+    by_id = {future.request_id: future for future in recovered.completed}
+
+    # -- serial replay of the recovered execution order ------------------
+    serial_ctx = make_context()
+    serial_cfg = serial_ctx.config  # no checkpoints, no caches, no service
+    mismatched: list = []
+    compared = 0
+    for request_id in recovered.execution_order:
+        op = ops[request_id - 1]
+        if op.kind == "insert":
+            serial_ctx.catalog.append_rows(op.table, op.rows)
+            expected: object = len(op.rows)
+        elif op.kind == "sql":
+            expected = serial_ctx.sql(op.sql, config=serial_cfg)
+        else:
+            expected = serial_ctx.sql(view_sql, config=serial_cfg)
+        future = by_id.get(request_id)
+        if future is None or not future.ok:
+            continue  # pre-crash completion: result died with the driver
+        compared += 1
+        actual = future.value
+        if op.kind == "insert":
+            same = actual == expected
+        else:
+            same = (_sorted_rows(actual.rows)
+                    == _sorted_rows(expected.rows))
+        if not same:
+            mismatched.append(request_id)
+
+    detected = recovered_ctx.metrics.snapshot().get(
+        "shuffle_corruption_detected", 0)
+    detected += ctx.metrics.snapshot().get("shuffle_corruption_detected", 0)
+    return ServiceChaosReport(
+        seed=seed,
+        killed=killed,
+        matches=not mismatched,
+        mismatched_requests=mismatched,
+        completed_before_crash=completed_before_crash,
+        readmitted=len(recovered.recovered_futures),
+        compared=compared,
+        corruption_detected=int(detected),
+        execution_order=list(recovered.execution_order),
     )

@@ -30,6 +30,12 @@ from typing import Iterable, Sequence
 
 from repro.core.analyzer import analyze
 from repro.core.catalog import Catalog
+from repro.core.checkpoint import (
+    CheckpointStore,
+    CliqueCheckpointer,
+    catalog_fingerprint,
+    make_query_id,
+)
 from repro.core.config import DEFAULT_CONFIG, ExecutionConfig
 from repro.core.executor import execute_select
 from repro.core.fixpoint import FixpointOperator
@@ -40,7 +46,11 @@ from repro.core.parser import parse
 from repro.core.planner import plan_clique
 from repro.engine.cluster import Cluster
 from repro.engine.serialization import rows_size
-from repro.errors import QueryDeadlineExceededError
+from repro.errors import (
+    CheckpointError,
+    CheckpointNotFoundError,
+    QueryDeadlineExceededError,
+)
 from repro.relation import Relation
 
 
@@ -63,6 +73,12 @@ class RunInfo:
     #: Where the cProfile capture of this call was written (``sql``'s
     #: ``profile_path`` argument / the CLI's ``--profile``), or ``None``.
     profile_path: str | None = None
+    #: The durable-checkpoint query id of this call (``None`` when
+    #: checkpointing was off); :meth:`repro.RaSQLContext.resume` takes it.
+    query_id: str | None = None
+    #: The checkpointed iteration this call resumed from (0 = ran from
+    #: scratch, whether or not checkpointing was on).
+    resumed_from: int = 0
 
     def explain_analyze(self) -> str:
         """Per-iteration timeline of the traced run (EXPLAIN ANALYZE)."""
@@ -111,6 +127,16 @@ class RunInfo:
                 "kernel_grouped_fixpoint_stages",
                 "kernel_fused_fixpoint_stages",
                 "kernel_small_input_gate")
+        return {key: self.metrics.get(key, 0) for key in keys}
+
+    def checkpoint_summary(self) -> dict[str, float]:
+        """Durability counters of the run (zeros when checkpointing off).
+
+        Keys: ``checkpoint_writes``, ``checkpoint_bytes``,
+        ``checkpoint_restores``, ``checkpoint_restore_bytes``.
+        """
+        keys = ("checkpoint_writes", "checkpoint_bytes",
+                "checkpoint_restores", "checkpoint_restore_bytes")
         return {key: self.metrics.get(key, 0) for key in keys}
 
     def fault_summary(self) -> dict[str, float]:
@@ -241,8 +267,13 @@ class RaSQLContext:
         """Arm fault injectors on the session's cluster; returns self.
 
         Accepts any mix of :class:`repro.engine.faults.FailureInjector`,
-        :class:`repro.engine.faults.WorkerLossInjector`, and
-        :class:`repro.engine.faults.MemoryPressureInjector`.
+        :class:`repro.engine.faults.WorkerLossInjector`,
+        :class:`repro.engine.faults.MemoryPressureInjector`,
+        :class:`repro.engine.faults.CorruptionInjector` (mangles one
+        shuffle bucket; caught by checksum verification), and
+        :class:`repro.engine.faults.DriverKillInjector` (raises
+        :class:`repro.errors.DriverCrashError` before a matching stage —
+        pair with durable checkpoints and :meth:`resume`).
         """
         for injector in injectors:
             self.cluster.inject_failures(injector)
@@ -283,7 +314,8 @@ class RaSQLContext:
                         magic_filters=effective.magic_filters)
 
     def sql(self, query: str, config: ExecutionConfig | None = None,
-            profile_path: str | None = None) -> Relation:
+            profile_path: str | None = None,
+            query_id: str | None = None) -> Relation:
         """Execute a RaSQL script and return the final SELECT's relation.
 
         Resource governance brackets the whole call: the session's
@@ -293,6 +325,13 @@ class RaSQLContext:
         ``deadline_seconds`` — the cluster's cooperative deadline is
         armed.  A deadline abort re-raises with the partial trace
         attached and recorded on :attr:`last_run`.
+
+        When the config enables durable checkpointing
+        (``checkpoint_interval`` > 0 and ``checkpoint_dir`` set), the
+        fixpoint operator persists its working set every N iterations
+        under ``query_id`` (default: :func:`make_query_id` of the text);
+        a crashed or deadline-killed call is continued by
+        :meth:`resume`.
 
         ``profile_path`` wraps the execution (planning through the final
         stratum, excluding admission) in :mod:`cProfile` and dumps the
@@ -308,7 +347,8 @@ class RaSQLContext:
         try:
             return self.execute_admitted(query, effective, label=label,
                                          profile_path=profile_path,
-                                         admission=admission)
+                                         admission=admission,
+                                         query_id=query_id)
         finally:
             self.governor.release(ticket)
 
@@ -317,7 +357,9 @@ class RaSQLContext:
                          label: str | None = None,
                          profile_path: str | None = None,
                          analyzed=None,
-                         admission: dict | None = None) -> Relation:
+                         admission: dict | None = None,
+                         query_id: str | None = None,
+                         resume_state: dict | None = None) -> Relation:
         """Run an *already admitted* query (the back half of :meth:`sql`).
 
         The caller owns the governor ticket — acquiring it before this
@@ -342,14 +384,18 @@ class RaSQLContext:
                                          + effective.deadline_seconds)
             if profile_path is None:
                 return self._run_sql(query, effective, label,
-                                     analyzed=analyzed, admission=admission)
+                                     analyzed=analyzed, admission=admission,
+                                     query_id=query_id,
+                                     resume_state=resume_state)
             import cProfile
 
             profiler = cProfile.Profile()
             profiler.enable()
             try:
                 return self._run_sql(query, effective, label,
-                                     analyzed=analyzed, admission=admission)
+                                     analyzed=analyzed, admission=admission,
+                                     query_id=query_id,
+                                     resume_state=resume_state)
             finally:
                 profiler.disable()
                 profiler.dump_stats(profile_path)
@@ -360,9 +406,21 @@ class RaSQLContext:
 
     def _run_sql(self, query: str, effective: ExecutionConfig,
                  label: str, analyzed=None,
-                 admission: dict | None = None) -> Relation:
+                 admission: dict | None = None,
+                 query_id: str | None = None,
+                 resume_state: dict | None = None) -> Relation:
         if analyzed is None:
             analyzed = self.analyze_query(query, effective)
+
+        store = qid = None
+        if effective.checkpointing:
+            store = CheckpointStore(effective.checkpoint_dir)
+            qid = query_id or make_query_id(query)
+            if resume_state is None:
+                # A resume keeps the existing manifest (and its in-flight
+                # pointer) alive until the next checkpoint supersedes it.
+                store.begin(qid, sql=query, config=effective,
+                            fingerprint=catalog_fingerprint(self.catalog))
 
         materialized: dict[str, Relation] = {}
 
@@ -373,6 +431,7 @@ class RaSQLContext:
             return self.catalog.get(name)
 
         run = RunInfo()
+        run.query_id = qid
         events_before = len(self.cluster.metrics.events())
         tracer = self.cluster.tracer
         query_span = None
@@ -380,7 +439,7 @@ class RaSQLContext:
             with tracer.span("query", label) as query_span:
                 if admission is not None:
                     query_span.annotate(admission=dict(admission))
-                for unit in analyzed.units:
+                for unit_index, unit in enumerate(analyzed.units):
                     if isinstance(unit, DerivedViewPlan):
                         rows: list[tuple] = []
                         seen: set[tuple] = set()
@@ -409,10 +468,30 @@ class RaSQLContext:
                             clique_config = _gated_config(effective)
                             self.cluster.metrics.inc(
                                 "kernel_small_input_gate")
+                        checkpointer = None
+                        if store is not None:
+                            # Decomposed plans run their own nested loop
+                            # without a global iteration barrier, so there
+                            # is no consistent cut to persist; durability
+                            # forces the stacked plan.
+                            clique_config = clique_config.but(
+                                decomposed_plans=False)
+                            checkpointer = CliqueCheckpointer(
+                                store, qid, unit_index,
+                                effective.checkpoint_interval,
+                                self.cluster.metrics,
+                                self.cluster.cost_model)
                         planned = plan_clique(unit, clique_config)
                         operator = FixpointOperator(planned, self.cluster,
-                                                    clique_config, resolve)
-                        result = operator.execute()
+                                                    clique_config, resolve,
+                                                    checkpointer=checkpointer)
+                        if (resume_state is not None
+                                and resume_state["unit"] == unit_index):
+                            payload = resume_state["payload"]
+                            result = operator.execute(resume=payload)
+                            run.resumed_from = payload["iteration"]
+                        else:
+                            result = operator.execute()
                         for view_name, relation in result.relations.items():
                             materialized[view_name.lower()] = relation
                         clique_key = ",".join(unit.view_names)
@@ -424,6 +503,8 @@ class RaSQLContext:
                                        tracer=tracer)
                 query_span.annotate(iterations=run.iterations,
                                     result_rows=len(final.rows))
+                if store is not None:
+                    store.mark_complete(qid)
         except QueryDeadlineExceededError as exc:
             # The span closed (its ``finally`` ran), so the partial trace
             # is complete up to the aborting stage.
@@ -432,6 +513,99 @@ class RaSQLContext:
             raise
         self._record_run(run, events_before, query_span, tracer)
         return final
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    def _load_resumable(self, query_id: str, checkpoint_dir: str | None,
+                        config: ExecutionConfig | None):
+        """Shared loader behind :meth:`resume` / :meth:`resume_admitted`.
+
+        Returns ``(query_sql, effective_config, resume_state)`` where
+        ``resume_state`` is ``None`` when the query crashed before its
+        first checkpoint (resume = run from scratch).
+        """
+        directory = (checkpoint_dir
+                     or (config.checkpoint_dir if config else None)
+                     or self.config.checkpoint_dir)
+        if directory is None:
+            raise CheckpointNotFoundError(
+                "no checkpoint directory: pass checkpoint_dir= or set "
+                "ExecutionConfig.checkpoint_dir")
+        store = CheckpointStore(directory)
+        manifest = store.load_manifest(query_id)
+        if manifest.get("status") != "in-progress":
+            raise CheckpointNotFoundError(
+                f"query {query_id!r} has no in-progress checkpoint "
+                f"(status: {manifest.get('status')!r}); nothing to resume")
+        if config is not None:
+            effective = config
+        else:
+            effective = ExecutionConfig(**manifest["config"])
+        # The resumed run must checkpoint into the directory we read
+        # from, whatever the override says about other knobs.
+        effective = effective.but(
+            checkpoint_dir=directory,
+            checkpoint_interval=(effective.checkpoint_interval
+                                 or manifest["config"]["checkpoint_interval"]))
+        fingerprint = catalog_fingerprint(self.catalog)
+        if fingerprint != manifest["catalog_fingerprint"]:
+            raise CheckpointError(
+                f"catalog contents changed since the checkpoint for "
+                f"{query_id!r} was cut (fingerprint {fingerprint!r} != "
+                f"{manifest['catalog_fingerprint']!r}); a resumed fixpoint "
+                f"would mix epochs — re-run the query instead")
+        resume_state = store.load_resume_state(manifest)
+        return manifest["sql"], effective, resume_state
+
+    def resume(self, query_id: str, checkpoint_dir: str | None = None,
+               config: ExecutionConfig | None = None) -> Relation:
+        """Continue a crashed or deadline-killed checkpointed query.
+
+        ``query_id`` is :attr:`RunInfo.query_id` (printed by the CLI, or
+        :func:`repro.core.checkpoint.make_query_id` of the statement).
+        The manifest's own config is replayed unless ``config`` overrides
+        it — pass a larger ``deadline_seconds`` to give a deadline-killed
+        query a fresh window.  Raises
+        :class:`repro.errors.CheckpointNotFoundError` when there is
+        nothing in-progress under that id, and
+        :class:`repro.errors.CheckpointError` when the catalog no longer
+        matches the data the checkpoint was cut over.
+        """
+        query, effective, resume_state = self._load_resumable(
+            query_id, checkpoint_dir, config)
+        label = _query_label(query)
+        ticket = self.governor.admit(label, self._estimate_query_bytes(query))
+        admission = {"queued": ticket.queued, "wait_s": ticket.wait_s,
+                     "reserved_bytes": ticket.reserved_bytes}
+        try:
+            return self.execute_admitted(query, effective, label=label,
+                                         admission=admission,
+                                         query_id=query_id,
+                                         resume_state=resume_state)
+        finally:
+            self.governor.release(ticket)
+
+    def resume_admitted(self, query_id: str,
+                        config: ExecutionConfig | None = None, *,
+                        label: str | None = None,
+                        admission: dict | None = None,
+                        checkpoint_dir: str | None = None) -> Relation:
+        """Resume under a governor ticket the caller already holds.
+
+        The serving layer's WAL replay re-admits in-flight queries
+        itself (its governor tickets outlive a single execute call), so
+        it needs the :meth:`resume` body without the admit/release
+        bracket.
+        """
+        query, effective, resume_state = self._load_resumable(
+            query_id, checkpoint_dir, config)
+        return self.execute_admitted(query, effective,
+                                     label=label or _query_label(query),
+                                     admission=admission,
+                                     query_id=query_id,
+                                     resume_state=resume_state)
 
     def _record_run(self, run: RunInfo, events_before: int,
                     query_span, tracer) -> None:

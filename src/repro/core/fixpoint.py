@@ -122,10 +122,15 @@ class FixpointOperator:
 
     def __init__(self, planned: PlannedClique, cluster: Cluster,
                  config: ExecutionConfig,
-                 resolve: Callable[[str], Relation]):
+                 resolve: Callable[[str], Relation],
+                 checkpointer=None):
         self.planned = planned
         self.cluster = cluster
         self.config = config
+        #: Optional :class:`repro.core.checkpoint.CliqueCheckpointer`;
+        #: when set, the semi-naive loop persists its working set every
+        #: ``checkpoint_interval`` completed iterations.
+        self.checkpointer = checkpointer
         self._resolve_raw = resolve
         self._resolved: dict[str, Relation] = {}
         self.n = cluster.num_partitions
@@ -772,15 +777,36 @@ class FixpointOperator:
         self.selector = None
         self.cluster.metrics.inc("kernel_small_input_gate")
 
-    def execute(self) -> FixpointResult:
+    def execute(self, resume: dict | None = None) -> FixpointResult:
+        """Run the clique to its fixpoint.
+
+        ``resume`` is a verified checkpoint payload (see
+        :mod:`repro.core.checkpoint`): states, next-iteration deltas,
+        iteration counter, and clock/counter snapshot.  The base rules
+        are *not* re-evaluated on resume — their contribution is already
+        folded into the checkpointed state — but base relations are
+        re-broadcast / re-co-partitioned (the joins need them), exactly
+        as a restarted Spark driver would reload its base RDDs.
+        """
         self._apply_kernel_gate()
         tracer = self.cluster.tracer
         with tracer.span("fixpoint", ",".join(self.planned.views)) as span:
             self._setup_states()
             self._setup_base_relations()
+            if resume is not None:
+                incoming = self._restore_checkpoint(resume)
+                iterations, delta_history = self._run_to_fixpoint(
+                    incoming, start_iterations=resume["iteration"],
+                    delta_history=resume["delta_history"])
+                span.annotate(iterations=iterations,
+                              mode=self.config.evaluation,
+                              resumed_from=resume["iteration"],
+                              delta_history=list(delta_history))
+                return self._finish(iterations, delta_history)
             incoming = self._evaluate_base_rules()
 
-            if self.planned.decomposable and self.config.evaluation == "dsn":
+            if self.planned.decomposable and self.config.evaluation == "dsn" \
+                    and self.checkpointer is None:
                 iterations = self._execute_decomposed(incoming)
                 span.annotate(iterations=iterations, mode="decomposed")
                 return self._finish(iterations, [])
@@ -791,14 +817,18 @@ class FixpointOperator:
                           delta_history=list(delta_history))
             return self._finish(iterations, delta_history)
 
-    def _run_to_fixpoint(self, incoming: dict[str, Dataset]
+    def _run_to_fixpoint(self, incoming: dict[str, Dataset],
+                         start_iterations: int = 0,
+                         delta_history: list[int] | None = None
                          ) -> tuple[int, list[int]]:
-        """Iterate until quiescence; shared by one-shot and incremental
-        execution (see :mod:`repro.core.streaming`)."""
+        """Iterate until quiescence; shared by one-shot, incremental
+        (see :mod:`repro.core.streaming`) and checkpoint-resumed
+        execution (``start_iterations``/``delta_history`` continue the
+        absolute iteration count from the restored point)."""
         naive = self.config.evaluation == "naive"
         combine = self.config.stage_combination
-        iterations = 0
-        delta_history: list[int] = []
+        iterations = start_iterations
+        delta_history = list(delta_history) if delta_history else []
 
         # Termination keys off the *post-merge* delta D: under semi-naive
         # evaluation D empty coincides with empty incoming shuffles, but
@@ -839,8 +869,96 @@ class FixpointOperator:
             if d_total == 0:
                 break
             delta_history.append(d_total)
+            if self.checkpointer is not None \
+                    and self.checkpointer.due(iterations):
+                self._write_checkpoint(iterations, delta_history, incoming)
 
         return iterations, delta_history
+
+    # ------------------------------------------------------------------
+    # durable checkpoints (see repro.core.checkpoint)
+    # ------------------------------------------------------------------
+
+    def _checkpoint_bytes(self, incoming: dict[str, Dataset]) -> int:
+        """Wire-size estimate of the semi-naive working set (all + delta)."""
+        est = sum(state.size_bytes() for state in self.states.values())
+        for dataset in incoming.values():
+            for part in dataset.partitions:
+                if part.rows:
+                    est += part.size_bytes()
+        return est
+
+    def _write_checkpoint(self, iteration: int, delta_history: list[int],
+                          incoming: dict[str, Dataset]) -> None:
+        """Persist everything iteration ``iteration + 1`` needs to run.
+
+        The payload holds the *all* relations, the shuffled deltas the
+        next iteration consumes, the iteration counter/history, and the
+        scheduler's RNG state; the checkpointer adds the clock/counter
+        snapshot *after* charging the write, so a resumed run continues
+        from exactly where an uninterrupted one would be.
+        """
+        payload = {
+            "iteration": iteration,
+            "delta_history": list(delta_history),
+            "states": {name: state.dump_state()
+                       for name, state in self.states.items()},
+            "incoming": {name: [list(part.rows)
+                                for part in dataset.partitions]
+                         for name, dataset in incoming.items()},
+            "rng_state": self._scheduler_rng_state(),
+        }
+        self.checkpointer.save(iteration, payload,
+                               self._checkpoint_bytes(incoming))
+
+    def _scheduler_rng_state(self):
+        rng = getattr(self.cluster.scheduler, "_rng", None)
+        return rng.getstate() if rng is not None else None
+
+    def _restore_checkpoint(self, payload: dict) -> dict[str, Dataset]:
+        """Install a checkpoint payload; returns the restored deltas.
+
+        Restores, in order: the per-view state structures (through
+        ``load_state``, so versions bump and kernel caches invalidate),
+        their worker-memory charges, the in-flight shuffle datasets, the
+        scheduler RNG, and finally the simulated clock + counters —
+        then charges the blob's disk read on top and re-arms the
+        deadline relative to the restored clock.
+        """
+        cluster = self.cluster
+        metrics = cluster.metrics
+        for name, dumped in payload["states"].items():
+            state = self.states[name]
+            state.load_state(dumped)
+            for p in range(self.n):
+                size = state.partition_size_bytes(p)
+                if size:
+                    cluster.memory.charge("state", name, p,
+                                          cluster.worker_for_partition(p),
+                                          size)
+        incoming: dict[str, Dataset] = {}
+        for name, view in self.planned.views.items():
+            incoming[name] = cluster.restore_exchange(
+                payload["incoming"][name], self.partitioner,
+                view.partition_key_positions)
+        rng_state = payload.get("rng_state")
+        rng = getattr(cluster.scheduler, "_rng", None)
+        if rng_state is not None and rng is not None:
+            rng.setstate(rng_state)
+        # Clock/counters jump to the checkpoint's snapshot (taken after
+        # the write charge), then the restore read is charged on top.
+        metrics.sim_time = payload["sim_time"]
+        metrics.counters.clear()
+        metrics.counters.update(payload["counters"])
+        if self.checkpointer is not None:
+            self.checkpointer.charge_restore(self._checkpoint_bytes(incoming))
+        if cluster.deadline is not None \
+                and self.config.deadline_seconds is not None:
+            # A resumed query gets a fresh deadline window from the
+            # restored clock; the original window measured from query
+            # start would already be spent.
+            cluster.deadline = metrics.sim_time + self.config.deadline_seconds
+        return incoming
 
     def _release_consumed_shuffles(self, incoming: dict[str, Dataset]) -> None:
         """Free shuffle buffers once a merge stage has absorbed them.

@@ -111,15 +111,20 @@ class QueryGovernor:
                 and self.reserved_bytes + estimated_bytes
                 > self.max_reserved_bytes):
             self._count("queries_rejected")
+            # Retry-After hint: memory frees as admitted work drains, so
+            # scale the per-slot queue wait by everything ahead of us.
+            retry_after = self.queue_wait_s * max(
+                1, len(self.active) + len(self.waiting))
             raise AdmissionRejectedError(
                 f"query {label!r} rejected: reserving "
                 f"{estimated_bytes} bytes would push total reservations to "
                 f"{self.reserved_bytes + estimated_bytes} bytes, over the "
                 f"governor's max_reserved_bytes="
-                f"{self.max_reserved_bytes}; wait for running queries to "
-                f"finish or raise the cap",
+                f"{self.max_reserved_bytes}; retry after ~{retry_after:.2f}s "
+                f"(simulated) or raise the cap",
                 label=label, reason="memory",
-                active=len(self.active), reserved_bytes=self.reserved_bytes)
+                active=len(self.active), reserved_bytes=self.reserved_bytes,
+                retry_after_s=retry_after)
 
         if len(self.active) < self.max_concurrent and not self.waiting:
             ticket = AdmissionTicket(label, estimated_bytes)
@@ -133,14 +138,19 @@ class QueryGovernor:
         backlog = len(self.waiting)
         if backlog >= self.max_queue:
             self._count("queries_rejected")
+            # Retry-After hint: one queue slot frees per promotion, so a
+            # shed query can come back after the head of the queue moves.
+            retry_after = self.queue_wait_s * (backlog + 1)
             raise AdmissionRejectedError(
                 f"query {label!r} rejected: {len(self.active)} "
                 f"queries running and {backlog} queued "
-                f"(max_queue={self.max_queue}); retry later or raise "
-                f"the governor's limits",
+                f"(max_queue={self.max_queue}); retry after "
+                f"~{retry_after:.2f}s (simulated) or raise the governor's "
+                f"limits",
                 label=label, reason="concurrency",
                 active=len(self.active),
-                reserved_bytes=self.reserved_bytes)
+                reserved_bytes=self.reserved_bytes,
+                retry_after_s=retry_after)
         ticket = AdmissionTicket(label, estimated_bytes, queued=True)
         ticket.waiting = True
         self.waiting.append(ticket)

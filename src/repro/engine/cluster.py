@@ -45,6 +45,7 @@ mid-run for chaos testing.
 
 from __future__ import annotations
 
+import random
 import time
 from collections import defaultdict
 from dataclasses import dataclass
@@ -53,6 +54,8 @@ from typing import Callable, Iterable, Sequence
 
 from repro.engine.dataset import Dataset, Partition
 from repro.engine.faults import (
+    CorruptionInjector,
+    DriverKillInjector,
     FailureInjector,
     FaultToleranceConfig,
     MemoryPressureInjector,
@@ -68,9 +71,10 @@ from repro.engine.scheduler import (
     fallback_worker,
     make_policy,
 )
-from repro.engine.serialization import CompressionCodec, rows_size
+from repro.engine.serialization import CompressionCodec, rows_checksum, rows_size
 from repro.engine.tracing import Tracer
 from repro.errors import (
+    DriverCrashError,
     FaultInjectionError,
     NoHealthyWorkersError,
     QueryDeadlineExceededError,
@@ -167,7 +171,11 @@ class Cluster:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self.metrics, enabled=trace)
         self.fault_config = fault_config or FaultToleranceConfig()
-        self.recovery = RecoveryManager(self.fault_config)
+        # The recovery manager's jitter source is seeded from the cluster
+        # seed (never wall-clock entropy): same seed, same fault schedule
+        # -> bit-identical backoff charges on replay.
+        self.recovery = RecoveryManager(
+            self.fault_config, rng=random.Random((seed * 2654435761 + 41) % 2**32))
         self.memory = MemoryManager(num_workers,
                                     memory_config or MemoryConfig(),
                                     self.metrics, self.cost_model,
@@ -179,6 +187,8 @@ class Cluster:
         self.failure_injectors: list[FailureInjector] = []
         self.worker_loss_injectors: list[WorkerLossInjector] = []
         self.memory_pressure_injectors: list[MemoryPressureInjector] = []
+        self.corruption_injectors: list[CorruptionInjector] = []
+        self.driver_kill_injectors: list[DriverKillInjector] = []
         # Monotonic ids naming shuffle/broadcast memory-charge groups, so
         # consumers can release a whole exchange or broadcast at once.
         self._exchange_epoch = 0
@@ -190,11 +200,16 @@ class Cluster:
 
     def inject_failures(self, injector) -> None:
         """Arm a :class:`FailureInjector`, :class:`WorkerLossInjector`,
-        or :class:`MemoryPressureInjector`."""
+        :class:`MemoryPressureInjector`, :class:`CorruptionInjector`,
+        or :class:`DriverKillInjector`."""
         if isinstance(injector, WorkerLossInjector):
             self.worker_loss_injectors.append(injector)
         elif isinstance(injector, MemoryPressureInjector):
             self.memory_pressure_injectors.append(injector)
+        elif isinstance(injector, CorruptionInjector):
+            self.corruption_injectors.append(injector)
+        elif isinstance(injector, DriverKillInjector):
+            self.driver_kill_injectors.append(injector)
         else:
             self.failure_injectors.append(injector)
 
@@ -346,6 +361,13 @@ class Cluster:
         different worker than the task ran on) are counted and charged.
         """
         self.check_deadline(name)
+        for injector in self.driver_kill_injectors:
+            if injector.matches(name):
+                injector.fire()
+                self.metrics.inc("driver_kills")
+                raise DriverCrashError(
+                    f"injected driver crash before stage {name!r} "
+                    f"(simulated time {self.metrics.sim_time:.4f}s)")
         for injector in self.memory_pressure_injectors:
             if injector.matches(name):
                 injector.fire()
@@ -671,12 +693,39 @@ class Cluster:
         remote_bytes = 0
         total_bytes = 0
         total_records = 0
+        # Corruption injection + checksum verification.  Checksums are
+        # computed only while an injector is armed: the map side hashed
+        # the pristine bucket, the reduce side hashes what arrived, and a
+        # mismatch triggers a charged re-fetch of the pristine rows.  No
+        # injector armed -> zero extra work on the clean hot path.
+        corruptors = [c for c in self.corruption_injectors if c.matches()]
+        verify = self.fault_config.verify_shuffle_checksums
         for source_worker, buckets in map_outputs:
             for pid, rows in buckets.items():
                 if not rows:
                     continue
-                gathered[pid].extend(rows)
                 nbytes = rows_size(rows)
+                delivered = rows
+                for injector in corruptors:
+                    mangled = injector.corrupt(rows)
+                    if mangled is None:
+                        continue
+                    self.metrics.inc("shuffle_corruption_injected")
+                    if verify and rows_checksum(mangled) != rows_checksum(rows):
+                        refetch = self.cost_model.transfer_seconds(nbytes, 1)
+                        self.metrics.advance(refetch, label="corruption-recovery")
+                        self.metrics.inc("recovery_seconds", refetch)
+                        self.metrics.inc("shuffle_corruption_detected")
+                        self.metrics.inc("shuffle_corruption_refetch_bytes",
+                                         nbytes)
+                        self.tracer.leaf("fault", "shuffle-corruption",
+                                         partition=pid, bytes=nbytes)
+                    else:
+                        # Verification off (or an astronomically unlikely
+                        # hash collision): the mangled bucket flows through.
+                        self.metrics.inc("shuffle_corruption_undetected")
+                        delivered = mangled
+                gathered[pid].extend(delivered)
                 total_bytes += nbytes
                 total_records += len(rows)
                 if self.worker_for_partition(pid) != source_worker:
@@ -699,6 +748,30 @@ class Cluster:
         # Shuffle buffers occupy memory on the receiving workers until
         # the consuming stage releases them (repro.core.fixpoint does,
         # after the merge absorbs them into the cached state).
+        group = f"x{self._exchange_epoch}"
+        self._exchange_epoch += 1
+        dataset.memory_group = group
+        for part in parts:
+            if part.rows:
+                self.memory.charge("shuffle", group, part.index,
+                                   part.worker, part.size_bytes())
+        return dataset
+
+    def restore_exchange(self, per_partition_rows: list[list[tuple]],
+                         partitioner: HashPartitioner,
+                         key_indices: tuple[int, ...] | None = None) -> Dataset:
+        """Re-materialize a previously-exchanged dataset from a checkpoint.
+
+        The rows were already bucketed by target partition when the
+        checkpoint was cut, so no routing and no *network* time happens
+        here — the resume path charges the blob's disk read under the
+        ``"checkpoint"`` label instead.  Placement and shuffle-tier
+        memory charges are identical to the original :meth:`exchange`,
+        so the consuming merge stage releases the same group.
+        """
+        parts = [Partition(i, rows, self.worker_for_partition(i))
+                 for i, rows in enumerate(per_partition_rows)]
+        dataset = Dataset(parts, partitioner, key_indices)
         group = f"x{self._exchange_epoch}"
         self._exchange_epoch += 1
         dataset.memory_group = group

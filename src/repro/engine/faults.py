@@ -33,6 +33,7 @@ configured by :class:`FaultToleranceConfig`.
 
 from __future__ import annotations
 
+import random
 import re
 from dataclasses import dataclass, field
 
@@ -60,12 +61,33 @@ class FaultToleranceConfig:
     speculation_multiplier:
         A task is a straggler when its busy time exceeds this multiple
         of the stage's median task time (``spark.speculation.multiplier``).
+    backoff_jitter:
+        Fractional jitter added on top of the exponential retry backoff:
+        each backoff is multiplied by ``1 + jitter * u`` with ``u`` drawn
+        from the cluster's *seeded* RNG — never wall-clock entropy — so
+        two runs with the same seed and fault schedule charge identical
+        backoffs and chaos replays stay deterministic.  ``0.0`` (the
+        default) reproduces the pure exponential schedule bit-for-bit.
+    verify_shuffle_checksums:
+        Verify shuffle buckets against their map-side content hash on
+        the reduce side and recover (re-fetch, charged to the network)
+        on mismatch.  Checksums are only computed while a
+        :class:`CorruptionInjector` is armed, so clean runs pay nothing.
+        ``False`` lets injected corruption through — for tests proving
+        the verification matters.
     """
 
     max_task_retries: int = 4
     blacklist_after: int = 3
     speculation: bool = False
     speculation_multiplier: float = 1.5
+    backoff_jitter: float = 0.0
+    verify_shuffle_checksums: bool = True
+
+    def __post_init__(self):
+        if self.backoff_jitter < 0:
+            raise ValueError(
+                f"backoff_jitter must be >= 0, got {self.backoff_jitter!r}")
 
 
 @dataclass
@@ -185,18 +207,115 @@ class MemoryPressureInjector:
         self.injected += 1
 
 
+@dataclass
+class CorruptionInjector:
+    """Flip one value inside a shuffle bucket of a matching exchange.
+
+    Models an in-flight bit flip / torn frame on the wire: the reduce
+    side receives a bucket whose content no longer matches what the map
+    side hashed.  With ``verify_shuffle_checksums`` on (the default) the
+    cluster detects the mismatch, charges a re-fetch, and delivers the
+    pristine rows — results stay bit-exact; with verification off the
+    mangled rows flow through and the run diverges (which is the test
+    that the checksums earn their keep).
+
+    The victim bucket/row/column are drawn from a ``seed``-derived RNG,
+    never wall-clock entropy, so chaos schedules replay identically.
+    ``skip_matches`` counts *exchanges* (each shuffle is one match),
+    letting schedules strike random iterations.
+    """
+
+    skip_matches: int = 0
+    times: int = 1
+    seed: int = 0
+    injected: int = field(default=0, init=False)
+    _seen: int = field(default=0, init=False)
+    _armed: bool = field(default=False, init=False)
+
+    def __post_init__(self):
+        self._rng = random.Random((self.seed * 2654435761 + 97) % 2**32)
+
+    def matches(self) -> bool:
+        """Consult once per exchange; arms the injector for one bucket."""
+        if self.injected >= self.times or self._armed:
+            return False
+        self._seen += 1
+        if self._seen <= self.skip_matches:
+            return False
+        self._armed = True
+        return True
+
+    def corrupt(self, rows: list[tuple]) -> list[tuple] | None:
+        """Mangle one row of *rows* if armed; returns the corrupted copy."""
+        if not self._armed or not rows:
+            return None
+        self._armed = False
+        self.injected += 1
+        mangled = list(rows)
+        index = self._rng.randrange(len(mangled))
+        victim = mangled[index]
+        if victim:
+            column = self._rng.randrange(len(victim))
+            value = victim[column]
+            flipped = (value + 1) if isinstance(value, (int, float)) \
+                and not isinstance(value, bool) else "§corrupt"
+            mangled[index] = victim[:column] + (flipped,) + victim[column + 1:]
+        else:
+            mangled[index] = ("§corrupt",)
+        return mangled
+
+
+@dataclass
+class DriverKillInjector:
+    """Kill the *driver* when a matching stage is about to start.
+
+    Unlike every other injector, this one is unrecoverable in-process:
+    the cluster raises :class:`repro.errors.DriverCrashError` — which is
+    deliberately not a :class:`repro.errors.RaSQLError`, so no layer of
+    the engine or the serving stack absorbs it.  Chaos harnesses catch
+    it at the outermost level and model the restart (WAL replay +
+    checkpoint resume).  ``skip_matches``/``times`` follow
+    :class:`WorkerLossInjector`.
+    """
+
+    stage_pattern: str
+    skip_matches: int = 0
+    times: int = 1
+    injected: int = field(default=0, init=False)
+    _seen: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        self._regex = re.compile(self.stage_pattern)
+
+    def matches(self, stage_name: str) -> bool:
+        if self.injected >= self.times:
+            return False
+        if not self._regex.search(stage_name):
+            return False
+        self._seen += 1
+        return self._seen > self.skip_matches
+
+    def fire(self) -> None:
+        self.injected += 1
+
+
 class RecoveryManager:
     """Retry budget, backoff, and worker blacklisting for one cluster.
 
     The cluster consults this on every task failure; the manager only
     tracks *policy state* (per-worker failure tallies, the blacklist) —
-    the cluster owns execution and cost accounting.
+    the cluster owns execution and cost accounting.  ``rng`` is the
+    cluster's seeded random source; backoff jitter
+    (``FaultToleranceConfig.backoff_jitter``) draws from it exclusively,
+    keeping replays deterministic.
     """
 
-    def __init__(self, config: FaultToleranceConfig | None = None):
+    def __init__(self, config: FaultToleranceConfig | None = None,
+                 rng: random.Random | None = None):
         self.config = config or FaultToleranceConfig()
         self.failures_by_worker: dict[int, int] = {}
         self.blacklisted: set[int] = set()
+        self._rng = rng
 
     def record_failure(self, worker: int) -> bool:
         """Attribute one task failure to a worker.
@@ -222,5 +341,15 @@ class RecoveryManager:
                 stage=stage, task_index=task_index, attempts=failures)
 
     def backoff_seconds(self, base: float, failures: int) -> float:
-        """Exponential retry backoff charged to the simulated clock."""
-        return base * (2 ** max(0, failures - 1))
+        """Exponential retry backoff charged to the simulated clock.
+
+        With ``backoff_jitter`` configured, the backoff is stretched by
+        up to that fraction using the seeded RNG (decorrelating retry
+        storms the way wall-clock jitter would, without the
+        nondeterminism).
+        """
+        backoff = base * (2 ** max(0, failures - 1))
+        jitter = self.config.backoff_jitter
+        if jitter and self._rng is not None:
+            backoff *= 1.0 + jitter * self._rng.random()
+        return backoff

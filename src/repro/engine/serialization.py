@@ -9,11 +9,25 @@ deterministic wire-size estimate comparable to a compact binary row format
 paper broadcasts the *compressed* relation and lets each worker build its own
 hash table, instead of shipping a hash table that is "often 2X to 3X larger
 than the original".  We reproduce both effects as byte-count multipliers.
+
+Checkpoint blobs are the one place the engine *really* serializes state:
+:func:`dump_blob` / :func:`load_blob` persist a pickled payload behind a
+content hash (first line ``rasql-ckpt <sha256-hex>\\n``, then the pickle
+bytes), written atomically via a temp file + rename so a crash mid-write
+leaves either the previous checkpoint or none, never a torn one.
+:func:`rows_checksum` is the cheap order-insensitive integrity hash the
+shuffle path uses for corruption detection.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import zlib
 from dataclasses import dataclass
+
+from repro.errors import CheckpointCorruptionError, CheckpointError
 
 _NUMERIC_BYTES = 8
 _FIELD_OVERHEAD = 2
@@ -65,6 +79,74 @@ def rows_size(rows) -> int:
     step = n // _SAMPLE_THRESHOLD
     sampled = sum(row_size(rows[i]) for i in range(0, step * _SAMPLE_THRESHOLD, step))
     return int(sampled * (n / _SAMPLE_THRESHOLD))
+
+
+_BLOB_MAGIC = b"rasql-ckpt "
+
+
+def dump_blob(path: str, payload) -> int:
+    """Pickle *payload* to *path* behind a sha256 header, atomically.
+
+    Returns the number of bytes written.  The write goes to
+    ``<path>.tmp`` first and is renamed into place, so concurrent
+    readers (and a crash between the two steps) see either the old
+    complete blob or the new complete blob.
+    """
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _BLOB_MAGIC + hashlib.sha256(body).hexdigest().encode("ascii") + b"\n"
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.write(body)
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(f"cannot write checkpoint blob {path!r}: {exc}") from exc
+    return len(header) + len(body)
+
+
+def load_blob(path: str):
+    """Load a blob written by :func:`dump_blob`, verifying its hash.
+
+    Raises :class:`~repro.errors.CheckpointCorruptionError` when the
+    body's sha256 does not match the header (torn write, bit flip), and
+    :class:`~repro.errors.CheckpointError` when the file is unreadable
+    or not a checkpoint blob at all.
+    """
+    try:
+        with open(path, "rb") as fh:
+            header = fh.readline()
+            body = fh.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint blob {path!r}: {exc}") from exc
+    if not header.startswith(_BLOB_MAGIC):
+        raise CheckpointError(f"{path!r} is not a RaSQL checkpoint blob")
+    expected = header[len(_BLOB_MAGIC):].strip().decode("ascii", errors="replace")
+    actual = hashlib.sha256(body).hexdigest()
+    if actual != expected:
+        raise CheckpointCorruptionError(
+            f"checkpoint blob {path!r} failed its integrity check "
+            f"(header {expected[:12]}..., body {actual[:12]}...)")
+    try:
+        return pickle.loads(body)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise CheckpointCorruptionError(
+            f"checkpoint blob {path!r} verified but failed to unpickle: {exc}") from exc
+
+
+def rows_checksum(rows) -> int:
+    """Order-insensitive integrity hash of a row collection.
+
+    XOR of per-row crc32s over each row's ``repr`` — cheap enough for
+    the shuffle hot path (it only runs when a corruption injector is
+    armed), order-insensitive so map-side and reduce-side can hash in
+    whatever order they hold the rows, and sensitive to any single-value
+    mutation (``1`` vs ``1.0`` differ, matching bit-exactness).
+    """
+    digest = 0
+    for row in rows:
+        digest ^= zlib.crc32(repr(row).encode("utf-8", errors="replace"))
+    return digest
 
 
 @dataclass(frozen=True)

@@ -93,6 +93,24 @@ class SetRDD:
         self.versions[partition_index] += 1
         self._size_cache[partition_index] = None
 
+    def dump_state(self) -> dict:
+        """Whole-state dump for durable checkpoints (pickle-friendly)."""
+        return {"kind": "set",
+                "partitions": [list(p) for p in self.partitions]}
+
+    def load_state(self, dumped: dict) -> None:
+        """Restore a :meth:`dump_state` payload into this RDD.
+
+        Goes through :meth:`restore_partition`, so versions bump and the
+        kernel layer's cached derivatives invalidate — a resumed fixpoint
+        rebuilds its build tables instead of trusting cold caches.
+        """
+        if dumped.get("kind") != "set" or \
+                len(dumped["partitions"]) != self.num_partitions:
+            raise ValueError("checkpoint state does not match this SetRDD")
+        for index, rows in enumerate(dumped["partitions"]):
+            self.restore_partition(index, set(rows))
+
     def num_rows(self) -> int:
         return sum(len(p) for p in self.partitions)
 
@@ -254,6 +272,24 @@ class KeyedStateRDD:
         """Install a whole new partition (decomposed-plan write-back)."""
         self.partitions[partition_index] = state
         self._touch(partition_index)
+
+    def dump_state(self) -> dict:
+        """Whole-state dump for durable checkpoints (pickle-friendly).
+
+        Dict insertion order is preserved by pickling, so a restored
+        partition replays :meth:`partition_rows` in the same order as the
+        original — accumulating aggregates fold identically on resume.
+        """
+        return {"kind": "keyed",
+                "partitions": [dict(p) for p in self.partitions]}
+
+    def load_state(self, dumped: dict) -> None:
+        """Restore a :meth:`dump_state` payload (see ``SetRDD.load_state``)."""
+        if dumped.get("kind") != "keyed" or \
+                len(dumped["partitions"]) != self.num_partitions:
+            raise ValueError("checkpoint state does not match this KeyedStateRDD")
+        for index, state in enumerate(dumped["partitions"]):
+            self.restore_partition(index, state)
 
     def num_groups(self) -> int:
         return sum(len(p) for p in self.partitions)

@@ -108,15 +108,73 @@ class AdmissionRejectedError(RaSQLError):
     """Raised when the :class:`repro.core.governor.QueryGovernor` refuses
     a query: the concurrency slots (plus waiting room) are full, or the
     query's reserved memory would push total reservations past the
-    cluster's budget."""
+    cluster's budget.  ``retry_after_s`` is the governor's load-shedding
+    hint (the ``Retry-After`` header of an HTTP 503): an estimate, from
+    the current backlog, of when a resubmission could be admitted."""
 
     def __init__(self, message: str, label: str = "", reason: str = "",
-                 active: int = 0, reserved_bytes: int = 0):
+                 active: int = 0, reserved_bytes: int = 0,
+                 retry_after_s: float = 0.0):
         self.label = label
         self.reason = reason
         self.active = active
         self.reserved_bytes = reserved_bytes
+        self.retry_after_s = retry_after_s
         super().__init__(message)
+
+
+class CheckpointError(ExecutionError):
+    """Raised when a fixpoint checkpoint cannot be written or used.
+
+    Covers environmental failures (unwritable checkpoint dir) and
+    semantic mismatches (resuming against a catalog whose data changed
+    since the checkpoint was cut)."""
+
+
+class CheckpointNotFoundError(CheckpointError):
+    """Raised by :meth:`repro.RaSQLContext.resume` when no in-progress
+    checkpoint exists for the requested query id — either the query was
+    never run with checkpointing enabled, or it already completed and
+    its iteration files were garbage-collected."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """Raised when a checkpoint blob's content hash does not match its
+    header.  Resuming from a torn or bit-flipped checkpoint would
+    silently diverge from the clean run, so the loader refuses."""
+
+
+class WALError(RaSQLError):
+    """Raised when the serving write-ahead log cannot be replayed:
+    the recovered catalog does not match the bootstrap fingerprint the
+    WAL header recorded, or replaying an insert lands on a different
+    ``Catalog.data_version`` than the original execution logged."""
+
+
+class CircuitOpenError(RaSQLError):
+    """Raised by the serving circuit breaker when a query shape has
+    failed repeatedly and the breaker is shedding that shape's traffic.
+
+    ``retry_after_s`` says when the breaker will let a probe through
+    (half-open); resubmitting earlier fails immediately without
+    touching the cluster."""
+
+    def __init__(self, message: str, shape: str = "", failures: int = 0,
+                 retry_after_s: float = 0.0):
+        self.shape = shape
+        self.failures = failures
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
+class DriverCrashError(RuntimeError):
+    """An injected driver/service death (``DriverKillInjector``).
+
+    Deliberately **not** a :class:`RaSQLError`: the serving layer's
+    request loop catches ``RaSQLError`` and turns it into a failed
+    future, but a driver crash must take the whole process down —
+    nothing inside the service may absorb it.  Chaos harnesses catch it
+    at the outermost level and model the restart."""
 
 
 class FaultInjectionError(RaSQLError):

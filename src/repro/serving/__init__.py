@@ -16,21 +16,30 @@ Public API:
 - :class:`ServedView` — a named, maintained, snapshot-consistent view.
 - :class:`PlanCache` / :class:`ResultCache` — the shared caches.
 - :func:`run_workload` — the seeded mixed workload (CLI + benchmark).
+- :class:`WriteAheadLog` — durable request intent; feeds
+  :meth:`QueryService.recover` after a driver crash.
+- :class:`RetryPolicy` / :class:`CircuitBreaker` — transient-failure
+  retries (seeded jitter) and per-shape load shedding.
 """
 
 from repro.serving.cache import PlanCache, ResultCache, normalize_sql
+from repro.serving.resilience import CircuitBreaker, RetryPolicy
 from repro.serving.service import QueryFuture, QueryService
 from repro.serving.session import Session
 from repro.serving.views import ServedView
+from repro.serving.wal import WriteAheadLog
 from repro.serving.workload import run_workload
 
 __all__ = [
+    "CircuitBreaker",
     "PlanCache",
     "QueryFuture",
     "QueryService",
     "ResultCache",
+    "RetryPolicy",
     "ServedView",
     "Session",
+    "WriteAheadLog",
     "normalize_sql",
     "run_workload",
 ]

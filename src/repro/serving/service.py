@@ -45,18 +45,29 @@ key) and fans out to every served view reading that table.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.core.checkpoint import CheckpointStore, make_query_id
+from repro.core.config import ExecutionConfig
 from repro.core.context import _query_label
 from repro.core.streaming import IncrementalView
 from repro.engine.serialization import rows_size
-from repro.errors import AdmissionRejectedError, AnalysisError, RaSQLError
+from repro.errors import (
+    AdmissionRejectedError,
+    AnalysisError,
+    CircuitOpenError,
+    RaSQLError,
+    WALError,
+)
 from repro.relation import Relation
-from repro.serving.cache import PlanCache, ResultCache
+from repro.serving.cache import PlanCache, ResultCache, normalize_sql
+from repro.serving.resilience import CircuitBreaker, RetryPolicy
 from repro.serving.session import Session
 from repro.serving.views import ServedView
+from repro.serving.wal import WriteAheadLog
 
 
 @dataclass
@@ -80,7 +91,8 @@ class QueryFuture:
     error: Exception | None = None
     done: bool = False
     #: Where the answer came from: "executed", "result_cache",
-    #: "view_snapshot", "view_evaluated", "applied", or "rejected".
+    #: "view_snapshot", "view_evaluated", "applied", "rejected", or
+    #: "resumed" (continued from a durable checkpoint after recovery).
     source: str | None = None
     queued: bool = False
 
@@ -115,6 +127,11 @@ class _Request:
     view_name: str | None = None
     table: str | None = None
     rows: list = field(default_factory=list)
+    #: WAL recovery found this request in flight with checkpointing on:
+    #: try to continue its fixpoint from the durable checkpoint.
+    resume_checkpoint: bool = False
+    #: Transient-failure re-executions consumed so far (RetryPolicy).
+    retries: int = 0
 
 
 class QueryService:
@@ -122,7 +139,10 @@ class QueryService:
 
     def __init__(self, ctx, scheduler: str = "seeded", seed: int = 0,
                  service_overhead_s: float = 0.0005,
-                 plan_cache_size: int = 128, result_cache_size: int = 256):
+                 plan_cache_size: int = 128, result_cache_size: int = 256,
+                 wal_path: str | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 circuit_breaker: CircuitBreaker | None = None):
         if scheduler not in ("fifo", "seeded"):
             raise ValueError(
                 f"scheduler must be 'fifo' or 'seeded', got {scheduler!r}")
@@ -145,6 +165,29 @@ class QueryService:
         #: Execution order of completed requests (request ids), which the
         #: interleaving differential replays serially.
         self.execution_order: list[int] = []
+        self.retry_policy = retry_policy or RetryPolicy()
+        if self.retry_policy.rng is None:
+            # Seeded, decorrelated from the scheduler draw — never
+            # wall-clock entropy (replay-twice-identical contract).
+            self.retry_policy.rng = random.Random(
+                (seed * 2654435761 + 73) % 2**32)
+        self.breaker = circuit_breaker or CircuitBreaker()
+        #: Futures rebuilt by :meth:`recover` for in-flight WAL entries,
+        #: keyed by their original request id.
+        self.recovered_futures: dict[int, QueryFuture] = {}
+        self._replaying = False
+        self.wal = WriteAheadLog(wal_path) if wal_path else None
+        if self.wal is not None and self.wal.seq == 0:
+            # Fresh log: stamp the bootstrap epoch.  Recovery refuses a
+            # catalog whose data_version differs (completed inserts are
+            # re-applied from the log on top of the bootstrap state).
+            self.wal.append({"type": "header", "seed": seed,
+                             "scheduler": scheduler,
+                             "data_version": ctx.catalog.data_version})
+
+    def _log(self, rec: dict) -> None:
+        if self.wal is not None and not self._replaying:
+            self.wal.append(rec)
 
     # ------------------------------------------------------------------
     # sessions and views
@@ -175,6 +218,7 @@ class QueryService:
         served = ServedView(name, view)
         self._views[key] = served
         self.metrics.inc("serving_views_created")
+        self._log({"type": "create_view", "name": name, "sql": sql})
         return served
 
     def view(self, name: str) -> ServedView:
@@ -193,6 +237,14 @@ class QueryService:
         """Submit a SQL statement; returns immediately with a future."""
         future = self._new_future(session, "sql", _query_label(sql))
         session.counters.inc("sql_queries")
+        # Intent is durable *before* admission: a rejected request still
+        # leaves a (submit, complete) pair, an admitted one that dies
+        # mid-flight leaves submit-without-complete for re-admission.
+        self._log({"type": "submit", "request_id": future.request_id,
+                   "session": session.name, "kind": "sql",
+                   "label": future.label, "sql": sql,
+                   "config": (dataclasses.asdict(config)
+                              if config is not None else None)})
         estimate = self.ctx._estimate_query_bytes(sql)
         request = self._admit(future, session, estimate)
         if request is not None:
@@ -207,6 +259,9 @@ class QueryService:
         future = self._new_future(session, "view_read",
                                   f"read view {served.name}")
         session.counters.inc("view_reads")
+        self._log({"type": "submit", "request_id": future.request_id,
+                   "session": session.name, "kind": "view_read",
+                   "label": future.label, "view_name": served.name})
         request = self._admit(future, session, estimated_bytes=0)
         if request is not None:
             request.view_name = served.name
@@ -219,6 +274,10 @@ class QueryService:
         future = self._new_future(session, "insert",
                                   f"insert {len(rows)} rows into {table}")
         session.counters.inc("inserts")
+        self._log({"type": "submit", "request_id": future.request_id,
+                   "session": session.name, "kind": "insert",
+                   "label": future.label, "table": table,
+                   "rows": [list(r) for r in rows]})
         request = self._admit(future, session, rows_size(rows))
         if request is not None:
             request.table = table
@@ -297,23 +356,63 @@ class QueryService:
                                  label="serving-overhead")
         self.execution_order.append(future.request_id)
         try:
-            if future.kind == "sql":
-                value, source = self._run_sql_request(request)
-            elif future.kind == "view_read":
-                value, source = self._run_view_read(request)
-            else:
-                value, source = self._run_insert(request)
-        except RaSQLError as exc:
-            self._finish(future, request.session, error=exc, source="error")
-        else:
-            self._finish(future, request.session, value=value, source=source)
+            while True:
+                try:
+                    if future.kind == "sql":
+                        value, source = self._run_sql_request(request)
+                    elif future.kind == "view_read":
+                        value, source = self._run_view_read(request)
+                    else:
+                        value, source = self._run_insert(request)
+                except RaSQLError as exc:
+                    if (future.kind == "sql"
+                            and self.retry_policy.should_retry(
+                                exc, request.retries)):
+                        # Transient infrastructure failure: hold the
+                        # ticket, back off (seeded jitter), re-execute.
+                        backoff = self.retry_policy.backoff_s(
+                            request.retries)
+                        request.retries += 1
+                        self.metrics.inc("serving_retries")
+                        request.session.counters.inc("retries")
+                        if backoff > 0:
+                            self.metrics.advance(backoff,
+                                                 label="retry-backoff")
+                        continue
+                    # The original typed error reaches the future intact
+                    # — payloads (partial_trace, requested_bytes,
+                    # retry_after_s) are part of the API contract.
+                    self._finish(future, request.session, error=exc,
+                                 source="error")
+                else:
+                    self._finish(future, request.session, value=value,
+                                 source=source)
+                return future
         finally:
             # The one place tickets die: success, analysis errors,
             # deadline aborts, memory overflows all pass through here.
+            # (A DriverCrashError skips it by design — the process is
+            # dead; recovery re-admits from the WAL.)
             self.ctx.governor.release(request.ticket)
-        return future
 
     def _run_sql_request(self, request: _Request) -> tuple[Relation, str]:
+        sql = request.sql
+        shape = normalize_sql(sql)
+        try:
+            self.breaker.check(shape, self.metrics.sim_time)
+        except CircuitOpenError:
+            self.metrics.inc("serving_circuit_shed")
+            request.session.counters.inc("circuit_shed")
+            raise
+        try:
+            value, source = self._run_sql_inner(request)
+        except RaSQLError:
+            self.breaker.record_failure(shape, self.metrics.sim_time)
+            raise
+        self.breaker.record_success(shape)
+        return value, source
+
+    def _run_sql_inner(self, request: _Request) -> tuple[Relation, str]:
         session, sql = request.session, request.sql
         config = request.config or self.ctx.config
         catalog = self.ctx.catalog
@@ -323,6 +422,23 @@ class QueryService:
             session.counters.inc("result_cache_hits")
             return cached, "result_cache"
 
+        ticket = request.ticket
+        admission = {"queued": ticket.queued, "wait_s": ticket.wait_s,
+                     "reserved_bytes": ticket.reserved_bytes,
+                     "session": session.name}
+
+        if request.resume_checkpoint and config.checkpointing:
+            qid = make_query_id(sql)
+            if CheckpointStore(config.checkpoint_dir).has_resumable(qid):
+                result = self.ctx.resume_admitted(
+                    qid, config, label=request.future.label,
+                    admission=admission)
+                self.metrics.inc("serving_checkpoint_resumes")
+                self.result_cache.store(result_key, result)
+                return result, "resumed"
+            # Crashed before its first checkpoint: plain re-execution.
+            request.resume_checkpoint = False
+
         plan_key = self.plan_cache.key(sql, catalog, config)
         plan_found, analyzed = self.plan_cache.lookup(plan_key)
         if plan_found:
@@ -331,10 +447,6 @@ class QueryService:
             analyzed = self.ctx.analyze_query(sql, config)
             self.plan_cache.store(plan_key, analyzed)
 
-        ticket = request.ticket
-        admission = {"queued": ticket.queued, "wait_s": ticket.wait_s,
-                     "reserved_bytes": ticket.reserved_bytes,
-                     "session": session.name}
         result = self.ctx.execute_admitted(
             sql, config, label=request.future.label, analyzed=analyzed,
             admission=admission)
@@ -376,6 +488,132 @@ class QueryService:
         self._completed.append(future)
         session.counters.inc("failed" if error is not None else "completed")
         session.counters.inc("latency_s", future.latency_s)
+        self._log({"type": "complete", "request_id": future.request_id,
+                   "ok": error is None, "source": source,
+                   "error": type(error).__name__ if error else None,
+                   "data_version": self.ctx.catalog.data_version})
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, ctx, wal_path: str, **kwargs) -> "QueryService":
+        """Rebuild a crashed service from its write-ahead log.
+
+        ``ctx`` must hold the *bootstrap* catalog — the base tables as
+        they were when the dead service was constructed (its WAL header
+        pinned that ``data_version``); every visible change since then
+        came through the service and is replayed from the log: served
+        views are re-created, completed inserts re-applied in their
+        original completion order (each checked against the
+        ``data_version`` it originally landed on), ``execution_order``
+        is pre-filled with the completed prefix, and submitted-but-
+        unfinished requests are re-admitted with their original request
+        ids (checkpointed SQL queries resume their fixpoint from the
+        last durable iteration).  ``drain()`` the returned service to
+        run the re-admitted backlog; :attr:`recovered_futures` maps the
+        original request ids to the new futures.
+        """
+        records, truncated = WriteAheadLog.read(wal_path)
+        if not records or records[0].get("type") != "header":
+            raise WALError(
+                f"WAL {wal_path!r} has no header record — not a service "
+                f"log, or its first line was lost")
+        header = records[0]
+        if ctx.catalog.data_version != header["data_version"]:
+            raise WALError(
+                f"recovered catalog is at data_version "
+                f"{ctx.catalog.data_version} but the WAL was bootstrapped "
+                f"at {header['data_version']}; restore the base tables to "
+                f"their bootstrap state first — completed inserts are "
+                f"re-applied from the log")
+        service = cls(ctx, scheduler=header["scheduler"],
+                      seed=header["seed"], wal_path=wal_path, **kwargs)
+        service._replaying = True
+        try:
+            service._replay(records[1:])
+        finally:
+            service._replaying = False
+        if truncated:
+            service.metrics.inc("wal_torn_lines", truncated)
+        service.metrics.inc("serving_recoveries")
+        return service
+
+    def _replay(self, records: list[dict]) -> None:
+        submits: dict[int, dict] = {}
+        max_id = 0
+        for rec in records:
+            if rec["type"] == "submit":
+                submits[rec["request_id"]] = rec
+                max_id = max(max_id, rec["request_id"])
+
+        for rec in records:
+            kind = rec["type"]
+            if kind == "create_view":
+                self.create_view(rec["name"], rec["sql"])
+            elif kind == "complete":
+                rid = rec["request_id"]
+                sub = submits.pop(rid, None)
+                if sub is None:
+                    raise WALError(
+                        f"WAL complete record for request #{rid} has no "
+                        f"matching submit — log is damaged beyond a torn "
+                        f"tail")
+                if rec.get("source") != "rejected":
+                    self.execution_order.append(rid)
+                if sub["kind"] == "insert" and rec["ok"]:
+                    rows = [tuple(r) for r in sub["rows"]]
+                    appended = self.ctx.catalog.append_rows(
+                        sub["table"], rows)
+                    if appended:
+                        key = sub["table"].lower()
+                        for served in self._views.values():
+                            if key in served.tables:
+                                served.maintain(sub["table"], rows)
+                    self.metrics.inc("wal_replayed_inserts")
+                    logged = rec.get("data_version")
+                    if (logged is not None
+                            and self.ctx.catalog.data_version != logged):
+                        raise WALError(
+                            f"insert #{rid} replayed to data_version "
+                            f"{self.ctx.catalog.data_version} but "
+                            f"originally landed on {logged} — the "
+                            f"recovered catalog diverged from the logged "
+                            f"history")
+
+        # Whatever never completed was in flight when the driver died:
+        # re-admit under the original request ids, in submission order.
+        for rid in sorted(submits):
+            sub = submits[rid]
+            session = self.session(sub["session"])
+            future = QueryFuture(request_id=rid, session=sub["session"],
+                                 kind=sub["kind"], label=sub["label"],
+                                 submitted_at=self.metrics.sim_time)
+            if sub["kind"] == "sql":
+                estimate = self.ctx._estimate_query_bytes(sub["sql"])
+            elif sub["kind"] == "insert":
+                estimate = rows_size([tuple(r) for r in sub["rows"]])
+            else:
+                estimate = 0
+            request = self._admit(future, session, estimate)
+            if request is not None:
+                if sub["kind"] == "sql":
+                    config = (ExecutionConfig(**sub["config"])
+                              if sub.get("config") else None)
+                    request.sql = sub["sql"]
+                    request.config = config
+                    effective = config or self.ctx.config
+                    request.resume_checkpoint = bool(
+                        effective.checkpointing)
+                elif sub["kind"] == "view_read":
+                    request.view_name = sub["view_name"]
+                else:
+                    request.table = sub["table"]
+                    request.rows = [tuple(r) for r in sub["rows"]]
+            self.recovered_futures[rid] = future
+            self.metrics.inc("wal_readmitted")
+        self._next_request_id = max(max_id + 1, self._next_request_id)
 
     # ------------------------------------------------------------------
     # observability
@@ -391,6 +629,7 @@ class QueryService:
             "pending": len(self._pending),
             "completed": len(self._completed),
             "governor": self.ctx.governor.report(),
+            "circuit_breaker": self.breaker.report(),
             "plan_cache": self.plan_cache.report(),
             "result_cache": self.result_cache.report(),
             "views": {v.name: v.report() for v in self._views.values()},

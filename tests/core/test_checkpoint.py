@@ -1,0 +1,172 @@
+"""Unit tests for the durable-checkpoint store and blob format."""
+
+import json
+import os
+
+import pytest
+
+from repro import RaSQLContext
+from repro.core.checkpoint import (
+    CheckpointStore,
+    catalog_fingerprint,
+    make_query_id,
+)
+from repro.core.config import ExecutionConfig
+from repro.engine.serialization import dump_blob, load_blob, rows_checksum
+from repro.errors import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointNotFoundError,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+# ----------------------------------------------------------------------
+# blob format
+# ----------------------------------------------------------------------
+
+
+def test_blob_round_trip(tmp_path):
+    path = str(tmp_path / "x.ckpt")
+    payload = {"iteration": 4, "delta": [9, 3, 1],
+               "rows": [(1, "a"), (2, "b")]}
+    nbytes = dump_blob(path, payload)
+    assert nbytes > 0 and os.path.getsize(path) > 0
+    assert load_blob(path) == payload
+
+
+def test_blob_write_is_atomic(tmp_path):
+    path = str(tmp_path / "x.ckpt")
+    dump_blob(path, {"v": 1})
+    dump_blob(path, {"v": 2})  # replaces, never truncates in place
+    assert load_blob(path) == {"v": 2}
+    assert not os.path.exists(path + ".tmp")
+
+
+@pytest.mark.parametrize("mangle", ["flip", "truncate", "garbage"])
+def test_corrupted_blob_is_refused(tmp_path, mangle):
+    path = str(tmp_path / "x.ckpt")
+    dump_blob(path, {"iteration": 7, "rows": list(range(100))})
+    raw = open(path, "rb").read()
+    if mangle == "flip":
+        mangled = raw[:-3] + bytes([raw[-3] ^ 0xFF]) + raw[-2:]
+    elif mangle == "truncate":
+        mangled = raw[: len(raw) // 2]
+    else:
+        mangled = b"not a checkpoint at all"
+    open(path, "wb").write(mangled)
+    # Hash mismatches raise CheckpointCorruptionError; a file that is
+    # not a blob at all raises the base CheckpointError.
+    expected = (CheckpointError if mangle == "garbage"
+                else CheckpointCorruptionError)
+    with pytest.raises(expected):
+        load_blob(path)
+
+
+def test_rows_checksum_is_order_insensitive():
+    rows = [(1, "a"), (2, "b"), (3, "c")]
+    assert rows_checksum(rows) == rows_checksum(list(reversed(rows)))
+    assert rows_checksum(rows) != rows_checksum(rows[:-1])
+
+
+# ----------------------------------------------------------------------
+# ids and fingerprints
+# ----------------------------------------------------------------------
+
+
+def test_make_query_id_is_whitespace_insensitive():
+    a = make_query_id("SELECT  x\n FROM   t")
+    assert a == make_query_id("SELECT x FROM t")
+    assert a != make_query_id("SELECT y FROM t")
+    assert a.startswith("q") and len(a) == 13
+
+
+def test_catalog_fingerprint_tracks_data_not_row_order():
+    ctx = RaSQLContext(num_workers=2)
+    ctx.register_table("edge", ["Src", "Dst"], [(1, 2), (2, 3)])
+    before = catalog_fingerprint(ctx.catalog)
+
+    ctx2 = RaSQLContext(num_workers=2)
+    ctx2.register_table("edge", ["Src", "Dst"], [(2, 3), (1, 2)])
+    assert catalog_fingerprint(ctx2.catalog) == before
+
+    ctx.catalog.append_rows("edge", [(3, 4)])
+    assert catalog_fingerprint(ctx.catalog) != before
+
+
+# ----------------------------------------------------------------------
+# store lifecycle
+# ----------------------------------------------------------------------
+
+
+def _begin(store, qid="q0123456789ab"):
+    return store.begin(qid, sql="SELECT 1", config=ExecutionConfig(
+        checkpoint_interval=2, checkpoint_dir=store.root),
+        fingerprint="f" * 16)
+
+
+def test_store_lifecycle_keeps_only_latest_blob(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    qid = "q0123456789ab"
+    _begin(store, qid)
+    assert store.has_resumable(qid)  # in-progress even before a blob
+    assert store.load_resume_state(store.load_manifest(qid)) is None
+
+    store.save_iteration(qid, 0, 2, {"iteration": 2, "x": "a"})
+    store.save_iteration(qid, 0, 4, {"iteration": 4, "x": "b"})
+    blobs = [f for f in os.listdir(tmp_path / qid) if f.endswith(".ckpt")]
+    assert blobs == ["unit-0-iter-4.ckpt"]
+
+    state = store.load_resume_state(store.load_manifest(qid))
+    assert state["unit"] == 0 and state["payload"]["iteration"] == 4
+
+    store.mark_complete(qid)
+    assert not store.has_resumable(qid)
+    assert not [f for f in os.listdir(tmp_path / qid)
+                if f.endswith(".ckpt")]
+    manifest = store.load_manifest(qid)
+    assert manifest["status"] == "complete"
+
+
+def test_missing_and_tampered_manifest(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    with pytest.raises(CheckpointNotFoundError):
+        store.load_manifest("qdeadbeef0000")
+
+    qid = "q0123456789ab"
+    _begin(store, qid)
+    path = tmp_path / qid / "manifest.json"
+    wrapped = json.loads(path.read_text())
+    wrapped["manifest"]["catalog_fingerprint"] = "0" * 16  # crc now stale
+    path.write_text(json.dumps(wrapped))
+    fresh = CheckpointStore(str(tmp_path))  # no in-memory cache
+    with pytest.raises(CheckpointError):
+        fresh.load_manifest(qid)
+    assert not fresh.has_resumable(qid)
+
+
+def test_blob_iteration_must_match_manifest(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    qid = "q0123456789ab"
+    _begin(store, qid)
+    store.save_iteration(qid, 0, 2, {"iteration": 2})
+    # Overwrite the blob with a payload claiming a different iteration.
+    dump_blob(store.blob_path(qid, "unit-0-iter-2.ckpt"), {"iteration": 9})
+    with pytest.raises(CheckpointError):
+        store.load_resume_state(store.load_manifest(qid))
+
+
+# ----------------------------------------------------------------------
+# config knobs
+# ----------------------------------------------------------------------
+
+
+def test_checkpoint_config_validation():
+    assert not ExecutionConfig().checkpointing
+    assert not ExecutionConfig(checkpoint_interval=4).checkpointing
+    assert not ExecutionConfig(checkpoint_dir="/tmp/x").checkpointing
+    assert ExecutionConfig(checkpoint_interval=4,
+                           checkpoint_dir="/tmp/x").checkpointing
+    with pytest.raises(ValueError):
+        ExecutionConfig(checkpoint_interval=-1)

@@ -346,3 +346,84 @@ class TestSpeculation:
         tasks[3].mutating = True
         cluster.run_stage("work", tasks)
         assert cluster.metrics.get("speculative_tasks") == 0
+
+
+class TestShuffleCorruption:
+    """Checksum verification earns its keep: detected flips are
+    bit-exact, unverified flips visibly diverge.
+
+    Decomposed plans keep delta rows co-partitioned — the whole point of
+    the optimization is that iterations never shuffle — so the suite
+    turns them off to put a corruptible exchange on every iteration."""
+
+    TC = """
+WITH recursive tc(Src, Dst) AS
+  (SELECT Src, Dst FROM edge) UNION
+  (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
+SELECT Src, Dst FROM tc
+"""
+
+    def make_context(self, **kwargs):
+        from repro import RaSQLContext
+        ctx = RaSQLContext(num_workers=4, **kwargs)
+        ctx.register_table("edge", ["Src", "Dst"],
+                           [(i, i + 1) for i in range(16)] + [(4, 2)])
+        return ctx
+
+    def run_tc(self, ctx):
+        return sorted(
+            ctx.sql(self.TC,
+                    config=ctx.config.but(decomposed_plans=False)).rows)
+
+    def test_detected_corruption_is_bit_exact_and_charged(self):
+        from repro.engine.faults import CorruptionInjector
+        clean = self.run_tc(self.make_context())
+
+        ctx = self.make_context()
+        ctx.inject_faults(CorruptionInjector(skip_matches=2, times=3, seed=5))
+        got = self.run_tc(ctx)
+        snap = ctx.metrics.snapshot()
+        assert got == clean
+        assert snap["shuffle_corruption_injected"] >= 1
+        assert (snap["shuffle_corruption_detected"]
+                == snap["shuffle_corruption_injected"])
+        assert snap.get("shuffle_corruption_undetected", 0) == 0
+        assert snap["shuffle_corruption_refetch_bytes"] > 0
+        assert snap["recovery_seconds"] > 0
+
+    def test_unverified_corruption_flows_through_and_diverges(self):
+        from repro.engine.faults import CorruptionInjector
+        clean = self.run_tc(self.make_context())
+
+        ctx = self.make_context(fault_config=FaultToleranceConfig(
+            verify_shuffle_checksums=False))
+        ctx.inject_faults(CorruptionInjector(skip_matches=2, times=3, seed=5))
+        got = self.run_tc(ctx)
+        snap = ctx.metrics.snapshot()
+        assert snap["shuffle_corruption_undetected"] >= 1
+        assert snap.get("shuffle_corruption_detected", 0) == 0
+        # The mangled bucket reached the reduce side: the closure the
+        # fixpoint computes is no longer the clean one.
+        assert got != clean
+
+    def test_corruption_schedule_replays_identically(self):
+        from repro.engine.faults import CorruptionInjector
+
+        def discrete():
+            ctx = self.make_context()
+            ctx.inject_faults(CorruptionInjector(skip_matches=1, times=2,
+                                                 seed=9))
+            rows = self.run_tc(ctx)
+            snap = ctx.metrics.snapshot()
+            return (rows, snap["shuffle_corruption_injected"],
+                    snap["shuffle_corruption_refetch_bytes"])
+
+        assert discrete() == discrete()
+
+    def test_clean_runs_never_pay_for_checksums(self):
+        ctx = self.make_context()
+        self.run_tc(ctx)
+        snap = ctx.metrics.snapshot()
+        assert snap.get("shuffle_corruption_injected", 0) == 0
+        assert snap.get("shuffle_corruption_detected", 0) == 0
+        assert snap.get("shuffle_corruption_refetch_bytes", 0) == 0

@@ -1,0 +1,160 @@
+"""Kill-and-resume differentials: every library query, bit-exact.
+
+The durability claim mirrors Section 6.1's recovery claim one level up:
+where worker-loss recovery replays a *stage* from cached state, durable
+checkpoints replay a *driver* from persisted state.  For every query of
+the library, a run killed mid-fixpoint by a :class:`DriverKillInjector`
+and resumed in a fresh context must reproduce the uninterrupted run's
+result rows, total iteration count, and convergence verdict exactly.
+
+Seeds come from ``RASQL_RESILIENCE_SEEDS`` (comma-separated), so a
+failing ``(query, seed)`` pair reproduces locally::
+
+    RASQL_RESILIENCE_SEEDS=3 pytest tests/integration/test_checkpoint_resume.py -k sssp
+"""
+
+import os
+
+import pytest
+
+from repro import RaSQLContext
+from repro.chaos import run_with_kill_resume
+from repro.core.checkpoint import make_query_id
+from repro.engine.faults import DriverKillInjector
+from repro.errors import (
+    CheckpointError,
+    CheckpointNotFoundError,
+    DriverCrashError,
+    QueryDeadlineExceededError,
+)
+from tests.integration.test_chaos import QUERY_SETUPS, make_context_factory
+
+pytestmark = pytest.mark.resilience
+
+SEEDS = [int(s) for s in
+         os.environ.get("RASQL_RESILIENCE_SEEDS", "3").split(",")]
+
+TC = """
+WITH recursive tc(Src, Dst) AS
+  (SELECT Src, Dst FROM edge) UNION
+  (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
+SELECT Src, Dst FROM tc
+"""
+
+
+def _edge_context(rows=None):
+    ctx = RaSQLContext(num_workers=4)
+    ctx.register_table("edge", ["Src", "Dst"],
+                       rows or [(i, i + 1) for i in range(24)] + [(5, 2)])
+    return ctx
+
+
+@pytest.mark.timeout(120)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("query_name", sorted(QUERY_SETUPS))
+def test_kill_resume_bit_exact(query_name, seed, tmp_path):
+    _, make_query = QUERY_SETUPS[query_name]
+    report = run_with_kill_resume(make_query(),
+                                  make_context_factory(query_name),
+                                  str(tmp_path), seed=seed)
+    assert report.exact, f"{query_name}: {report.summary()}"
+
+
+@pytest.mark.timeout(60)
+def test_resume_from_mid_run_checkpoint(tmp_path):
+    """A kill that lands after several checkpoints restores, not reruns."""
+    cfg_dir = str(tmp_path)
+    clean_ctx = _edge_context()
+    cfg = clean_ctx.config.but(checkpoint_interval=4,
+                               checkpoint_dir=cfg_dir)
+    clean = clean_ctx.sql(TC, config=cfg)
+    clean_iters = clean_ctx.last_run.iterations
+
+    victim = _edge_context()
+    victim.inject_faults(DriverKillInjector("fixpoint", skip_matches=18))
+    with pytest.raises(DriverCrashError):
+        victim.sql(TC, config=cfg)
+
+    resumer = _edge_context()
+    resumed = resumer.resume(make_query_id(TC), checkpoint_dir=cfg_dir)
+    run = resumer.last_run
+    assert run.resumed_from > 0
+    assert run.checkpoint_summary()["checkpoint_restores"] == 1
+    assert sorted(resumed.rows) == sorted(clean.rows)
+    assert run.iterations == clean_iters
+    # Completion garbage-collects: a second resume has nothing to do.
+    with pytest.raises(CheckpointNotFoundError):
+        resumer.resume(make_query_id(TC), checkpoint_dir=cfg_dir)
+
+
+@pytest.mark.timeout(60)
+def test_deadline_killed_query_resumes_with_fresh_window(tmp_path):
+    """A deadline abort is just another crash: resume finishes the job."""
+    ctx = _edge_context()
+    cfg = ctx.config.but(checkpoint_interval=2,
+                         checkpoint_dir=str(tmp_path),
+                         deadline_seconds=0.15)
+    with pytest.raises(QueryDeadlineExceededError):
+        ctx.sql(TC, config=cfg)
+    qid = ctx.last_run.query_id
+    assert qid is not None
+
+    clean_ctx = _edge_context()
+    clean = clean_ctx.sql(TC)
+
+    resumer = _edge_context()
+    # The manifest replays deadline_seconds=0.15 too — override it.
+    resumed = resumer.resume(qid, checkpoint_dir=str(tmp_path),
+                             config=cfg.but(deadline_seconds=None))
+    assert resumer.last_run.resumed_from > 0
+    assert sorted(resumed.rows) == sorted(clean.rows)
+
+
+@pytest.mark.timeout(60)
+def test_crash_before_first_checkpoint_resumes_from_scratch(tmp_path):
+    ctx = _edge_context()
+    cfg = ctx.config.but(checkpoint_interval=1000,  # never due
+                         checkpoint_dir=str(tmp_path))
+    ctx.inject_faults(DriverKillInjector("fixpoint", skip_matches=3))
+    with pytest.raises(DriverCrashError):
+        ctx.sql(TC, config=cfg)
+
+    resumer = _edge_context()
+    resumed = resumer.resume(make_query_id(TC),
+                             checkpoint_dir=str(tmp_path))
+    assert resumer.last_run.resumed_from == 0
+    clean = _edge_context().sql(TC)
+    assert sorted(resumed.rows) == sorted(clean.rows)
+
+
+@pytest.mark.timeout(60)
+def test_resume_refuses_a_changed_catalog(tmp_path):
+    ctx = _edge_context()
+    cfg = ctx.config.but(checkpoint_interval=2, checkpoint_dir=str(tmp_path))
+    ctx.inject_faults(DriverKillInjector("fixpoint", skip_matches=12))
+    with pytest.raises(DriverCrashError):
+        ctx.sql(TC, config=cfg)
+
+    drifted = _edge_context(rows=[(i, i + 1) for i in range(10)])
+    with pytest.raises(CheckpointError, match="catalog"):
+        drifted.resume(make_query_id(TC), checkpoint_dir=str(tmp_path))
+
+
+@pytest.mark.timeout(60)
+def test_completed_run_leaves_no_resumable_state(tmp_path):
+    ctx = _edge_context()
+    cfg = ctx.config.but(checkpoint_interval=2, checkpoint_dir=str(tmp_path))
+    ctx.sql(TC, config=cfg)
+    with pytest.raises(CheckpointNotFoundError):
+        _edge_context().resume(make_query_id(TC),
+                               checkpoint_dir=str(tmp_path))
+
+
+@pytest.mark.timeout(60)
+def test_checkpointing_off_means_no_counters_and_no_files(tmp_path):
+    ctx = _edge_context()
+    ctx.sql(TC)
+    assert ctx.last_run.query_id is None
+    summary = ctx.last_run.checkpoint_summary()
+    assert all(v == 0 for v in summary.values())
+    assert not list(tmp_path.iterdir())

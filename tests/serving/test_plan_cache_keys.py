@@ -46,6 +46,8 @@ FLIP_VALUES = {
     "kernel_min_rows": 0,
     "max_iterations": 7,
     "deadline_seconds": 123.0,
+    "checkpoint_interval": 4,
+    "checkpoint_dir": "/tmp/rasql-plan-key-audit",
 }
 
 #: A query whose analyzed plan is magic_filters-sensitive: the final

@@ -1,0 +1,160 @@
+"""Snapshot epochs under racing inserts: pre- or post-, never torn.
+
+Every insert bumps ``catalog.data_version``, so a drained workload
+defines a ladder of *epochs*: epoch ``e`` is the catalog with the first
+``e`` inserts (in ``execution_order``) applied.  The consistency claim
+for the serving tier is that every read — ad-hoc SQL, a ResultCache
+hit, a ServedView read — answers from exactly the epoch at which the
+scheduler ran it.  A "torn" answer (some rows pre-insert, some post-)
+would match *no* rung of the ladder, so the positional differential
+below also proves snapshot isolation, not just eventual agreement.
+"""
+
+import pytest
+
+from repro import QueryGovernor, RaSQLContext
+from repro.serving import QueryService
+
+pytestmark = [pytest.mark.serving, pytest.mark.resilience]
+
+EDGES = [(0, 1), (1, 2), (2, 3), (3, 4), (1, 5)]
+#: Each insert extends reachability, so every epoch's answer differs.
+INSERTS = [[(4, 6)], [(6, 7), (7, 8)], [(5, 9)]]
+
+TC = """
+WITH recursive tc(Src, Dst) AS
+  (SELECT Src, Dst FROM edge) UNION
+  (SELECT tc.Src, edge.Dst FROM tc, edge WHERE tc.Dst = edge.Src)
+SELECT Src, Dst FROM tc
+"""
+
+
+def fresh_context():
+    ctx = RaSQLContext(num_workers=2)
+    ctx.register_table("edge", ["Src", "Dst"], list(EDGES))
+    return ctx
+
+
+def make_service(seed):
+    ctx = fresh_context()
+    ctx.governor = QueryGovernor(max_concurrent=16, max_queue=16,
+                                 metrics=ctx.metrics)
+    service = QueryService(ctx, scheduler="seeded", seed=seed)
+    service.create_view("reach", TC)
+    return service
+
+
+def epoch_ladder(service, ops, futures):
+    """Walk ``execution_order`` serially; the scheduler may have run the
+    inserts in any order, so the ladder is built from the *recorded*
+    interleaving: per read request the expected rows at its epoch, plus
+    the full set of rungs that existed at any point of the run."""
+    by_id = {f.request_id: op for op, f in zip(ops, futures)}
+    ctx = fresh_context()
+    expected, rungs, memo = {}, [], {}
+
+    def rung():
+        version = ctx.catalog.data_version
+        if version not in memo:
+            memo[version] = sorted(ctx.sql(TC).rows)
+            rungs.append(memo[version])
+        return memo[version]
+
+    rung()
+    for request_id in service.execution_order:
+        op = by_id[request_id]
+        if op[0] == "insert":
+            ctx.catalog.append_rows("edge", op[1])
+        else:
+            expected[request_id] = rung()
+    rung()
+    return expected, rungs
+
+
+def run_workload(seed):
+    """Interleave reads with the insert ladder under a seeded scheduler."""
+    service = make_service(seed)
+    ops, futures = [], []
+    deck = list(INSERTS)
+    for i in range(9):
+        session = service.session(f"s{i % 2}")
+        if i % 3 == 2 and deck:
+            rows = deck.pop(0)
+            ops.append(("insert", rows))
+            futures.append(session.insert("edge", rows))
+        elif i % 2 == 0:
+            ops.append(("view_read", None))
+            futures.append(session.read_view("reach"))
+        else:
+            ops.append(("sql", TC))
+            futures.append(session.sql(TC))
+    service.drain()
+    assert all(f.ok for f in futures), [f.error for f in futures]
+    return service, ops, futures
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_every_read_lands_on_exactly_its_epoch(seed):
+    service, ops, futures = run_workload(seed)
+    expected, _ = epoch_ladder(service, ops, futures)
+    for op, future in zip(ops, futures):
+        if op[0] == "insert":
+            continue
+        got = sorted(future.result().rows)
+        assert got == expected[future.request_id], (
+            f"request #{future.request_id} ({op[0]}, source="
+            f"{future.source}) answered from the wrong epoch — or from "
+            f"a torn mix matching no epoch at all")
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_no_answer_is_torn(seed):
+    """Weaker but direct: every observed answer is *some* rung."""
+    service, ops, futures = run_workload(seed)
+    _, rungs = epoch_ladder(service, ops, futures)
+    rung_set = {tuple(r) for r in rungs}
+    for op, future in zip(ops, futures):
+        if op[0] != "insert":
+            assert tuple(sorted(future.result().rows)) in rung_set
+
+
+def test_result_cache_is_epoch_keyed():
+    """A hit serves its own epoch; an insert forces a fresh computation."""
+    service = make_service(seed=0)
+    session = service.session("a")
+
+    first = session.sql(TC)
+    service.drain()
+    again = session.sql(TC)
+    service.drain()
+    assert first.source == "executed" and again.source == "result_cache"
+    assert sorted(again.result().rows) == sorted(first.result().rows)
+
+    session.insert("edge", INSERTS[0])
+    service.drain()
+    after = session.sql(TC)
+    service.drain()
+    # data_version moved: the stale entry is unreachable by key.
+    assert after.source == "executed"
+    assert sorted(after.result().rows) != sorted(first.result().rows)
+
+    ctx = fresh_context()
+    ctx.catalog.append_rows("edge", INSERTS[0])
+    assert sorted(after.result().rows) == sorted(ctx.sql(TC).rows)
+
+
+def test_served_view_reads_straddle_an_insert_cleanly():
+    service = make_service(seed=0)
+    session = service.session("a")
+    before = session.read_view("reach")
+    service.drain()
+    session.insert("edge", INSERTS[0])
+    service.drain()
+    after = session.read_view("reach")
+    service.drain()
+
+    pre = fresh_context()
+    post = fresh_context()
+    post.catalog.append_rows("edge", INSERTS[0])
+    assert sorted(before.result().rows) == sorted(pre.sql(TC).rows)
+    assert sorted(after.result().rows) == sorted(post.sql(TC).rows)
