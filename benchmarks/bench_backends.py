@@ -1,0 +1,229 @@
+"""Wall-clock A/B benchmark: process backend vs simulated; BENCH_7.json.
+
+Runs the headline RMAT-graph queries (tc, cc, sssp — the Section 8
+experiments) twice per trial — on the simulated single-interpreter
+backend (the deterministic oracle) and on the supervised real-process
+worker pool — interleaved so machine drift hits both sides equally,
+keeps the best-of-N minimum of both wall and CPU clocks, and asserts
+bit-exact rows and identical iteration counts inline.  Both contexts
+are built once per query so the process pool is warm (spawned, imports
+done) before the first timed sample; what is measured is steady-state
+query latency, not interpreter spawn cost.
+
+Modes:
+
+    python benchmarks/bench_backends.py             # full run -> "full"
+    python benchmarks/bench_backends.py --quick     # small run -> "quick"
+    python benchmarks/bench_backends.py --quick --check BENCH_7.json
+
+``--check`` re-measures and fails (exit 1) unless the process backend
+beats the simulated backend's wall clock on every headline query —
+**when more than one CPU core is available**.  Real parallelism cannot
+outrun a single interpreter on a single core (four workers time-slice
+one core and pay pickling on top), so on 1-core boxes the gate verifies
+bit-exactness and prints a visible skip for the speedup assertion; the
+committed BENCH_7.json records whatever the producing machine honestly
+measured, along with its core count.  CI runs this on multi-core
+runners, where the speedup gate is live.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro import ExecutionConfig, RaSQLContext
+from repro.datagen import rmat_graph
+from repro.queries.library import get_query
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_7.json"
+
+NUM_WORKERS = 4
+
+#: The queries the gate enforces — the library's long-running RMAT
+#: workloads, where per-iteration work is large enough to amortise the
+#: process backend's serialization overhead.
+HEADLINE = ("tc", "cc", "sssp")
+
+
+def cpu_cores() -> int:
+    """Cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _edge(rows, weighted=False):
+    columns = ("Src", "Dst", "Cost") if weighted else ("Src", "Dst")
+    return {"edge": (columns, rows)}
+
+
+def workloads(quick: bool):
+    """Ordered ``name -> (tables, sql)`` for the headline queries."""
+    sssp_n, cc_n, tc_n = (2_000, 2_000, 300) if quick else (8_000, 8_000, 600)
+    return {
+        "tc": (_edge(rmat_graph(tc_n, seed=7, weighted=False)),
+               get_query("tc").sql),
+        "cc": (_edge(rmat_graph(cc_n, seed=7, weighted=False)),
+               get_query("cc").sql),
+        "sssp": (_edge(rmat_graph(sssp_n, seed=7, weighted=True), True),
+                 get_query("sssp").formatted(source=0)),
+    }
+
+
+def make_context(tables, backend):
+    ctx = RaSQLContext(num_workers=NUM_WORKERS,
+                       config=ExecutionConfig(backend=backend))
+    for name, (columns, rows) in tables.items():
+        ctx.register_table(name, columns, rows)
+    return ctx
+
+
+def timed_sql(ctx, sql):
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    result = ctx.sql(sql)
+    wall = time.perf_counter() - wall
+    cpu = time.process_time() - cpu
+    return sorted(result.rows, key=repr), ctx.last_run.iterations, wall, cpu
+
+
+def bench_query(name, tables, sql, best_of):
+    """Paired simulated/process timing on warm contexts.
+
+    One sample = one simulated run immediately followed by one process
+    run, with the collector paused across the pair, so slow machine
+    drift and GC pauses hit both sides equally (see the committed
+    methodology note in bench_kernels.run_batch).
+    """
+    sim_ctx = make_context(tables, "simulated")
+    proc_ctx = make_context(tables, "process")
+    try:
+        if not proc_ctx.cluster.backend.remote_ready():
+            raise SystemExit(f"{name}: process pool failed to spawn")
+        # Warm-up pair: worker imports, term compilation, session paths.
+        rows_sim, iters_sim, _, _ = timed_sql(sim_ctx, sql)
+        rows_proc, iters_proc, _, _ = timed_sql(proc_ctx, sql)
+
+        sim = {"wall": float("inf"), "cpu": float("inf")}
+        proc = {"wall": float("inf"), "cpu": float("inf")}
+        for _ in range(best_of):
+            gc.collect()
+            gc.disable()
+            try:
+                rows_sim, iters_sim, wall_s, cpu_s = timed_sql(sim_ctx, sql)
+                rows_proc, iters_proc, wall_p, cpu_p = timed_sql(proc_ctx,
+                                                                 sql)
+            finally:
+                gc.enable()
+            sim["wall"] = min(sim["wall"], wall_s)
+            sim["cpu"] = min(sim["cpu"], cpu_s)
+            proc["wall"] = min(proc["wall"], wall_p)
+            proc["cpu"] = min(proc["cpu"], cpu_p)
+            if rows_proc != rows_sim:
+                raise SystemExit(f"{name}: process backend changed "
+                                 "result rows")
+            if iters_proc != iters_sim:
+                raise SystemExit(f"{name}: iteration count diverged "
+                                 f"({iters_proc} vs {iters_sim})")
+        supervision = proc_ctx.last_run.supervision_summary()
+        if supervision["process_tasks_shipped"] == 0:
+            raise SystemExit(f"{name}: no tasks reached the worker pool "
+                             "(plan fell back to driver-local execution)")
+        if supervision["process_backend_degradations"]:
+            raise SystemExit(f"{name}: process run degraded to the "
+                             "simulated oracle mid-benchmark")
+    finally:
+        proc_ctx.close()
+    return {
+        "wall_simulated_s": round(sim["wall"], 4),
+        "wall_process_s": round(proc["wall"], 4),
+        "cpu_simulated_s": round(sim["cpu"], 4),
+        "cpu_process_s": round(proc["cpu"], 4),
+        "speedup": round(sim["wall"] / max(proc["wall"], 1e-9), 3),
+        "iterations": iters_proc,
+        "bit_exact": True,
+        "rows": len(rows_proc),
+        "tasks_shipped": int(supervision["process_tasks_shipped"]),
+        "payload_bytes": int(supervision["process_payload_bytes"]),
+    }
+
+
+def measure(quick: bool, best_of: int) -> dict:
+    results = {}
+    for name, (tables, sql) in workloads(quick).items():
+        results[name] = bench_query(name, tables, sql, best_of)
+        r = results[name]
+        print(f"{name:6s} simulated={r['wall_simulated_s']:.3f}s "
+              f"process={r['wall_process_s']:.3f}s "
+              f"speedup={r['speedup']:.2f}x "
+              f"({r['tasks_shipped']} tasks shipped)")
+    return {"best_of": best_of, "num_workers": NUM_WORKERS,
+            "cores": cpu_cores(), "queries": results}
+
+
+def check(section: dict) -> int:
+    """Gate: process must beat simulated wall clock — on multi-core.
+
+    Bit-exactness and iteration parity were already asserted inline by
+    ``measure`` (a mismatch is an immediate SystemExit), so by the time
+    we get here correctness holds; this gate is purely about speed.
+    """
+    cores = section["cores"]
+    if cores <= 1:
+        print(f"check: only {cores} CPU core available — real processes "
+              "cannot beat a single interpreter on a single core; "
+              "SKIPPING the speedup gate (bit-exactness verified).")
+        return 0
+    failures = []
+    for name in HEADLINE:
+        got = section["queries"][name]["speedup"]
+        status = "ok" if got > 1.0 else "SLOWER"
+        print(f"check {name:6s} ({cores} cores) "
+              f"process-vs-simulated speedup={got:.2f}x  {status}")
+        if got <= 1.0:
+            failures.append(name)
+    if failures:
+        print("process backend slower than simulated on: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small graphs, fewer trials (CI perf smoke)")
+    parser.add_argument("--best-of", type=int, default=None,
+                        help="trials per query (default: 3, quick: 2)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="results file to update (default: BENCH_7.json)")
+    parser.add_argument("--check", type=pathlib.Path, metavar="BASELINE",
+                        nargs="?", const=DEFAULT_OUT,
+                        help="re-measure and enforce the multi-core speedup "
+                             "gate instead of updating --out")
+    args = parser.parse_args(argv)
+    best_of = args.best_of or (2 if args.quick else 3)
+    mode = "quick" if args.quick else "full"
+
+    section = measure(args.quick, best_of)
+    if args.check is not None:
+        return check(section)
+
+    path = args.out
+    existing = json.loads(path.read_text()) if path.exists() else {}
+    existing[mode] = section
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path} [{mode}] (cores={section['cores']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

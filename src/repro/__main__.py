@@ -37,6 +37,25 @@ def build_parser() -> argparse.ArgumentParser:
                              "file (repeatable)")
     parser.add_argument("--workers", type=int, default=4,
                         help="simulated worker count (default 4)")
+    parser.add_argument("--backend", default="simulated",
+                        choices=["simulated", "process"],
+                        help="execution backend: 'simulated' runs every "
+                             "task in-process on the deterministic oracle; "
+                             "'process' ships eligible fixpoint stages to "
+                             "a supervised pool of real worker processes "
+                             "(heartbeats, hung-task reaping, crash "
+                             "recovery) and falls back to simulated for "
+                             "everything else")
+    parser.add_argument("--liveness-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="process backend: reap a worker that has been "
+                             "silent for this many wall-clock seconds "
+                             "(default 5)")
+    parser.add_argument("--task-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="process backend: reap a worker whose current "
+                             "task has run for this many wall-clock "
+                             "seconds (default 30)")
     parser.add_argument("--explain", action="store_true",
                         help="print the plan instead of executing")
     parser.add_argument("--explain-analyze", action="store_true",
@@ -132,6 +151,18 @@ def make_context(args, config: ExecutionConfig) -> RaSQLContext:
 
         cluster_kwargs["memory_config"] = MemoryConfig(
             worker_budget_bytes=args.memory_budget)
+    if (getattr(args, "liveness_timeout", None) is not None
+            or getattr(args, "task_deadline", None) is not None):
+        from repro.engine.backend import ProcessConfig
+
+        defaults = ProcessConfig()
+        cluster_kwargs["process_config"] = ProcessConfig(
+            liveness_timeout=(args.liveness_timeout
+                              if args.liveness_timeout is not None
+                              else defaults.liveness_timeout),
+            task_deadline_s=(args.task_deadline
+                             if args.task_deadline is not None
+                             else defaults.task_deadline_s))
     ctx = RaSQLContext(num_workers=args.workers, config=config,
                        **cluster_kwargs)
     for spec in args.table:
@@ -394,6 +425,7 @@ def main(argv: list[str] | None = None) -> int:
             adaptive_joins=not args.no_adaptive_join,
             evaluation=args.evaluation,
             deadline_seconds=args.timeout,
+            backend=args.backend,
             **config_kwargs,
         )
     except ValueError as exc:

@@ -30,6 +30,7 @@ from repro.engine.faults import (
     DriverKillInjector,
     FailureInjector,
     MemoryPressureInjector,
+    ProcessKillInjector,
     WorkerLossInjector,
 )
 from repro.errors import DriverCrashError
@@ -38,14 +39,17 @@ __all__ = [
     "ChaosReport",
     "ChaosSchedule",
     "KillResumeReport",
+    "RealKillReport",
     "ServiceChaosReport",
     "ServiceOp",
+    "make_real_kill_schedule",
     "make_schedule",
     "make_service_schedule",
     "parse_fault_spec",
     "run_service_with_chaos",
     "run_with_chaos",
     "run_with_kill_resume",
+    "run_with_real_kills",
 ]
 
 _FAILURE_POINTS = ("before", "after")
@@ -157,6 +161,12 @@ def parse_fault_spec(spec: str):
         driver-kill:PATTERN[:key=value ...]     -> DriverKillInjector
         corruption[:key=value ...]              -> CorruptionInjector
 
+    And one process-backend kind (real signals against pool workers)::
+
+        process-kill:PATTERN[:key=value ...]    -> ProcessKillInjector
+
+    e.g. ``process-kill:fixpoint:signal=stop:skip_matches=2``.
+
     ``corruption`` takes no stage pattern (it strikes exchanges, counted
     by ``skip_matches``): ``corruption:skip_matches=2:seed=7``.
 
@@ -177,7 +187,7 @@ def parse_fault_spec(spec: str):
         if not sep:
             raise ValueError(f"bad fault option {option!r} in {spec!r} "
                              "(expected key=value)")
-        if key in ("point",):
+        if key in ("point", "signal"):
             kwargs[key] = value
         elif key in ("persistent",):
             kwargs[key] = value.lower() in ("1", "true", "yes")
@@ -205,11 +215,14 @@ def parse_fault_spec(spec: str):
         return MemoryPressureInjector(pattern, **kwargs)
     if kind == "driver-kill":
         return DriverKillInjector(pattern, **kwargs)
+    if kind == "process-kill":
+        return ProcessKillInjector(pattern, **kwargs)
     if kind == "corruption":
         return CorruptionInjector(**kwargs)
     raise ValueError(f"unknown fault kind {kind!r} in {spec!r} "
                      "(expected 'task', 'worker-loss', "
-                     "'memory-pressure', 'driver-kill', or 'corruption')")
+                     "'memory-pressure', 'driver-kill', 'process-kill', "
+                     "or 'corruption')")
 
 
 def _sorted_rows(rows: Sequence[tuple]) -> list[tuple]:
@@ -278,6 +291,105 @@ def run_with_chaos(query: str, make_context: Callable[[], "object"],
         baseline_sim_time=baseline_time,
         chaos_sim_time=run.sim_time,
         counters=run.fault_summary(),
+        trace=run.trace,
+    )
+
+
+# ----------------------------------------------------------------------
+# process-backend chaos: real signals against real worker processes
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RealKillReport:
+    """Outcome of one clean-simulated-vs-killed-process differential.
+
+    The baseline is the *simulated* backend (the deterministic oracle);
+    the chaos run executes on real worker processes while injectors
+    SIGKILL/SIGSTOP them mid-query.  Exactness asks for identical result
+    rows, identical iteration counts, and an identical convergence
+    verdict — recovery must not change what the query computes.
+    """
+
+    seed: int
+    matches: bool
+    iterations_match: bool
+    converged_match: bool
+    baseline_rows: int
+    chaos_rows: int
+    baseline_iterations: int
+    chaos_iterations: int
+    kills_fired: int
+    #: Supervision counters of the chaos run
+    #: (``RunInfo.supervision_summary``).
+    counters: dict[str, float] = field(default_factory=dict)
+    trace: dict | None = None
+
+    @property
+    def exact(self) -> bool:
+        return self.matches and self.iterations_match and self.converged_match
+
+    def summary(self) -> str:
+        verdict = "EXACT" if self.exact else "MISMATCH"
+        return (
+            f"real-kills[seed={self.seed} fired={self.kills_fired}] -> "
+            f"{verdict}: {self.chaos_rows} rows (clean "
+            f"{self.baseline_rows}), iter {self.chaos_iterations} (clean "
+            f"{self.baseline_iterations}); "
+            f"crashes={self.counters.get('process_worker_crashes', 0):.0f} "
+            f"reaps={self.counters.get('process_worker_reaps', 0):.0f} "
+            f"respawns={self.counters.get('process_worker_respawns', 0):.0f}")
+
+
+def make_real_kill_schedule(seed: int, kills: int = 1,
+                            stage_pattern: str = "fixpoint"
+                            ) -> list[ProcessKillInjector]:
+    """Seeded :class:`ProcessKillInjector` list: random signal (SIGKILL
+    or SIGSTOP) and a random number of matching stages skipped first, so
+    across seeds the strikes land in different fixpoint iterations."""
+    rng = random.Random(seed)
+    return [ProcessKillInjector(stage_pattern,
+                                signal=rng.choice(("kill", "stop")),
+                                skip_matches=rng.randrange(4),
+                                times=1)
+            for _ in range(kills)]
+
+
+def run_with_real_kills(query: str, make_context: Callable[[], "object"],
+                        injectors: Sequence[ProcessKillInjector],
+                        seed: int = 0) -> RealKillReport:
+    """Run a query on the simulated oracle and on the process backend
+    under real signal injection; compare bit-exactly.
+
+    ``make_context`` must accept a ``backend`` keyword and return a
+    fresh :class:`repro.RaSQLContext` on that backend with identical
+    deterministic tables each call.  The process context is closed
+    (pool torn down) before returning.
+    """
+    baseline_ctx = make_context(backend="simulated")
+    baseline = baseline_ctx.sql(query)
+    baseline_run = baseline_ctx.last_run
+
+    chaos_ctx = make_context(backend="process")
+    for injector in injectors:
+        chaos_ctx.cluster.inject_failures(injector)
+    try:
+        chaotic = chaos_ctx.sql(query)
+        run = chaos_ctx.last_run
+    finally:
+        chaos_ctx.close()
+
+    return RealKillReport(
+        seed=seed,
+        matches=_sorted_rows(baseline.rows) == _sorted_rows(chaotic.rows),
+        iterations_match=baseline_run.iterations == run.iterations,
+        converged_match=_converged(baseline_run) == _converged(run),
+        baseline_rows=len(baseline.rows),
+        chaos_rows=len(chaotic.rows),
+        baseline_iterations=baseline_run.iterations,
+        chaos_iterations=run.iterations,
+        kills_fired=sum(i.injected for i in injectors),
+        counters=run.supervision_summary(),
         trace=run.trace,
     )
 

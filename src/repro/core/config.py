@@ -116,6 +116,17 @@ class ExecutionConfig:
         deadline-exceeded query resumes from its last completed
         checkpointed iteration via :meth:`repro.RaSQLContext.resume`.
         CLI: ``--checkpoint DIR``.
+    backend:
+        ``"simulated"`` — the deterministic single-process cluster (the
+        oracle every differential suite compares against).
+        ``"process"`` — real OS worker processes (spawn-start
+        ``multiprocessing``) behind the same cluster abstraction, with
+        supervision: heartbeats, hung-task reaping, crash replay, poison
+        quarantine (see :mod:`repro.engine.backend`).  Results are
+        bit-exact either way; only wall-clock parallelism changes.
+        Knobs for the supervision layer live in
+        :class:`repro.engine.backend.ProcessConfig` (a cluster-level
+        concern, not a per-query plan knob).  CLI: ``--backend``.
     """
 
     evaluation: str = "dsn"
@@ -135,6 +146,7 @@ class ExecutionConfig:
     deadline_seconds: float | None = None
     checkpoint_interval: int = 0
     checkpoint_dir: str | None = None
+    backend: str = "simulated"
 
     @property
     def checkpointing(self) -> bool:
@@ -160,6 +172,8 @@ class ExecutionConfig:
             raise ValueError(
                 f"checkpoint_interval must be >= 0, got "
                 f"{self.checkpoint_interval}")
+        if self.backend not in ("simulated", "process"):
+            raise ValueError(f"unknown backend {self.backend!r}")
 
     def but(self, **changes) -> "ExecutionConfig":
         """A copy with some knobs changed (benchmark convenience)."""

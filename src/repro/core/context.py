@@ -49,6 +49,7 @@ from repro.engine.serialization import rows_size
 from repro.errors import (
     CheckpointError,
     CheckpointNotFoundError,
+    PoisonTaskError,
     QueryDeadlineExceededError,
 )
 from repro.relation import Relation
@@ -153,6 +154,23 @@ class RunInfo:
                 "cache_invalidated_bytes")
         return {key: self.metrics.get(key, 0) for key in keys}
 
+    def supervision_summary(self) -> dict[str, float]:
+        """Process-backend supervision counters (zeros when the run was
+        simulated or the pool stayed healthy).
+
+        Keys: ``process_tasks_shipped``, ``process_tasks_driver_local``,
+        ``process_heartbeats``, ``process_heartbeats_missed``,
+        ``process_worker_reaps``, ``process_worker_respawns``,
+        ``process_worker_crashes``, ``process_tasks_quarantined``,
+        ``process_backend_degradations``, ``process_payload_bytes``.
+        """
+        keys = ("process_tasks_shipped", "process_tasks_driver_local",
+                "process_heartbeats", "process_heartbeats_missed",
+                "process_worker_reaps", "process_worker_respawns",
+                "process_worker_crashes", "process_tasks_quarantined",
+                "process_backend_degradations", "process_payload_bytes")
+        return {key: self.metrics.get(key, 0) for key in keys}
+
     def profile_report(self) -> str:
         """An EXPLAIN-ANALYZE-style breakdown of where the time went."""
         total = sum(self.time_breakdown.values()) or 1.0
@@ -228,6 +246,8 @@ class RaSQLContext:
                     f"RaSQLContext needs at least one partition (or None "
                     f"for one per worker); got "
                     f"num_partitions={num_partitions!r}")
+        if cluster is None and (config or DEFAULT_CONFIG).backend == "process":
+            cluster_kwargs.setdefault("backend", "process")
         self.cluster = cluster or Cluster(
             num_workers=num_workers, num_partitions=num_partitions,
             **cluster_kwargs)
@@ -238,6 +258,15 @@ class RaSQLContext:
         if self.governor.metrics is None:
             self.governor.metrics = self.cluster.metrics
         self.last_run = RunInfo()
+
+    def close(self) -> None:
+        """Release cluster resources (the process pool, if any).
+
+        Idempotent; the simulated backend makes this a no-op, and the
+        process backend also tears itself down atexit, so calling close
+        is only required when a program creates many contexts.
+        """
+        self.cluster.shutdown()
 
     # ------------------------------------------------------------------
     # catalog management
@@ -505,9 +534,10 @@ class RaSQLContext:
                                     result_rows=len(final.rows))
                 if store is not None:
                     store.mark_complete(qid)
-        except QueryDeadlineExceededError as exc:
+        except (QueryDeadlineExceededError, PoisonTaskError) as exc:
             # The span closed (its ``finally`` ran), so the partial trace
-            # is complete up to the aborting stage.
+            # is complete up to the aborting stage (deadline) or the
+            # quarantining batch (poison pill).
             self._record_run(run, events_before, query_span, tracer)
             exc.partial_trace = run.trace
             raise

@@ -117,6 +117,164 @@ def _make_negator(view: PhysicalView) -> Callable[[tuple], tuple]:
     return negate
 
 
+def merge_into_state_partition(state, partition: int, rows: list[tuple],
+                               two_col: bool, splitter: Callable,
+                               assembler: Callable) -> list[tuple]:
+    """Union/aggregate rows into one state partition; return the fresh delta.
+
+    The driver's :meth:`FixpointOperator._merge_into_state` and the
+    process-backend worker (:mod:`repro.engine.backend.worker`) both call
+    this, so the merge semantics — the core of the oracle's bit-exactness
+    argument — exist exactly once.
+    """
+    if isinstance(state, SetRDD):
+        return state.union_in_place(partition, rows)
+    if two_col:
+        return state.merge_rows(partition, rows)
+    delta_pairs = state.merge(partition, [splitter(r) for r in rows])
+    return [assembler(key, values) for key, values in delta_pairs]
+
+
+def run_grouped_fixpoint(grouped_specs, broadcast_tables, delta_rows,
+                         max_iters: int) -> tuple[set, int]:
+    """Column-decomposed set fixpoint (see ``GroupedDedupSpec``).
+
+    Members live as ``prefix -> {last column}``; each round collects the
+    adjacency sets hit by the delta, unions them per prefix and subtracts
+    the already-known values — all C-level set algebra over bare column
+    values.  Duplicate derivations (the bulk of a transitive closure's
+    work) are collapsed before any row tuple is built or hashed.
+    ``derived_any`` mirrors the reference loop's accounting: a final
+    round that derives only duplicates still counts.  Shared verbatim by
+    the driver's decomposed path and the process-backend worker.
+    """
+    pair = all(len(spec.prefix) == 1 for spec in grouped_specs)
+    probes = []
+    for spec in grouped_specs:
+        col = spec.build_index
+        adj = {k: {r[col] for r in rows}
+               for k, rows in broadcast_tables[spec.step_id].items()}
+        probes.append((make_extractor(spec.probe),
+                       make_extractor(spec.prefix), adj.get))
+    seed = set(delta_rows)
+    members: dict = {}
+    for row in seed:
+        key = row[0] if pair else row[:-1]
+        known = members.get(key)
+        if known is None:
+            members[key] = {row[-1]}
+        else:
+            known.add(row[-1])
+    delta = list(seed)
+    iterations = 0
+    derived_any = False
+    while delta:
+        iterations += 1
+        if iterations > max_iters:
+            raise FixpointNotReachedError(
+                "decomposed local fixpoint exceeded budget",
+                iterations - 1)
+        groups: dict = {}
+        gget = groups.get
+        for probe, prefix, aget in probes:
+            for d in delta:
+                adj_set = aget(probe(d))
+                if adj_set is not None:
+                    key = prefix(d)
+                    group = gget(key)
+                    if group is None:
+                        groups[key] = [adj_set]
+                    else:
+                        group.append(adj_set)
+        derived_any = bool(groups)
+        delta = []
+        extend = delta.extend
+        mget = members.get
+        for key, sets in groups.items():
+            candidates = (sets[0] if len(sets) == 1
+                          else sets[0].union(*sets[1:]))
+            known = mget(key)
+            if known is None:
+                fresh = set(candidates)  # adj sets stay pristine
+                members[key] = fresh
+            else:
+                fresh = candidates - known
+                if not fresh:
+                    continue
+                known.update(fresh)
+            if pair:
+                extend((key, y) for y in fresh)
+            else:
+                extend(key + (y,) for y in fresh)
+    if derived_any:
+        # The reference loop runs one more (all-duplicate) round before
+        # its union comes back empty.
+        iterations += 1
+        if iterations > max_iters:
+            raise FixpointNotReachedError(
+                "decomposed local fixpoint exceeded budget",
+                iterations - 1)
+    if pair:
+        rows = {(key, y) for key, ys in members.items() for y in ys}
+    else:
+        rows = {key + (y,) for key, ys in members.items() for y in ys}
+    return rows, iterations
+
+
+def run_fused_fixpoint(dedup_fns, broadcast_tables, delta_rows,
+                       max_iters: int) -> tuple[set, int]:
+    """Set-view fast path: each generated term emits the round's derived
+    rows (duplicates included) from one comprehension, and the union pass
+    collapses to C-level set algebra.  The first occurrence of a new row
+    counts as fresh and every other derived occurrence as a duplicate —
+    exactly the reference loop's accounting — so ``dups`` reproduces its
+    iteration count: a final round that derives only duplicates still
+    counts there.  Shared verbatim by the driver's decomposed path and
+    the process-backend worker.
+    """
+    local_runtime = TermRuntime()
+    local_runtime.broadcast_tables = broadcast_tables
+    members = set(delta_rows)
+    delta = list(members)
+    single = dedup_fns[0] if len(dedup_fns) == 1 else None
+    iterations = 0
+    dups = 0
+    while delta:
+        iterations += 1
+        if iterations > max_iters:
+            raise FixpointNotReachedError(
+                "decomposed local fixpoint exceeded budget",
+                iterations - 1)
+        if single is not None:
+            derived = single(delta, 0, local_runtime)
+        else:
+            derived = []
+            for fn in dedup_fns:
+                derived.extend(fn(delta, 0, local_runtime))
+        fresh = set(derived)
+        fresh.difference_update(members)
+        dups = len(derived) - len(fresh)
+        members.update(fresh)
+        delta = list(fresh)
+    if dups:
+        # The reference loop runs one more (all-duplicate) round before
+        # its union comes back empty.
+        iterations += 1
+        if iterations > max_iters:
+            raise FixpointNotReachedError(
+                "decomposed local fixpoint exceeded budget",
+                iterations - 1)
+    return members, iterations
+
+
+def _remote_task_stub(*_inputs):
+    """Placeholder ``fn`` for payload-carrying tasks: the process backend
+    claims the whole batch, so this should never execute driver-side."""
+    raise RuntimeError(
+        "remote payload task executed driver-side; the process backend "
+        "should have claimed this batch")
+
+
 class FixpointOperator:
     """Evaluates one planned clique to its fixpoint on a cluster."""
 
@@ -164,6 +322,16 @@ class FixpointOperator:
         self._alt_builds: dict[tuple[int, int, str], object] = {}
         self.selector = (AdaptiveJoinSelector(cluster.metrics)
                          if self._adaptive else None)
+        # --- process-backend remote session (see engine/backend/) ---
+        #: True while iterate/decompose work ships to the worker pool.
+        self._remote = False
+        #: True once a remote *iterate* ran: final state lives worker-side
+        #: and must be collected before results are read.
+        self._remote_collect = False
+        self._session_id: str | None = None
+        #: Per-view |D| of the last remote iteration (the driver's
+        #: ``_current_d`` stays empty in remote mode).
+        self._remote_delta_by_view: dict[str, int] = {}
         self._validate()
 
     def resolve(self, name: str) -> Relation:
@@ -561,15 +729,9 @@ class FixpointOperator:
                 set(state.partitions[partition])
                 if isinstance(state, SetRDD)
                 else dict(state.partitions[partition])))
-        if isinstance(state, SetRDD):
-            fresh = state.union_in_place(partition, rows)
-        elif self._two_col[view_name]:
-            fresh = state.merge_rows(partition, rows)
-        else:
-            splitter = self.splitters[view_name]
-            assembler = self.assemblers[view_name]
-            delta_pairs = state.merge(partition, [splitter(r) for r in rows])
-            fresh = [assembler(key, values) for key, values in delta_pairs]
+        fresh = merge_into_state_partition(
+            state, partition, rows, self._two_col[view_name],
+            self.splitters[view_name], self.assemblers[view_name])
         memory.charge("state", view_name, partition,
                       self.cluster.worker_for_partition(partition),
                       state.partition_size_bytes(partition))
@@ -777,6 +939,69 @@ class FixpointOperator:
         self.selector = None
         self.cluster.metrics.inc("kernel_small_input_gate")
 
+    # ------------------------------------------------------------------
+    # process-backend remote sessions (see repro.engine.backend)
+    # ------------------------------------------------------------------
+
+    def _remote_eligible(self) -> bool:
+        """True when this clique's per-iteration work can ship to the
+        process pool bit-exactly.
+
+        The worker mirrors the *kernels-mode DSN combined-stage* hot path
+        (and the grouped/fused decomposed runners) — nothing else.  Every
+        feature that reads driver-side state mid-iteration (gather joins,
+        checkpoints, memory budgets, simulated fault injectors, sim-time
+        deadlines) keeps the query on the simulated oracle.  The gate can
+        only route *where* the work runs; results are identical either
+        way, which the ``process_backend`` differential suite enforces.
+        """
+        config = self.config
+        cluster = self.cluster
+        if not cluster.backend.remote_ready():
+            return False
+        if config.evaluation != "dsn" or not config.stage_combination:
+            return False
+        if not config.use_setrdd or not self._use_kernels:
+            return False
+        if self.checkpointer is not None or config.deadline_seconds is not None:
+            return False
+        if cluster.memory.budget_bytes is not None:
+            return False
+        if (cluster.failure_injectors or cluster.worker_loss_injectors
+                or cluster.memory_pressure_injectors
+                or cluster.corruption_injectors
+                or cluster.driver_kill_injectors):
+            return False
+        for term in self.planned.terms:
+            fn = term.codegen_fn
+            if fn is None or getattr(fn, "_generated_source", None) is None:
+                return False
+            for step in term.steps:
+                if isinstance(step, HashJoinStep) and step.gather:
+                    return False
+        return True
+
+    def _install_remote_session(self) -> None:
+        from repro.engine.backend.payloads import build_install_spec
+
+        backend = self.cluster.backend
+        sid = backend.new_session_id()
+        backend.install_session(build_install_spec(self, sid))
+        self._session_id = sid
+        self._remote = True
+
+    def _collect_remote_states(self) -> None:
+        """Pull final state partitions back from the pool into the
+        driver's (empty) state structures before results are read."""
+        if not self._remote_collect:
+            return
+        self._remote_collect = False
+        collected = self.cluster.backend.collect_states(self._session_id)
+        for name, parts in collected.items():
+            state = self.states[name]
+            for partition, data in parts.items():
+                state.replace_partition(partition, data)
+
     def execute(self, resume: dict | None = None) -> FixpointResult:
         """Run the clique to its fixpoint.
 
@@ -803,19 +1028,35 @@ class FixpointOperator:
                               resumed_from=resume["iteration"],
                               delta_history=list(delta_history))
                 return self._finish(iterations, delta_history)
-            incoming = self._evaluate_base_rules()
+            if self._remote_eligible():
+                self._install_remote_session()
+            try:
+                incoming = self._evaluate_base_rules()
 
-            if self.planned.decomposable and self.config.evaluation == "dsn" \
-                    and self.checkpointer is None:
-                iterations = self._execute_decomposed(incoming)
-                span.annotate(iterations=iterations, mode="decomposed")
-                return self._finish(iterations, [])
+                if self.planned.decomposable \
+                        and self.config.evaluation == "dsn" \
+                        and self.checkpointer is None:
+                    iterations = self._execute_decomposed(incoming)
+                    span.annotate(iterations=iterations, mode="decomposed")
+                    return self._finish(iterations, [])
 
-            iterations, delta_history = self._run_to_fixpoint(incoming)
-            span.annotate(iterations=iterations,
-                          mode=self.config.evaluation,
-                          delta_history=list(delta_history))
-            return self._finish(iterations, delta_history)
+                try:
+                    iterations, delta_history = self._run_to_fixpoint(incoming)
+                except FixpointNotReachedError as exc:
+                    if self._remote_collect:
+                        self._collect_remote_states()
+                        exc.partial_result = self._relations()
+                    raise
+                self._collect_remote_states()
+                span.annotate(iterations=iterations,
+                              mode=self.config.evaluation,
+                              delta_history=list(delta_history))
+                return self._finish(iterations, delta_history)
+            finally:
+                if self._remote:
+                    self.cluster.backend.release_session(self._session_id)
+                    self._remote = False
+                    self._session_id = None
 
     def _run_to_fixpoint(self, incoming: dict[str, Dataset],
                          start_iterations: int = 0,
@@ -860,9 +1101,11 @@ class FixpointOperator:
                 iter_hwm = memory.iteration_high_water()
                 span.annotate(
                     delta_total=d_total,
-                    delta_by_view={
-                        name: sum(len(rows) for rows in partitions)
-                        for name, partitions in self._current_d.items()},
+                    delta_by_view=(
+                        dict(self._remote_delta_by_view) if self._remote
+                        else {
+                            name: sum(len(rows) for rows in partitions)
+                            for name, partitions in self._current_d.items()}),
                     memory_peak_bytes=max(iter_hwm.values(), default=0),
                     memory_hwm_by_worker={f"w{w}": nbytes
                                           for w, nbytes in iter_hwm.items()})
@@ -1002,6 +1245,47 @@ class FixpointOperator:
             inputs.append(partitions[partition])
         return inputs
 
+    def _iterate_remote(self, incoming: dict[str, Dataset]
+                        ) -> tuple[dict[str, Dataset], int]:
+        """One combined iteration with merge/derive/route on the pool.
+
+        The driver only ships each partition's incoming delta rows and
+        routes the returned shuffle buckets between iterations; the
+        all-relation state lives worker-side until
+        :meth:`_collect_remote_states`.  Tasks carry picklable payloads
+        instead of closures, which is what makes the process backend
+        claim the batch (``wants_batch``).
+        """
+        self._remote_collect = True
+        view_names = list(self.planned.views)
+        sid = self._session_id
+        tasks = []
+        for p in range(self.n):
+            rows_by_view = {}
+            for name in view_names:
+                rows = incoming[name].partitions[p].rows
+                if rows:
+                    rows_by_view[name] = list(rows)
+            tasks.append(StageTask(
+                p, self._stage_inputs(incoming, p), _remote_task_stub,
+                preferred_worker=self.cluster.worker_for_partition(p),
+                payload=("iterate", sid, p, rows_by_view)))
+        results = self.cluster.run_stage("fixpoint-shufflemap", tasks)
+        self._release_consumed_shuffles(incoming)
+
+        d_total = 0
+        delta_by_view: dict[str, int] = {name: 0 for name in view_names}
+        outputs: dict[str, list[tuple[int, dict]]] = defaultdict(list)
+        for result in results:
+            d_count, per_view, d_by_view = result.output
+            d_total += d_count
+            for name, count in d_by_view.items():
+                delta_by_view[name] += count
+            for view_name, buckets in per_view.items():
+                outputs[view_name].append((result.worker, buckets))
+        self._remote_delta_by_view = delta_by_view
+        return self._exchange_prebucketed(outputs), d_total
+
     def _iterate_combined(self, incoming: dict[str, Dataset],
                           naive: bool) -> tuple[dict[str, Dataset], int]:
         """Algorithm 6: one ShuffleMap stage per iteration.
@@ -1010,6 +1294,8 @@ class FixpointOperator:
         with the total post-merge delta size ``|D|`` across views and
         partitions, which is what the fixpoint loop keys termination off.
         """
+        if self._remote:
+            return self._iterate_remote(incoming)
         view_names = list(self.planned.views)
 
         def task_fn(partition):
@@ -1165,139 +1451,25 @@ class FixpointOperator:
                    and all(t.grouped_spec is not None for t in terms))
 
         def local_grouped_fixpoint(partition):
-            """Column-decomposed set fixpoint (see ``GroupedDedupSpec``).
-
-            Members live as ``prefix -> {last column}``; each round
-            collects the adjacency sets hit by the delta, unions them
-            per prefix and subtracts the already-known values — all
-            C-level set algebra over bare column values.  Duplicate
-            derivations (the bulk of a transitive closure's work) are
-            collapsed before any row tuple is built or hashed.
-            ``derived_any`` mirrors the reference loop's accounting: a
-            final round that derives only duplicates still counts."""
-            pair = all(len(t.grouped_spec.prefix) == 1 for t in terms)
+            """Column-decomposed set fixpoint; the shared
+            :func:`run_grouped_fixpoint` does the work."""
+            specs = [term.grouped_spec for term in terms]
 
             def run(delta_rows):
-                probes = []
-                for term in terms:
-                    spec = term.grouped_spec
-                    col = spec.build_index
-                    adj = {k: {r[col] for r in rows}
-                           for k, rows in
-                           self.runtime.broadcast_tables[spec.step_id].items()}
-                    probes.append((make_extractor(spec.probe),
-                                   make_extractor(spec.prefix), adj.get))
-                seed = set(delta_rows)
-                members: dict = {}
-                for row in seed:
-                    key = row[0] if pair else row[:-1]
-                    known = members.get(key)
-                    if known is None:
-                        members[key] = {row[-1]}
-                    else:
-                        known.add(row[-1])
-                delta = list(seed)
-                iterations = 0
-                derived_any = False
-                while delta:
-                    iterations += 1
-                    if iterations > max_iters:
-                        raise FixpointNotReachedError(
-                            "decomposed local fixpoint exceeded budget",
-                            iterations - 1)
-                    groups: dict = {}
-                    gget = groups.get
-                    for probe, prefix, aget in probes:
-                        for d in delta:
-                            adj_set = aget(probe(d))
-                            if adj_set is not None:
-                                key = prefix(d)
-                                group = gget(key)
-                                if group is None:
-                                    groups[key] = [adj_set]
-                                else:
-                                    group.append(adj_set)
-                    derived_any = bool(groups)
-                    delta = []
-                    extend = delta.extend
-                    mget = members.get
-                    for key, sets in groups.items():
-                        candidates = (sets[0] if len(sets) == 1
-                                      else sets[0].union(*sets[1:]))
-                        known = mget(key)
-                        if known is None:
-                            fresh = set(candidates)  # adj sets stay pristine
-                            members[key] = fresh
-                        else:
-                            fresh = candidates - known
-                            if not fresh:
-                                continue
-                            known.update(fresh)
-                        if pair:
-                            extend((key, y) for y in fresh)
-                        else:
-                            extend(key + (y,) for y in fresh)
-                if derived_any:
-                    # The reference loop runs one more (all-duplicate)
-                    # round before its union comes back empty.
-                    iterations += 1
-                    if iterations > max_iters:
-                        raise FixpointNotReachedError(
-                            "decomposed local fixpoint exceeded budget",
-                            iterations - 1)
-                if pair:
-                    rows = {(key, y)
-                            for key, ys in members.items() for y in ys}
-                else:
-                    rows = {key + (y,)
-                            for key, ys in members.items() for y in ys}
-                return rows, iterations
+                return run_grouped_fixpoint(
+                    specs, self.runtime.broadcast_tables, delta_rows,
+                    max_iters)
             return run
 
         def local_fused_fixpoint(partition):
-            """Set-view fast path: each generated term emits the round's
-            derived rows (duplicates included) from one comprehension,
-            and the union pass collapses to C-level set algebra.  The
-            first occurrence of a new row counts as fresh and every
-            other derived occurrence as a duplicate — exactly the
-            reference loop's accounting — so ``dups`` reproduces its
-            iteration count: a final round that derives only duplicates
-            still counts there."""
+            """Set-view fast path; the shared :func:`run_fused_fixpoint`
+            does the work."""
+            dedup_fns = [term.codegen_dedup_fn for term in terms]
+
             def run(delta_rows):
-                local_runtime = TermRuntime()
-                local_runtime.broadcast_tables = self.runtime.broadcast_tables
-                members = set(delta_rows)
-                delta = list(members)
-                single = terms[0].codegen_dedup_fn if len(terms) == 1 else None
-                iterations = 0
-                dups = 0
-                while delta:
-                    iterations += 1
-                    if iterations > max_iters:
-                        raise FixpointNotReachedError(
-                            "decomposed local fixpoint exceeded budget",
-                            iterations - 1)
-                    if single is not None:
-                        derived = single(delta, 0, local_runtime)
-                    else:
-                        derived = []
-                        for term in terms:
-                            derived.extend(term.codegen_dedup_fn(
-                                delta, 0, local_runtime))
-                    fresh = set(derived)
-                    fresh.difference_update(members)
-                    dups = len(derived) - len(fresh)
-                    members.update(fresh)
-                    delta = list(fresh)
-                if dups:
-                    # The reference loop runs one more (all-duplicate)
-                    # round before its union comes back empty.
-                    iterations += 1
-                    if iterations > max_iters:
-                        raise FixpointNotReachedError(
-                            "decomposed local fixpoint exceeded budget",
-                            iterations - 1)
-                return members, iterations
+                return run_fused_fixpoint(
+                    dedup_fns, self.runtime.broadcast_tables, delta_rows,
+                    max_iters)
             return run
 
         def local_fixpoint(partition):
@@ -1343,12 +1515,26 @@ class FixpointOperator:
             self.cluster.metrics.inc("kernel_grouped_fixpoint_stages")
         elif fused:
             self.cluster.metrics.inc("kernel_fused_fixpoint_stages")
-        tasks = [
-            StageTask(p, [incoming[view_name].partitions[p]],
-                      make_task_fn(p),
-                      preferred_worker=self.cluster.worker_for_partition(p))
-            for p in range(self.n)
-        ]
+        if self._remote and (grouped or fused):
+            # Stateless per-partition fixpoints ship whole: the worker
+            # runs the same shared runner over the same delta rows.
+            mode = "grouped" if grouped else "fused"
+            sid = self._session_id
+            tasks = [
+                StageTask(p, [incoming[view_name].partitions[p]],
+                          _remote_task_stub,
+                          preferred_worker=self.cluster.worker_for_partition(p),
+                          payload=("decompose", sid, p, mode,
+                                   list(incoming[view_name].partitions[p].rows)))
+                for p in range(self.n)
+            ]
+        else:
+            tasks = [
+                StageTask(p, [incoming[view_name].partitions[p]],
+                          make_task_fn(p),
+                          preferred_worker=self.cluster.worker_for_partition(p))
+                for p in range(self.n)
+            ]
         results = self.cluster.run_stage("fixpoint-decomposed", tasks)
         self._release_consumed_shuffles(incoming)
         iterations = 0

@@ -1,0 +1,23 @@
+"""Pluggable execution backends for the cluster (see ``base.py``).
+
+``ProcessClusterBackend`` is exported lazily: importing it pulls in the
+worker module, which reaches back into ``repro.core`` — a cycle if done
+while ``repro.engine.cluster`` itself is still importing this package.
+"""
+
+from repro.engine.backend.base import (
+    ClusterBackend,
+    ProcessConfig,
+    SimulatedBackend,
+)
+
+__all__ = ["ClusterBackend", "ProcessClusterBackend", "ProcessConfig",
+           "SimulatedBackend"]
+
+
+def __getattr__(name):
+    if name == "ProcessClusterBackend":
+        from repro.engine.backend.process import ProcessClusterBackend
+
+        return ProcessClusterBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from statistics import median
 from typing import Callable, Iterable, Sequence
 
+from repro.engine.backend import ClusterBackend, ProcessConfig, SimulatedBackend
 from repro.engine.dataset import Dataset, Partition
 from repro.engine.faults import (
     CorruptionInjector,
@@ -59,6 +60,7 @@ from repro.engine.faults import (
     FailureInjector,
     FaultToleranceConfig,
     MemoryPressureInjector,
+    ProcessKillInjector,
     RecoveryManager,
     WorkerLossInjector,
 )
@@ -103,6 +105,10 @@ class StageTask:
     snapshot: Callable[[], object] | None = None
     restore: Callable[[object], None] | None = None
     mutating: bool = False
+    #: Picklable description of the task for the process backend; when
+    #: every task of a stage carries one and the pool is up, the batch
+    #: runs on real worker processes instead of calling ``fn``.
+    payload: object | None = None
 
 
 @dataclass
@@ -153,7 +159,9 @@ class Cluster:
                  codec: CompressionCodec | None = None,
                  seed: int = 17, trace: bool = True,
                  fault_config: FaultToleranceConfig | None = None,
-                 memory_config: MemoryConfig | None = None):
+                 memory_config: MemoryConfig | None = None,
+                 backend: str | ClusterBackend = "simulated",
+                 process_config: ProcessConfig | None = None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if num_partitions is not None and num_partitions < 1:
@@ -189,6 +197,23 @@ class Cluster:
         self.memory_pressure_injectors: list[MemoryPressureInjector] = []
         self.corruption_injectors: list[CorruptionInjector] = []
         self.driver_kill_injectors: list[DriverKillInjector] = []
+        #: Real-signal chaos for the process backend; deliberately NOT
+        #: part of ``_injecting`` — these strike OS processes, not the
+        #: simulated attempt loop, and must not disable remote batches.
+        self.process_kill_injectors: list[ProcessKillInjector] = []
+        if isinstance(backend, ClusterBackend):
+            self.backend = backend
+        elif backend == "process":
+            # Imported lazily: backend.process pulls in worker/payload
+            # modules that import back into the engine.
+            from repro.engine.backend.process import ProcessClusterBackend
+            self.backend = ProcessClusterBackend(self, process_config)
+        elif backend == "simulated":
+            self.backend = SimulatedBackend()
+        else:
+            raise ValueError(
+                f"unknown backend {backend!r}: expected 'simulated', "
+                f"'process', or a ClusterBackend instance")
         # Monotonic ids naming shuffle/broadcast memory-charge groups, so
         # consumers can release a whole exchange or broadcast at once.
         self._exchange_epoch = 0
@@ -201,8 +226,10 @@ class Cluster:
     def inject_failures(self, injector) -> None:
         """Arm a :class:`FailureInjector`, :class:`WorkerLossInjector`,
         :class:`MemoryPressureInjector`, :class:`CorruptionInjector`,
-        or :class:`DriverKillInjector`."""
-        if isinstance(injector, WorkerLossInjector):
+        :class:`DriverKillInjector`, or :class:`ProcessKillInjector`."""
+        if isinstance(injector, ProcessKillInjector):
+            self.process_kill_injectors.append(injector)
+        elif isinstance(injector, WorkerLossInjector):
             self.worker_loss_injectors.append(injector)
         elif isinstance(injector, MemoryPressureInjector):
             self.memory_pressure_injectors.append(injector)
@@ -383,9 +410,53 @@ class Cluster:
 
         stage_span = self.tracer.begin("stage", name, tasks=len(tasks))
         try:
+            if self.backend.wants_batch(tasks):
+                raw = self.backend.run_batch(name, tasks, assignments)
+                return self._finish_batch(name, tasks, raw, stage_span)
             return self._run_stage_body(name, tasks, assignments, stage_span)
         finally:
             self.tracer.end(stage_span)
+
+    def _finish_batch(self, name: str, tasks: list[StageTask],
+                      raw: list[tuple], stage_span) -> list[TaskResult]:
+        """Account a backend-executed batch exactly like a local stage.
+
+        ``raw`` is ``[(output, worker, cpu_seconds), ...]`` in task
+        order.  The simulated clock keeps its meaning under the process
+        backend: measured *worker* CPU seconds feed the same cost model,
+        so sim_time stays comparable across backends even though the
+        wall-clock concurrency is now real.
+        """
+        worker_busy = [0.0] * self.num_workers
+        results: list[TaskResult] = []
+        for task, (output, worker, cpu) in zip(tasks, raw):
+            cpu_s = cpu * self.cost_model.cpu_scale
+            fetch_time, remote_bytes, remote_count = self._fetch_cost(task, worker)
+            if remote_count:
+                self.metrics.inc("remote_fetches", remote_count)
+                self.metrics.inc("remote_fetch_bytes", remote_bytes)
+            self.metrics.inc("task_attempts")
+            busy = cpu_s + self.cost_model.task_overhead_s + fetch_time
+            worker_busy[worker] += busy
+            results.append(TaskResult(task.index, output, worker, cpu_s,
+                                      remote_bytes))
+            self.tracer.leaf("task", f"{name}[{task.index}]",
+                             index=task.index, worker=worker,
+                             cpu_seconds=cpu_s, remote_bytes=remote_bytes,
+                             busy_seconds=busy)
+        stage_time = self.cost_model.stage_overhead_s + max(worker_busy, default=0.0)
+        self.metrics.advance(stage_time, label=f"stage:{name}")
+        self.metrics.inc("stages")
+        self.metrics.inc("tasks", len(tasks))
+        self.metrics.inc("task_cpu_seconds",
+                         sum(r.cpu_seconds for r in results))
+        stage_span.annotate(stage_seconds=stage_time)
+        self.check_deadline(name)
+        return results
+
+    def shutdown(self) -> None:
+        """Tear down backend resources (the process pool, if any)."""
+        self.backend.shutdown()
 
     def _run_stage_body(self, name: str, tasks: list[StageTask],
                         assignments: list[int], stage_span) -> list[TaskResult]:

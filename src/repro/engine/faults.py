@@ -166,6 +166,48 @@ class WorkerLossInjector:
 
 
 @dataclass
+class ProcessKillInjector:
+    """Send a real signal to a live pool worker when a matching stage
+    starts (process backend only).
+
+    ``signal`` of ``"kill"`` SIGKILLs the victim — a spontaneous crash
+    the supervisor detects via pipe EOF / process sentinel.  ``"stop"``
+    SIGSTOPs it — a frozen-but-alive worker whose heartbeats cease, so
+    the liveness reaper must SIGKILL it; no SIGCONT is ever sent.
+    ``worker`` of ``None`` picks the highest-numbered live pool worker
+    at fire time, mirroring :class:`WorkerLossInjector`.
+    ``skip_matches``/``times`` follow the same schedule idiom.
+    """
+
+    stage_pattern: str
+    signal: str = "kill"
+    worker: int | None = None
+    skip_matches: int = 0
+    times: int = 1
+    injected: int = field(default=0, init=False)
+    _seen: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if self.signal not in ("kill", "stop"):
+            raise ValueError(
+                f"ProcessKillInjector signal must be 'kill' or 'stop', "
+                f"got {self.signal!r}")
+        self._regex = re.compile(self.stage_pattern)
+
+    def matches(self, stage_name: str) -> bool:
+        """True when this injector should strike during *this* stage."""
+        if self.injected >= self.times:
+            return False
+        if not self._regex.search(stage_name):
+            return False
+        self._seen += 1
+        return self._seen > self.skip_matches
+
+    def fire(self) -> None:
+        self.injected += 1
+
+
+@dataclass
 class MemoryPressureInjector:
     """Shrink the per-worker memory budget when a matching stage starts.
 

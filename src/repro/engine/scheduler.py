@@ -28,6 +28,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.errors import NoHealthyWorkersError
+
 
 @dataclass
 class TaskSpec:
@@ -38,7 +40,16 @@ class TaskSpec:
 
 
 def fallback_worker(preferred: int, healthy: Sequence[int]) -> int:
-    """Deterministic placement when the preferred worker is unavailable."""
+    """Deterministic placement when the preferred worker is unavailable.
+
+    Raises :class:`repro.errors.NoHealthyWorkersError` on an empty pool
+    instead of the bare ``ZeroDivisionError`` the modulo would throw —
+    an exhausted pool is an operational condition callers handle, not a
+    bug in the scheduler.
+    """
+    if not healthy:
+        raise NoHealthyWorkersError(
+            "cannot place a task: no healthy workers remain")
     return healthy[preferred % len(healthy)]
 
 
@@ -65,6 +76,9 @@ class PartitionAwarePolicy(SchedulingPolicy):
     def assign(self, tasks: list[TaskSpec], num_workers: int,
                healthy: Sequence[int] | None = None) -> list[int]:
         pool = list(healthy) if healthy is not None else list(range(num_workers))
+        if tasks and not pool:
+            raise NoHealthyWorkersError(
+                f"cannot schedule {len(tasks)} tasks: no healthy workers")
         allowed = set(pool)
         assignments = []
         for task in tasks:
@@ -100,6 +114,9 @@ class DefaultPolicy(SchedulingPolicy):
     def assign(self, tasks: list[TaskSpec], num_workers: int,
                healthy: Sequence[int] | None = None) -> list[int]:
         pool = list(healthy) if healthy is not None else list(range(num_workers))
+        if tasks and not pool:
+            raise NoHealthyWorkersError(
+                f"cannot schedule {len(tasks)} tasks: no healthy workers")
         allowed = set(pool)
         assignments = []
         for task in tasks:

@@ -134,6 +134,21 @@ def load_blob(path: str):
             f"checkpoint blob {path!r} verified but failed to unpickle: {exc}") from exc
 
 
+def dump_payload(payload) -> bytes:
+    """Pickle a task payload for the process-backend wire.
+
+    Payloads are plain tuples of builtins plus the frozen wire
+    dataclasses of :mod:`repro.engine.backend.payloads` — no closures,
+    no live state — so the highest pickle protocol always applies.
+    """
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_payload(blob: bytes):
+    """Inverse of :func:`dump_payload` (worker side)."""
+    return pickle.loads(blob)
+
+
 def rows_checksum(rows) -> int:
     """Order-insensitive integrity hash of a row collection.
 

@@ -345,7 +345,54 @@ def format_explain_analyze(trace: dict | None) -> str:
     if recovery:
         lines.append("")
         lines.extend(recovery)
+
+    supervision = _format_supervision_section(trace)
+    if supervision:
+        lines.append("")
+        lines.extend(supervision)
     return "\n".join(lines)
+
+
+def _format_supervision_section(trace: dict) -> list[str]:
+    """The process-backend supervision report: only rendered when the
+    run shipped tasks to (or at least spawned) real worker processes.
+
+    Reads the root span's counter deltas plus the same
+    ``fault``/``recovery`` leaves the cluster and backend record
+    (reaps, respawns, quarantines, pool shrinks), so a trace loaded
+    from an artifact renders identically to a live one.
+    """
+    metrics = trace.get("metrics", {})
+    shipped = metrics.get("process_tasks_shipped", 0)
+    degradations = metrics.get("process_backend_degradations", 0)
+    if not (shipped or degradations):
+        return []
+    beats = metrics.get("process_heartbeats", 0)
+    missed = metrics.get("process_heartbeats_missed", 0)
+    lines = [
+        "process supervision",
+        f"  tasks shipped to pool workers: {shipped:.0f} "
+        f"({metrics.get('process_payload_bytes', 0):.0f} payload bytes; "
+        f"{metrics.get('process_tasks_driver_local', 0):.0f} stayed "
+        f"driver-local)",
+        f"  heartbeats: {beats:.0f} received, {missed:.0f} supervision "
+        f"rounds found a silent busy worker",
+    ]
+    reaps = metrics.get("process_worker_reaps", 0)
+    crashes = metrics.get("process_worker_crashes", 0)
+    respawns = metrics.get("process_worker_respawns", 0)
+    if reaps or crashes or respawns:
+        lines.append(
+            f"  worker deaths: {crashes:.0f} crashed, {reaps:.0f} reaped "
+            f"(hung/silent); {respawns:.0f} respawned")
+    quarantined = metrics.get("process_tasks_quarantined", 0)
+    if quarantined:
+        lines.append(f"  poison tasks quarantined: {quarantined:.0f}")
+    if degradations:
+        lines.append(
+            f"  degradation events: {degradations:.0f} "
+            f"(pool shrinks / simulated fallbacks)")
+    return lines
 
 
 def _format_kernels_section(trace: dict) -> list[str]:

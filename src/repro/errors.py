@@ -207,6 +207,27 @@ class NoHealthyWorkersError(ExecutionError):
     """Raised when worker loss would leave the cluster with no live worker."""
 
 
+class PoisonTaskError(ExecutionError):
+    """Raised when a task keeps killing its worker process (process backend).
+
+    A task whose execution crashes the hosting OS worker ``poison_threshold``
+    times (SIGKILL'd for hanging counts too) is quarantined instead of
+    respawn-looping the pool — the Spark/YARN "poison pill" abort.  Like
+    :class:`QueryDeadlineExceededError`, ``partial_trace`` carries the span
+    tree recorded up to the abort (attached at the API boundary), so the
+    crash site is debuggable from EXPLAIN ANALYZE output alone.
+    """
+
+    def __init__(self, message: str, stage: str = "", task_index: int = -1,
+                 worker_kills: int = 0):
+        self.stage = stage
+        self.task_index = task_index
+        self.worker_kills = worker_kills
+        #: Span tree of the aborted query (attached at the API boundary).
+        self.partial_trace: dict | None = None
+        super().__init__(message)
+
+
 class InexpressibleQueryError(RaSQLError):
     """Raised by :mod:`repro.compile` when an analyzed plan has no
     standard ``WITH RECURSIVE`` form.

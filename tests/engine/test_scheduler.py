@@ -72,3 +72,48 @@ class TestFactory:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError, match="unknown scheduling policy"):
             make_policy("round_robin")
+
+
+class TestHealthHardening:
+    """No policy may ever place a task on a dead/blacklisted worker, and
+    an exhausted pool must fail typed — not hang or throw IndexError."""
+
+    def test_no_policy_assigns_outside_healthy_pool(self):
+        # Seeded property sweep: random pools, random preferences (some
+        # pointing at unhealthy workers), both policies.
+        import random
+
+        from repro.engine.scheduler import fallback_worker
+
+        rng = random.Random(20260808)
+        for trial in range(300):
+            num_workers = rng.randint(1, 8)
+            pool = sorted(rng.sample(range(num_workers),
+                                     rng.randint(1, num_workers)))
+            tasks = [TaskSpec(i, rng.choice(
+                         [None, rng.randrange(num_workers * 2)]))
+                     for i in range(rng.randint(0, 12))]
+            for policy in (PartitionAwarePolicy(),
+                           DefaultPolicy(seed=trial)):
+                assignments = policy.assign(tasks, num_workers, healthy=pool)
+                assert len(assignments) == len(tasks)
+                assert all(worker in pool for worker in assignments), (
+                    f"trial {trial}: {policy.name} escaped the healthy "
+                    f"pool {pool}: {assignments}")
+            for preferred in range(num_workers):
+                assert fallback_worker(preferred, pool) in pool
+
+    def test_empty_pool_raises_typed_error(self):
+        from repro.engine.scheduler import fallback_worker
+        from repro.errors import NoHealthyWorkersError
+
+        for policy in (PartitionAwarePolicy(), DefaultPolicy(seed=3)):
+            with pytest.raises(NoHealthyWorkersError):
+                policy.assign(specs(3), 4, healthy=[])
+        with pytest.raises(NoHealthyWorkersError):
+            fallback_worker(2, [])
+
+    def test_empty_stage_on_empty_pool_is_a_noop(self):
+        # Zero tasks need zero workers; scheduling must not fail.
+        for policy in (PartitionAwarePolicy(), DefaultPolicy(seed=3)):
+            assert policy.assign([], 4, healthy=[]) == []

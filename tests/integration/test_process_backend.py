@@ -1,0 +1,267 @@
+"""Process-backend differential and supervision suite.
+
+The simulated backend is the deterministic oracle; the process backend
+runs eligible fixpoint stages on real spawn-started worker processes.
+This suite proves the two agree bit-exactly — identical result rows,
+identical iteration counts, identical convergence verdicts — for every
+library query, both on a healthy pool and while chaos SIGKILLs/SIGSTOPs
+live workers mid-query, and that the supervision layer's guarantees
+hold: hung workers are reaped within the configured liveness timeout,
+poison tasks fail typed (with a partial trace) instead of crash-looping,
+and an exhausted pool surfaces :class:`NoHealthyWorkersError`.
+
+Run with ``pytest -m process_backend``; each test tears its pool down.
+"""
+
+import time
+
+import pytest
+
+from repro import RaSQLContext
+from repro.chaos import (
+    _converged,
+    make_real_kill_schedule,
+    run_with_real_kills,
+)
+from repro.core.config import ExecutionConfig
+from repro.engine.backend import ProcessConfig
+from repro.errors import NoHealthyWorkersError, PoisonTaskError
+from tests.integration.test_chaos import NUM_WORKERS, QUERY_SETUPS
+
+pytestmark = pytest.mark.process_backend
+
+#: Tight supervision constants so fault tests run in seconds: a worker
+#: silent for 1s is reaped, crash backoff is near-zero.
+FAST_SUPERVISION = ProcessConfig(heartbeat_interval=0.05,
+                                 liveness_timeout=1.0,
+                                 task_deadline_s=20.0,
+                                 backoff_base_s=0.01)
+
+#: ``kernel_min_rows=0`` disables the small-input kernel gate so the
+#: tiny test graphs still take the remote-eligible kernel paths.
+UNGATED = dict(kernel_min_rows=0)
+
+
+def make_context(query_name, backend, process_config=FAST_SUPERVISION,
+                 num_workers=NUM_WORKERS):
+    build_tables, _ = QUERY_SETUPS[query_name]
+    config = ExecutionConfig(backend=backend, **UNGATED)
+    kwargs = {"process_config": process_config} if backend == "process" else {}
+    ctx = RaSQLContext(num_workers=num_workers, config=config, **kwargs)
+    for name, (columns, rows) in build_tables().items():
+        ctx.register_table(name, columns, rows)
+    return ctx
+
+
+def _rows(relation):
+    return sorted(relation.rows, key=repr)
+
+
+# ----------------------------------------------------------------------
+# differential: every library query, clean pool
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.timeout(180)
+@pytest.mark.parametrize("query_name", sorted(QUERY_SETUPS))
+def test_clean_differential(query_name):
+    _, make_query = QUERY_SETUPS[query_name]
+    sim_ctx = make_context(query_name, "simulated")
+    expected = sim_ctx.sql(make_query())
+    sim_run = sim_ctx.last_run
+
+    proc_ctx = make_context(query_name, "process")
+    try:
+        actual = proc_ctx.sql(make_query())
+        run = proc_ctx.last_run
+    finally:
+        proc_ctx.close()
+
+    assert _rows(expected) == _rows(actual)
+    assert sim_run.iterations == run.iterations
+    assert _converged(sim_run) == _converged(run)
+    # The process run must not have silently degraded to the oracle.
+    assert run.supervision_summary()["process_backend_degradations"] == 0
+
+
+# ----------------------------------------------------------------------
+# differential: every library query, under real signal chaos
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.timeout(180)
+@pytest.mark.parametrize("query_name", sorted(QUERY_SETUPS))
+def test_differential_under_real_kills(query_name):
+    index = sorted(QUERY_SETUPS).index(query_name)
+    seed = 101 + index  # per-query seed: strikes land in varied spots
+    _, make_query = QUERY_SETUPS[query_name]
+
+    def factory(backend):
+        return make_context(query_name, backend)
+
+    report = run_with_real_kills(
+        make_query(), factory, make_real_kill_schedule(seed, kills=1),
+        seed=seed)
+    assert report.exact, report.summary()
+    # A fired kill must be fully accounted in the supervision counters.
+    if report.kills_fired:
+        counters = report.counters
+        assert (counters["process_worker_crashes"]
+                + counters["process_worker_reaps"]) >= report.kills_fired
+
+
+# ----------------------------------------------------------------------
+# supervision guarantees
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.timeout(120)
+def test_hung_worker_reaped_within_liveness_timeout():
+    """A SIGSTOP-style hang (heartbeats cease) is detected and reaped
+    within the configured liveness timeout plus scheduling slack."""
+    config = FAST_SUPERVISION
+    ctx = make_context("sssp", "process", config)
+    _, make_query = QUERY_SETUPS["sssp"]
+    try:
+        backend = ctx.cluster.backend
+        assert backend.remote_ready()
+
+        # Warm run: pool spawned, imports done, query path exercised.
+        t0 = time.monotonic()
+        clean = ctx.sql(make_query())
+        clean_wall = time.monotonic() - t0
+
+        backend.add_chaos([{"kind": "hang", "stage": "fixpoint",
+                            "task": None, "times": 1}])
+        t0 = time.monotonic()
+        chaotic = ctx.sql(make_query())
+        chaos_wall = time.monotonic() - t0
+
+        supervision = ctx.last_run.supervision_summary()
+        assert supervision["process_worker_reaps"] >= 1
+        assert supervision["process_worker_respawns"] >= 1
+        assert _rows(clean) == _rows(chaotic)
+
+        overhead = chaos_wall - clean_wall
+        # The reaper must wait out the liveness timeout (the hang keeps
+        # the OS process alive) but detect within about one heartbeat of
+        # it; the remaining slack covers the respawn (a fresh spawn-start
+        # interpreter) and state rebuild.
+        assert overhead >= config.liveness_timeout - config.heartbeat_interval
+        assert overhead <= config.liveness_timeout + 10.0
+    finally:
+        ctx.close()
+
+
+@pytest.mark.timeout(120)
+def test_poison_task_quarantined_with_partial_trace():
+    """A task that keeps killing its worker is quarantined after
+    ``poison_threshold`` kills and fails the query typed."""
+    ctx = make_context("sssp", "process")
+    _, make_query = QUERY_SETUPS["sssp"]
+    try:
+        backend = ctx.cluster.backend
+        assert backend.remote_ready()
+        backend.add_chaos([{"kind": "poison", "stage": "fixpoint",
+                            "task": 1, "times": 10}])
+        with pytest.raises(PoisonTaskError) as excinfo:
+            ctx.sql(make_query())
+        exc = excinfo.value
+        assert exc.task_index == 1
+        assert exc.worker_kills == backend.config.poison_threshold
+        assert exc.partial_trace is not None
+        supervision = ctx.last_run.supervision_summary()
+        assert supervision["process_tasks_quarantined"] == 1
+        # The first kills were respawned before the quarantine tripped.
+        assert supervision["process_worker_respawns"] >= 1
+    finally:
+        ctx.close()
+
+
+@pytest.mark.timeout(120)
+def test_poison_surfaces_through_query_future():
+    """Respawn-budget/poison exhaustion reaches a serving-layer client
+    as a typed error carrying the partial trace."""
+    from repro.serving import QueryService
+
+    ctx = make_context("sssp", "process")
+    _, make_query = QUERY_SETUPS["sssp"]
+    try:
+        backend = ctx.cluster.backend
+        assert backend.remote_ready()
+        backend.add_chaos([{"kind": "poison", "stage": "fixpoint",
+                            "task": 1, "times": 20}])
+        service = QueryService(ctx)
+        future = service.submit(service.session("alice"), make_query())
+        service.drain()
+        assert future.done and not future.ok
+        with pytest.raises(PoisonTaskError) as excinfo:
+            future.result()
+        assert excinfo.value.partial_trace is not None
+    finally:
+        ctx.close()
+
+
+@pytest.mark.timeout(120)
+def test_pool_exhaustion_raises_no_healthy_workers():
+    """Killing every worker with no respawn budget fails typed, not by
+    hanging or indexing into an empty pool."""
+    config = ProcessConfig(heartbeat_interval=0.05, liveness_timeout=1.0,
+                           task_deadline_s=20.0, backoff_base_s=0.01,
+                           respawn_budget=0)
+    ctx = make_context("sssp", "process", config, num_workers=2)
+    _, make_query = QUERY_SETUPS["sssp"]
+    try:
+        backend = ctx.cluster.backend
+        assert backend.remote_ready()
+        backend.add_chaos([{"kind": "poison", "stage": "fixpoint",
+                            "task": None, "times": 20}])
+        with pytest.raises(NoHealthyWorkersError):
+            ctx.sql(make_query())
+    finally:
+        ctx.close()
+
+
+@pytest.mark.timeout(120)
+def test_pool_shrinks_to_survivors_and_stays_exact():
+    """With no respawn budget the pool degrades gracefully: partitions
+    re-home onto survivors and the result stays bit-exact."""
+    sim_ctx = make_context("cc", "simulated")
+    _, make_query = QUERY_SETUPS["cc"]
+    expected = sim_ctx.sql(make_query())
+    sim_run = sim_ctx.last_run
+
+    config = ProcessConfig(heartbeat_interval=0.05, liveness_timeout=1.0,
+                           task_deadline_s=20.0, backoff_base_s=0.01,
+                           respawn_budget=0)
+    ctx = make_context("cc", "process", config)
+    try:
+        backend = ctx.cluster.backend
+        assert backend.remote_ready()
+        backend.add_chaos([{"kind": "poison", "stage": "fixpoint",
+                            "task": 2, "times": 1}])
+        actual = ctx.sql(make_query())
+        run = ctx.last_run
+        supervision = run.supervision_summary()
+        assert supervision["process_worker_crashes"] >= 1
+        assert supervision["process_worker_respawns"] == 0
+        assert supervision["process_backend_degradations"] >= 1
+        assert len(ctx.cluster.lost_workers) == 1
+    finally:
+        ctx.close()
+    assert _rows(expected) == _rows(actual)
+    assert sim_run.iterations == run.iterations
+
+
+@pytest.mark.timeout(120)
+def test_explain_analyze_reports_supervision():
+    ctx = make_context("sssp", "process")
+    _, make_query = QUERY_SETUPS["sssp"]
+    try:
+        ctx.sql(make_query())
+        report = ctx.last_run.explain_analyze()
+    finally:
+        ctx.close()
+    assert "process supervision" in report
+    assert "tasks shipped to pool workers" in report
+    assert "heartbeats" in report

@@ -48,6 +48,7 @@ FLIP_VALUES = {
     "deadline_seconds": 123.0,
     "checkpoint_interval": 4,
     "checkpoint_dir": "/tmp/rasql-plan-key-audit",
+    "backend": "process",
 }
 
 #: A query whose analyzed plan is magic_filters-sensitive: the final
