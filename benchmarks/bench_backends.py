@@ -15,6 +15,8 @@ Modes:
     python benchmarks/bench_backends.py             # full run -> "full"
     python benchmarks/bench_backends.py --quick     # small run -> "quick"
     python benchmarks/bench_backends.py --quick --check BENCH_7.json
+    python benchmarks/bench_backends.py --columnar  # -> BENCH_8.json
+    python benchmarks/bench_backends.py --columnar --check BENCH_8.json
 
 ``--check`` re-measures and fails (exit 1) unless the process backend
 beats the simulated backend's wall clock on every headline query —
@@ -25,6 +27,14 @@ bit-exactness and prints a visible skip for the speedup assertion; the
 committed BENCH_7.json records whatever the producing machine honestly
 measured, along with its core count.  CI runs this on multi-core
 runners, where the speedup gate is live.
+
+``--columnar`` A/Bs the *columnar batch wire* instead: both sides run
+the process backend, one with `ColumnBatch` IPC (the default), one with
+`--no-columnar` row pickles, same pair-interleaved GC-controlled
+timing.  Results land in BENCH_8.json.  Its ``--check`` gate is
+core-count independent (same backend on both sides): cc's shipped task
+payload bytes must be at least 5x smaller with columnar on, and no
+headline query's wall clock may regress more than 10%.
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ from repro.queries.library import get_query
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_7.json"
+COLUMNAR_OUT = REPO_ROOT / "BENCH_8.json"
 
 NUM_WORKERS = 4
 
@@ -78,9 +89,10 @@ def workloads(quick: bool):
     }
 
 
-def make_context(tables, backend):
+def make_context(tables, backend, **config_kwargs):
     ctx = RaSQLContext(num_workers=NUM_WORKERS,
-                       config=ExecutionConfig(backend=backend))
+                       config=ExecutionConfig(backend=backend,
+                                              **config_kwargs))
     for name, (columns, rows) in tables.items():
         ctx.register_table(name, columns, rows)
     return ctx
@@ -156,6 +168,131 @@ def bench_query(name, tables, sql, best_of):
     }
 
 
+def bench_columnar_query(name, tables, sql, best_of):
+    """Paired columnar-on/columnar-off timing, both on the process pool.
+
+    Same methodology as :func:`bench_query` (interleaved pairs, GC
+    paused across each pair, best-of-N minimum), plus per-run wire
+    accounting: the driver's ``process_payload_bytes`` /
+    ``process_task_messages`` counter deltas around one timed run give
+    the bytes and pipe sends of exactly one query on each side.
+    """
+    on_ctx = make_context(tables, "process")
+    off_ctx = make_context(tables, "process", columnar_batches=False)
+
+    def wire_delta(ctx, fn):
+        metrics = ctx.cluster.metrics
+        before_bytes = metrics.get("process_payload_bytes")
+        before_msgs = metrics.get("process_task_messages")
+        out = fn()
+        return out, (int(metrics.get("process_payload_bytes")
+                         - before_bytes),
+                     int(metrics.get("process_task_messages")
+                         - before_msgs))
+
+    try:
+        for ctx, side in ((on_ctx, "columnar"), (off_ctx, "row-wire")):
+            if not ctx.cluster.backend.remote_ready():
+                raise SystemExit(f"{name}: {side} process pool failed "
+                                 "to spawn")
+        # Warm-up pair: worker imports, term compilation, session paths.
+        rows_on, iters_on, _, _ = timed_sql(on_ctx, sql)
+        rows_off, iters_off, _, _ = timed_sql(off_ctx, sql)
+
+        on = {"wall": float("inf"), "cpu": float("inf")}
+        off = {"wall": float("inf"), "cpu": float("inf")}
+        for _ in range(best_of):
+            gc.collect()
+            gc.disable()
+            try:
+                (rows_on, iters_on, wall_on, cpu_on), wire_on = \
+                    wire_delta(on_ctx, lambda: timed_sql(on_ctx, sql))
+                (rows_off, iters_off, wall_off, cpu_off), wire_off = \
+                    wire_delta(off_ctx, lambda: timed_sql(off_ctx, sql))
+            finally:
+                gc.enable()
+            on["wall"] = min(on["wall"], wall_on)
+            on["cpu"] = min(on["cpu"], cpu_on)
+            off["wall"] = min(off["wall"], wall_off)
+            off["cpu"] = min(off["cpu"], cpu_off)
+            if rows_on != rows_off:
+                raise SystemExit(f"{name}: columnar wire changed "
+                                 "result rows")
+            if iters_on != iters_off:
+                raise SystemExit(f"{name}: iteration count diverged "
+                                 f"({iters_on} vs {iters_off})")
+        for ctx, side in ((on_ctx, "columnar"), (off_ctx, "row-wire")):
+            supervision = ctx.last_run.supervision_summary()
+            if supervision["process_tasks_shipped"] == 0:
+                raise SystemExit(f"{name}: no tasks reached the {side} "
+                                 "worker pool")
+            if supervision["process_backend_degradations"]:
+                raise SystemExit(f"{name}: {side} run degraded to the "
+                                 "simulated oracle mid-benchmark")
+    finally:
+        on_ctx.close()
+        off_ctx.close()
+    payload_on, messages_on = wire_on
+    payload_off, messages_off = wire_off
+    return {
+        "wall_columnar_s": round(on["wall"], 4),
+        "wall_rows_s": round(off["wall"], 4),
+        "cpu_columnar_s": round(on["cpu"], 4),
+        "cpu_rows_s": round(off["cpu"], 4),
+        "wall_ratio": round(on["wall"] / max(off["wall"], 1e-9), 3),
+        "payload_bytes_columnar": payload_on,
+        "payload_bytes_rows": payload_off,
+        "payload_reduction": round(payload_off / max(payload_on, 1), 2),
+        "task_messages_columnar": messages_on,
+        "task_messages_rows": messages_off,
+        "iterations": iters_on,
+        "bit_exact": True,
+        "rows": len(rows_on),
+    }
+
+
+def measure_columnar(quick: bool, best_of: int) -> dict:
+    results = {}
+    for name, (tables, sql) in workloads(quick).items():
+        results[name] = bench_columnar_query(name, tables, sql, best_of)
+        r = results[name]
+        print(f"{name:6s} columnar={r['wall_columnar_s']:.3f}s "
+              f"rows={r['wall_rows_s']:.3f}s "
+              f"payload {r['payload_bytes_rows']}B -> "
+              f"{r['payload_bytes_columnar']}B "
+              f"({r['payload_reduction']:.1f}x smaller)")
+    return {"best_of": best_of, "num_workers": NUM_WORKERS,
+            "cores": cpu_cores(), "queries": results}
+
+
+def check_columnar(section: dict) -> int:
+    """Gate: columnar wire must shrink cc's payload >=5x and must not
+    cost more than 10% wall clock on any headline query.
+
+    Same-backend comparison, so — unlike the BENCH_7 speedup gate — it
+    holds on single-core boxes too.
+    """
+    failures = []
+    cc_reduction = section["queries"]["cc"]["payload_reduction"]
+    status = "ok" if cc_reduction >= 5.0 else "TOO SMALL"
+    print(f"check cc      payload reduction={cc_reduction:.1f}x "
+          f"(need >=5x)  {status}")
+    if cc_reduction < 5.0:
+        failures.append("cc payload")
+    for name in HEADLINE:
+        ratio = section["queries"][name]["wall_ratio"]
+        status = "ok" if ratio <= 1.10 else "REGRESSED"
+        print(f"check {name:6s} columnar/rows wall ratio={ratio:.3f} "
+              f"(limit 1.10)  {status}")
+        if ratio > 1.10:
+            failures.append(f"{name} wall")
+    if failures:
+        print(f"columnar gate failures: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def measure(quick: bool, best_of: int) -> dict:
     results = {}
     for name, (tables, sql) in workloads(quick).items():
@@ -203,21 +340,30 @@ def main(argv=None) -> int:
                         help="small graphs, fewer trials (CI perf smoke)")
     parser.add_argument("--best-of", type=int, default=None,
                         help="trials per query (default: 3, quick: 2)")
-    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
-                        help="results file to update (default: BENCH_7.json)")
+    parser.add_argument("--columnar", action="store_true",
+                        help="A/B the columnar batch wire (process backend "
+                             "on both sides) into BENCH_8.json")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="results file to update (default: BENCH_7.json; "
+                             "BENCH_8.json with --columnar)")
     parser.add_argument("--check", type=pathlib.Path, metavar="BASELINE",
                         nargs="?", const=DEFAULT_OUT,
-                        help="re-measure and enforce the multi-core speedup "
-                             "gate instead of updating --out")
+                        help="re-measure and enforce the gate instead of "
+                             "updating --out")
     args = parser.parse_args(argv)
     best_of = args.best_of or (2 if args.quick else 3)
     mode = "quick" if args.quick else "full"
 
-    section = measure(args.quick, best_of)
-    if args.check is not None:
-        return check(section)
+    if args.columnar:
+        section = measure_columnar(args.quick, best_of)
+        if args.check is not None:
+            return check_columnar(section)
+    else:
+        section = measure(args.quick, best_of)
+        if args.check is not None:
+            return check(section)
 
-    path = args.out
+    path = args.out or (COLUMNAR_OUT if args.columnar else DEFAULT_OUT)
     existing = json.loads(path.read_text()) if path.exists() else {}
     existing[mode] = section
     path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")

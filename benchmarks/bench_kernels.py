@@ -4,7 +4,9 @@ Runs every library query twice per trial — kernels+adaptive joins OFF
 (the reference interpreter paths) and ON (the default) — interleaved so
 machine drift hits both sides equally, keeps the best-of-N minimum of
 both wall and CPU clocks, and asserts bit-exact rows and identical
-iteration counts inline.  Headline inputs are the RMAT graphs the
+iteration counts inline.  The headline queries additionally record a
+columnar-batches on/off pair inside the kernels-on configuration
+(``wall_columnar_s`` / ``wall_no_columnar_s`` / ``columnar_ratio``).  Headline inputs are the RMAT graphs the
 Section 8 experiments use; the remaining queries run on the library's
 canonical small tables, where the point is the bit-exactness assertion
 rather than the (noise-dominated) timing.
@@ -44,6 +46,9 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_5.json"
 
 REFERENCE = ExecutionConfig(kernels=False, adaptive_joins=False)
+#: Kernels on, columnar batch layer off — the "off" side of the columnar
+#: A/B dimension recorded for the headline queries (see measure()).
+NO_COLUMNAR = ExecutionConfig(columnar_batches=False)
 NUM_WORKERS = 4
 
 #: Queries whose speedup the ``--check`` gate enforces.  The rest of the
@@ -157,7 +162,8 @@ def run_once(tables, sql, config):
             wall, cpu)
 
 
-def run_batch(tables, sql, best_of, repeat):
+def run_batch(tables, sql, best_of, repeat,
+              config_off=REFERENCE, config_on=None):
     """Paired off/on timing: ``best_of`` samples of ``repeat`` run pairs.
 
     Sub-10ms queries are noise-dominated when timed singly — the min of
@@ -180,10 +186,11 @@ def run_batch(tables, sql, best_of, repeat):
             wall_off = cpu_off = wall_on = cpu_on = 0.0
             for _ in range(repeat):
                 rows_off, iters_off, wall, cpu = run_once(tables, sql,
-                                                          REFERENCE)
+                                                          config_off)
                 wall_off += wall
                 cpu_off += cpu
-                rows_on, iters_on, wall, cpu = run_once(tables, sql, None)
+                rows_on, iters_on, wall, cpu = run_once(tables, sql,
+                                                        config_on)
                 wall_on += wall
                 cpu_on += cpu
         finally:
@@ -247,6 +254,22 @@ def measure(quick: bool, best_of: int) -> dict:
             # measured speedup samples that constant through timing
             # noise.
             results[name]["gate_engaged"] = gate_engaged(tables, sql)
+        if name in HEADLINE:
+            # Second A/B dimension: columnar batches on/off inside the
+            # kernels-on configuration (same pairing + GC discipline;
+            # bit-exactness asserted by run_batch as usual).  Simulated
+            # backend, so this records the execution-path cost of the
+            # batch layer; the wire-side numbers live in BENCH_8.json
+            # (bench_backends.py --columnar).
+            coff, con, _, _ = run_batch(tables, sql, best_of, repeat,
+                                        config_off=NO_COLUMNAR)
+            results[name]["wall_no_columnar_s"] = round(coff["wall"], 4)
+            results[name]["wall_columnar_s"] = round(con["wall"], 4)
+            results[name]["columnar_ratio"] = round(
+                con["wall"] / max(coff["wall"], 1e-9), 3)
+            print(f"{name:18s} columnar={con['wall']:.3f}s "
+                  f"no-columnar={coff['wall']:.3f}s "
+                  f"ratio={results[name]['columnar_ratio']:.2f}x")
         print(f"{name:18s} off={results[name]['wall_off_s']:.3f}s "
               f"on={results[name]['wall_on_s']:.3f}s "
               f"speedup={results[name]['speedup']:.2f}x "

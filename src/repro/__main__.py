@@ -87,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-adaptive-join", action="store_true",
                         help="disable per-iteration adaptive join-strategy "
                              "selection for co-partitioned joins")
+    parser.add_argument("--no-columnar", action="store_true",
+                        help="keep the row-tuple representation end to end: "
+                             "disable columnar batch kernels and the compact "
+                             "batch wire format of the process backend "
+                             "(results are bit-exact either way)")
     parser.add_argument("--kernel-min-rows", type=int, default=None,
                         metavar="N",
                         help="size gate for the kernel layer: cliques whose "
@@ -423,6 +428,7 @@ def main(argv: list[str] | None = None) -> int:
             stage_combination=not args.no_stage_combination,
             kernels=not args.no_kernels,
             adaptive_joins=not args.no_adaptive_join,
+            columnar_batches=not args.no_columnar,
             evaluation=args.evaluation,
             deadline_seconds=args.timeout,
             backend=args.backend,

@@ -89,6 +89,18 @@ class ExecutionConfig:
         below the threshold the dispatch overhead cannot amortize.
         ``0`` disables the gate.  Results are bit-exact either way —
         the gate moves only wall-clock time.
+    columnar_batches:
+        Run the kernel layer's hot paths over column-decomposed
+        :class:`repro.engine.columnar.ColumnBatch` batches — columnar
+        base routing and hash-table builds, slot-specialized columnar
+        aggregate merges — and use the batch encoding (narrow-width int
+        columns + DEFLATE) as the process backend's wire format for
+        per-iteration delta payloads and reply buckets.  Requires
+        ``kernels`` and obeys ``kernel_min_rows``; ``False`` keeps the
+        row-tuple representation end to end.  Bit-exact either way (the
+        differential suite under ``pytest -m kernels`` pins rows *and*
+        iteration counts); only wall-clock time and process-backend
+        payload bytes move.  CLI: ``--no-columnar``.
     max_iterations:
         Safety budget; exceeding it raises
         :class:`repro.errors.FixpointNotReachedError`.  Also bounds the
@@ -142,6 +154,7 @@ class ExecutionConfig:
     kernels: bool = True
     adaptive_joins: bool = True
     kernel_min_rows: int = 256
+    columnar_batches: bool = True
     max_iterations: int = 100_000
     deadline_seconds: float | None = None
     checkpoint_interval: int = 0

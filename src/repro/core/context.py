@@ -119,7 +119,11 @@ class RunInfo:
         ``adaptive_join_nested_loop``, ``adaptive_join_overrides``,
         ``kernel_grouped_fixpoint_stages``, ``kernel_fused_fixpoint_stages``,
         ``kernel_small_input_gate`` (cliques the size gate routed through
-        the reference loops; see ``ExecutionConfig.kernel_min_rows``).
+        the reference loops; see ``ExecutionConfig.kernel_min_rows``),
+        plus the columnar batch layer: ``columnar_batches_encoded``,
+        ``columnar_batches_decoded``, ``columnar_batch_rows``,
+        ``columnar_routes``, ``columnar_rows_deduped`` (see
+        ``ExecutionConfig.columnar_batches``).
         """
         keys = ("kernel_state_cache_hits", "kernel_state_cache_misses",
                 "kernel_state_cache_updates", "kernel_state_cache_bypass",
@@ -127,7 +131,10 @@ class RunInfo:
                 "adaptive_join_nested_loop", "adaptive_join_overrides",
                 "kernel_grouped_fixpoint_stages",
                 "kernel_fused_fixpoint_stages",
-                "kernel_small_input_gate")
+                "kernel_small_input_gate",
+                "columnar_batches_encoded", "columnar_batches_decoded",
+                "columnar_batch_rows", "columnar_routes",
+                "columnar_rows_deduped")
         return {key: self.metrics.get(key, 0) for key in keys}
 
     def checkpoint_summary(self) -> dict[str, float]:
@@ -162,13 +169,20 @@ class RunInfo:
         ``process_heartbeats``, ``process_heartbeats_missed``,
         ``process_worker_reaps``, ``process_worker_respawns``,
         ``process_worker_crashes``, ``process_tasks_quarantined``,
-        ``process_backend_degradations``, ``process_payload_bytes``.
+        ``process_backend_degradations``, ``process_payload_bytes``,
+        plus the batch-IPC wire counters: ``process_task_messages``
+        (pipe sends carrying tasks, after coalescing),
+        ``process_install_bytes`` (heavy install blobs actually shipped)
+        and ``process_payload_bytes_saved`` (install bytes skipped via
+        the worker-side base-partition cache).
         """
         keys = ("process_tasks_shipped", "process_tasks_driver_local",
                 "process_heartbeats", "process_heartbeats_missed",
                 "process_worker_reaps", "process_worker_respawns",
                 "process_worker_crashes", "process_tasks_quarantined",
-                "process_backend_degradations", "process_payload_bytes")
+                "process_backend_degradations", "process_payload_bytes",
+                "process_task_messages", "process_install_bytes",
+                "process_payload_bytes_saved")
         return {key: self.metrics.get(key, 0) for key in keys}
 
     def profile_report(self) -> str:

@@ -45,7 +45,10 @@ from repro.core.physical import (
     pad_row,
 )
 from repro.core.planner import PlannedClique
+from repro.engine.aggregates import BY_NAME as AGG_BY_NAME
 from repro.engine.cluster import Cluster, StageTask
+from repro.engine.columnar import MIN_BATCH_ROWS, ColumnBatch, maybe_batch
+from repro.engine.partitioner import column_partition_ids
 from repro.engine.dataset import Dataset, Partition
 from repro.engine.joins import build_hash_table, sort_merge_join, sort_rows
 from repro.engine.kernels import (
@@ -127,6 +130,16 @@ def merge_into_state_partition(state, partition: int, rows: list[tuple],
     this, so the merge semantics — the core of the oracle's bit-exactness
     argument — exist exactly once.
     """
+    if isinstance(rows, ColumnBatch):
+        # Columnar delta batch (wire format or driver-side packing): set
+        # states union its row iterator, two-column keyed states merge
+        # the key/value columns directly, anything else falls back to
+        # materialized rows.  Same semantics, same delta, same order.
+        if isinstance(state, SetRDD):
+            return state.union_in_place(partition, rows.iter_rows())
+        if two_col:
+            return state.merge_rows_batch(partition, rows)
+        rows = rows.to_rows()
     if isinstance(state, SetRDD):
         return state.union_in_place(partition, rows)
     if two_col:
@@ -308,6 +321,21 @@ class FixpointOperator:
         # --- kernel layer (wall-clock only; see repro.engine.kernels) ---
         self._use_kernels = config.kernels
         self._adaptive = config.kernels and config.adaptive_joins
+        #: Columnar batch layer (see repro.engine.columnar): rides on the
+        #: kernel family — no kernels, no batches.
+        self._use_columnar = config.kernels and config.columnar_batches
+        #: Views whose shuffled delta rows may be exact-duplicate-deduped
+        #: before shipping (columnar mode only): set-semantics unions and
+        #: builtin min/max heads, where a repeated row can never change
+        #: state or re-emit a fresh delta — the merge loops use strict
+        #: comparisons and set membership.  ``sum``/``count`` and custom
+        #: aggregates *accumulate*, so duplicate rows are load-bearing
+        #: there and those views are excluded.
+        self._dedup_views = frozenset(
+            name for name, view in planned.views.items()
+            if all(a is None or (a is AGG_BY_NAME.get(a.name)
+                                 and a.name in ("min", "max"))
+                   for a in view.aggregates))
         #: Per-view batched shuffle routers (kernels mode).
         self._routers: dict[str, Callable] = {}
         #: Per-view fused partial-aggregation folds for two-column heads.
@@ -545,7 +573,44 @@ class FixpointOperator:
                     self.runtime.broadcast_tables[plan.step_id] = padded
             else:  # copartition
                 key_fn = make_slots_key(plan.build_slots)
-                if self._use_kernels:
+                columnar_tables = None
+                if (self._use_columnar and len(plan.build_slots) == 1
+                        and len(padded) >= MIN_BATCH_ROWS):
+                    # Single-pass columnar routing over the *extracted*
+                    # key column — the column form of
+                    # ``ColumnBatch.partition_ids`` applied in place, so
+                    # the non-key columns are never decomposed and the
+                    # existing row tuples are reused as-is.  Bucket
+                    # order matches make_router exactly.
+                    pos = plan.build_slots[0]
+                    key_column = [row[pos] for row in padded]
+                    n = self.n
+                    if set(map(type, key_column)) == {int}:
+                        pids = [key % n for key in key_column]
+                    else:
+                        pids = column_partition_ids(key_column, n)
+                    buckets: list[list] = [[] for _ in range(n)]
+                    if config.join_strategy != "sort_merge":
+                        # Fused route + hash-table build: one sweep
+                        # fills the bucket lists and their build tables
+                        # together — no key_fn call per row, no second
+                        # pass over the buckets.  Table entry order
+                        # matches build_hash_table exactly.
+                        columnar_tables = [{} for _ in range(n)]
+                        for pid, key, row in zip(pids, key_column,
+                                                 padded):
+                            buckets[pid].append(row)
+                            table = columnar_tables[pid]
+                            entry = table.get(key)
+                            if entry is None:
+                                table[key] = [row]
+                            else:
+                                entry.append(row)
+                    else:
+                        for pid, row in zip(pids, padded):
+                            buckets[pid].append(row)
+                    cluster.metrics.inc("columnar_routes")
+                elif self._use_kernels:
                     buckets = make_router(plan.build_slots, self.n)(padded)
                 else:
                     buckets = [[] for _ in range(self.n)]
@@ -566,6 +631,9 @@ class FixpointOperator:
                 if config.join_strategy == "sort_merge":
                     built = [sort_rows(bucket, key_fn) for bucket in buckets]
                     self._copartition_strategy[plan.step_id] = "sort_merge"
+                elif columnar_tables is not None:
+                    built = columnar_tables
+                    self._copartition_strategy[plan.step_id] = "hash"
                 else:
                     built = [build_hash_table(bucket, key_fn)
                              for bucket in buckets]
@@ -936,6 +1004,7 @@ class FixpointOperator:
             return
         self._use_kernels = False
         self._adaptive = False
+        self._use_columnar = False
         self.selector = None
         self.cluster.metrics.inc("kernel_small_input_gate")
 
@@ -1259,13 +1328,41 @@ class FixpointOperator:
         self._remote_collect = True
         view_names = list(self.planned.views)
         sid = self._session_id
+        metrics = self.cluster.metrics
+        use_columnar = self._use_columnar
         tasks = []
         for p in range(self.n):
             rows_by_view = {}
             for name in view_names:
                 rows = incoming[name].partitions[p].rows
                 if rows:
-                    rows_by_view[name] = list(rows)
+                    # Columnar mode ships delta partitions as encoded
+                    # ColumnBatches (byte planes + DEFLATE) instead of
+                    # pickled row lists; the worker's merge path accepts
+                    # either form bit-exactly.  An incoming bucket is the
+                    # concatenation of every source partition's
+                    # contributions for the same keys, so it is thick
+                    # with exact-duplicate rows (62% of cc's traffic);
+                    # for idempotent merges they are dropped before
+                    # encoding — first occurrence wins, order preserved,
+                    # so the worker's state and fresh delta are
+                    # bit-identical to the row path's.
+                    rows = list(rows)
+                    if (use_columnar and name in self._dedup_views
+                            and all(type(v) is int for v in rows[0])):
+                        # The one-row sniff keeps float-valued traffic
+                        # (e.g. SSSP distances, which essentially never
+                        # collide exactly) from paying the hash pass.
+                        deduped = list(dict.fromkeys(rows))
+                        if len(deduped) != len(rows):
+                            metrics.inc("columnar_rows_deduped",
+                                        len(rows) - len(deduped))
+                            rows = deduped
+                    packed = maybe_batch(rows) if use_columnar else rows
+                    if isinstance(packed, ColumnBatch):
+                        metrics.inc("columnar_batches_encoded")
+                        metrics.inc("columnar_batch_rows", len(packed))
+                    rows_by_view[name] = packed
             tasks.append(StageTask(
                 p, self._stage_inputs(incoming, p), _remote_task_stub,
                 preferred_worker=self.cluster.worker_for_partition(p),
@@ -1282,7 +1379,18 @@ class FixpointOperator:
             for name, count in d_by_view.items():
                 delta_by_view[name] += count
             for view_name, buckets in per_view.items():
-                outputs[view_name].append((result.worker, buckets))
+                # Workers may reply with columnar buckets; decode them
+                # here so the exchange (and every simulated shuffle
+                # metric) sees the exact row lists of the row path.
+                decoded = None
+                for pid, bucket in buckets.items():
+                    if isinstance(bucket, ColumnBatch):
+                        metrics.inc("columnar_batches_decoded")
+                        if decoded is None:
+                            decoded = dict(buckets)
+                        decoded[pid] = bucket.to_rows()
+                outputs[view_name].append(
+                    (result.worker, buckets if decoded is None else decoded))
         self._remote_delta_by_view = delta_by_view
         return self._exchange_prebucketed(outputs), d_total
 
@@ -1520,14 +1628,22 @@ class FixpointOperator:
             # runs the same shared runner over the same delta rows.
             mode = "grouped" if grouped else "fused"
             sid = self._session_id
-            tasks = [
-                StageTask(p, [incoming[view_name].partitions[p]],
-                          _remote_task_stub,
-                          preferred_worker=self.cluster.worker_for_partition(p),
-                          payload=("decompose", sid, p, mode,
-                                   list(incoming[view_name].partitions[p].rows)))
-                for p in range(self.n)
-            ]
+            tasks = []
+            for p in range(self.n):
+                delta_rows = list(incoming[view_name].partitions[p].rows)
+                if self._use_columnar:
+                    # The local-fixpoint runners only iterate their seed
+                    # (``set(delta_rows)``), so a batch ships as-is.
+                    delta_rows = maybe_batch(delta_rows)
+                    if isinstance(delta_rows, ColumnBatch):
+                        self.cluster.metrics.inc("columnar_batches_encoded")
+                        self.cluster.metrics.inc("columnar_batch_rows",
+                                                 len(delta_rows))
+                tasks.append(StageTask(
+                    p, [incoming[view_name].partitions[p]],
+                    _remote_task_stub,
+                    preferred_worker=self.cluster.worker_for_partition(p),
+                    payload=("decompose", sid, p, mode, delta_rows)))
         else:
             tasks = [
                 StageTask(p, [incoming[view_name].partitions[p]],

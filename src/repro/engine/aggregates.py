@@ -118,6 +118,35 @@ def get_aggregate(name: str) -> AggregateFunction:
             f"(supported: {sorted(BY_NAME)})") from None
 
 
+def merge_columns(state: dict, keys: Iterable, values: Iterable,
+                  aggregate: AggregateFunction) -> list[tuple]:
+    """Generic columnar merge for one aggregate column: fresh-delta rows.
+
+    The reference twin of ``kernels.make_merge_columns_kernel`` for
+    single-aggregate states whose function is *not* one of the canonical
+    builtins (a custom clone with overridden hooks): walks the parallel
+    key/value columns, dispatching through the aggregate's own
+    ``merge``/``delta_for_insert``, and returns ``(key, delta_value)``
+    rows exactly as ``KeyedStateRDD.merge_rows`` would.
+    """
+    merge = aggregate.merge
+    delta_for_insert = aggregate.delta_for_insert
+    fresh: list = []
+    append = fresh.append
+    get = state.get
+    for key, value in zip(keys, values):
+        current = get(key)
+        if current is None:
+            state[key] = (value,)
+            append((key, delta_for_insert(value)))
+        else:
+            merged, changed, delta_value = merge(current[0], value)
+            if changed:
+                state[key] = (merged,)
+                append((key, delta_value))
+    return fresh
+
+
 def partial_aggregate(pairs: Iterable[tuple[object, tuple]],
                       aggregates: tuple[AggregateFunction, ...]) -> list[tuple[object, tuple]]:
     """Map-side combine: collapse same-key contributions before the shuffle.

@@ -21,12 +21,18 @@ source under the same synthetic filename.
 
 from __future__ import annotations
 
+import hashlib
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.engine.aggregates import BY_NAME
+from repro.engine.serialization import dump_payload, load_payload
 
 _NORM_REF = re.compile(r"_norm(\d+)")
+
+#: Per-worker install-blob cache capacity (driver and worker mirror this
+#: FIFO exactly, so a driver-predicted cache hit can never miss).
+BLOB_CACHE_SLOTS = 8
 
 
 @dataclass(frozen=True)
@@ -84,6 +90,10 @@ class InstallSpec:
     broadcast_tables: dict[int, object] = field(default_factory=dict)
     partial_aggregation: bool = True
     max_iterations: int = 100_000
+    #: Workers mirror the driver's columnar setting: reply shuffle
+    #: buckets (and anything else they originate) use the batch wire
+    #: format only when the driver runs columnar too.
+    columnar_batches: bool = True
 
 
 def build_install_spec(operator, sid: str) -> InstallSpec:
@@ -124,7 +134,31 @@ def build_install_spec(operator, sid: str) -> InstallSpec:
         broadcast_tables=dict(operator.runtime.broadcast_tables),
         partial_aggregation=operator.config.partial_aggregation,
         max_iterations=operator.config.max_iterations,
+        columnar_batches=operator._use_columnar,
     )
+
+
+def split_install_spec(spec: InstallSpec) -> tuple[InstallSpec, bytes, str]:
+    """Split a spec into ``(light spec, heavy blob, blob digest)``.
+
+    The heavy part — prebuilt base join structures and broadcast tables,
+    nearly all of an install's bytes and *identical across repeated
+    queries over the same registered tables* — is pickled once and
+    content-addressed, so the driver can skip re-sending it to a worker
+    whose blob cache still holds the digest (the base-partition install
+    cache; see ``process.py``).  The light spec ships every time.
+    """
+    heavy = dump_payload((spec.base_partitions, spec.broadcast_tables))
+    digest = hashlib.sha256(heavy).hexdigest()
+    light = replace(spec, base_partitions={}, broadcast_tables={})
+    return light, heavy, digest
+
+
+def assemble_install_spec(light: InstallSpec, heavy: bytes) -> InstallSpec:
+    """Worker-side inverse of :func:`split_install_spec`."""
+    base_partitions, broadcast_tables = load_payload(heavy)
+    return replace(light, base_partitions=base_partitions,
+                   broadcast_tables=broadcast_tables)
 
 
 def recompile_term(source: str, view: str):

@@ -8,14 +8,26 @@ incoming delta rows — never the all-relation.
 
 Protocol (driver -> worker, one tuple per message)::
 
-    (req_id, "install", InstallSpec)
+    (req_id, "install", light_spec, blob_digest, heavy_blob_or_None)
     (req_id, "release", sid)
     (req_id, "rebuild", sid, {partition: [rows_by_view, ...]})
     (req_id, "collect", sid, [partition, ...])
     (req_id, "chaos",   [directive, ...])
     (req_id, "task",    stage, task_index, payload_blob)
+    (0,      "task_batch", stage, [(req_id, task_index, blob), ...])
     (req_id, "ping")
     (req_id, "stop")
+
+An install ships its *heavy* half (prebuilt base join structures and
+broadcast tables — see ``payloads.split_install_spec``) content-addressed:
+when the driver predicts this worker still caches the digest, it sends
+``None`` instead of re-shipping megabytes of unchanged base partitions.
+The worker's blob cache mirrors the driver's bookkeeping FIFO exactly
+(``BLOB_CACHE_SLOTS``, insertion order, no reorder on hit), so a
+predicted hit can never miss.  A ``task_batch`` carries one worker's
+whole per-iteration task set in a single message — each entry replies
+individually under its own ``req_id``, in order, exactly as if the tasks
+had arrived as separate messages.
 
 Worker -> driver::
 
@@ -57,7 +69,15 @@ from repro.core.fixpoint import (
     run_grouped_fixpoint,
 )
 from repro.engine.aggregates import partial_aggregate
-from repro.engine.backend.payloads import InstallSpec, recompile_term
+from repro.engine.backend.payloads import (BLOB_CACHE_SLOTS, InstallSpec,
+                                           assemble_install_spec,
+                                           recompile_term)
+from repro.engine.columnar import maybe_batch
+
+#: Reply buckets smaller than this ship as plain row lists: the driver
+#: decodes reply batches immediately (exchange-metric parity), so the
+#: round trip only pays for itself on fat early-iteration buckets.
+REPLY_BATCH_MIN_ROWS = 256
 from repro.engine.kernels import make_fold_kernel, make_router
 from repro.engine.serialization import load_payload
 from repro.engine.setrdd import KeyedStateRDD, SetRDD
@@ -243,9 +263,22 @@ class WorkerSession:
                         [splitter(r) for r in rows], functions)
                     rows = [assembler(k, v) for k, v in pairs]
             router = self.routers[view_name]
-            per_view[view_name] = {
-                pid: bucket for pid, bucket in enumerate(router(rows))
-                if bucket}
+            if self.spec.columnar_batches:
+                # Reply buckets ship columnar: the batch's __reduce__
+                # makes the ok-reply pickle carry the compact encoding,
+                # and the driver decodes back to the identical row lists
+                # before its (simulated-metric-charging) exchange.  The
+                # threshold is higher than the dispatch side's: a reply
+                # bucket is decoded straight back to rows on the driver,
+                # so encode+decode only amortizes on the fat buckets of
+                # the early iterations, not a converging tail's trickle.
+                per_view[view_name] = {
+                    pid: maybe_batch(bucket, REPLY_BATCH_MIN_ROWS)
+                    for pid, bucket in enumerate(router(rows)) if bucket}
+            else:
+                per_view[view_name] = {
+                    pid: bucket for pid, bucket in enumerate(router(rows))
+                    if bucket}
         return per_view
 
     def decompose(self, partition: int, mode: str, delta_rows: list):
@@ -334,6 +367,9 @@ def worker_main(conn, worker_id: int, heartbeat_interval: float) -> None:
     heartbeat.start()
     sessions: dict[str, WorkerSession] = {}
     chaos: list[dict] = []
+    #: Content-addressed heavy-install blobs, FIFO-evicted; mirrors the
+    #: driver's per-worker ``cached_digests`` bookkeeping exactly.
+    blob_cache: dict[str, bytes] = {}
 
     while True:
         try:
@@ -350,8 +386,15 @@ def worker_main(conn, worker_id: int, heartbeat_interval: float) -> None:
             if kind == "ping":
                 result = worker_id
             elif kind == "install":
-                spec = message[2]
-                sessions[spec.sid] = WorkerSession(spec)
+                light, digest, heavy = message[2], message[3], message[4]
+                if heavy is None:
+                    heavy = blob_cache[digest]  # driver predicted a hit
+                else:
+                    blob_cache[digest] = heavy
+                    while len(blob_cache) > BLOB_CACHE_SLOTS:
+                        del blob_cache[next(iter(blob_cache))]
+                sessions[light.sid] = WorkerSession(
+                    assemble_install_spec(light, heavy))
                 result = None
             elif kind == "release":
                 sessions.pop(message[2], None)
@@ -371,6 +414,41 @@ def worker_main(conn, worker_id: int, heartbeat_interval: float) -> None:
                 t0 = time.perf_counter()
                 result = _run_payload(sessions, payload)
                 cpu = time.perf_counter() - t0
+            elif kind == "task_batch":
+                # One coalesced message, one reply per entry, in order —
+                # indistinguishable from separate "task" messages to the
+                # supervisor (its inflight FIFO matches entry order, so
+                # poison-suspect and deadline logic are unchanged).
+                # Liveness under a long batch is the heartbeat daemon's
+                # job; it beats independently of this loop.
+                stage, entries = message[2], message[3]
+                for task_req, task_index, blob in entries:
+                    try:
+                        payload = load_payload(blob)
+                        _apply_chaos(chaos, stage, task_index, heartbeat)
+                        t0 = time.perf_counter()
+                        task_result = _run_payload(sessions, payload)
+                        task_cpu = time.perf_counter() - t0
+                    except BaseException as exc:
+                        try:
+                            exc_blob = pickle.dumps(
+                                exc, protocol=pickle.HIGHEST_PROTOCOL)
+                        except Exception:
+                            exc_blob = None
+                        with lock:
+                            try:
+                                conn.send(("err", task_req, exc_blob,
+                                           traceback.format_exc()))
+                            except Exception:
+                                return
+                        continue
+                    with lock:
+                        try:
+                            conn.send(("ok", task_req, task_cpu,
+                                       task_result))
+                        except Exception:
+                            return
+                continue
             else:
                 raise RuntimeError(f"unknown request kind {kind!r}")
         except BaseException as exc:  # reply-with-error, keep serving

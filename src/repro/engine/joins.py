@@ -39,6 +39,23 @@ def build_hash_table(rows: Iterable[tuple],
     return table
 
 
+def build_hash_table_columns(keys: Iterable, rows: Iterable[tuple]) -> dict:
+    """Columnar build: parallel key column instead of per-row ``key_fn``.
+
+    ``{key: [rows]}`` with buckets in input order — entry-for-entry
+    identical to :func:`build_hash_table` when ``keys`` is the column the
+    key function would have extracted (e.g. ``ColumnBatch.keys(...)``).
+    """
+    table: dict = {}
+    for key, row in zip(keys, rows):
+        bucket = table.get(key)
+        if bucket is None:
+            table[key] = [row]
+        else:
+            bucket.append(row)
+    return table
+
+
 def hash_join_probe(probe_rows: Iterable[tuple],
                     probe_key_fn: Callable[[tuple], object],
                     table: dict,

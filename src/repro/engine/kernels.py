@@ -43,9 +43,11 @@ from repro.engine.partitioner import _stable_hash
 
 __all__ = [
     "AdaptiveJoinSelector",
+    "batch_hash_probe",
     "hash_probe_join",
     "make_extractor",
     "make_fold_kernel",
+    "make_merge_columns_kernel",
     "make_merge_kernel",
     "make_merge_rows_kernel",
     "make_padder",
@@ -295,6 +297,75 @@ def make_merge_rows_kernel(aggregates: tuple[AggregateFunction, ...]
     return None
 
 
+def make_merge_columns_kernel(aggregates: tuple[AggregateFunction, ...]
+                              ) -> Callable[[dict, Iterable, Iterable],
+                                            list] | None:
+    """Columnar merge: ``(state, keys, values) -> fresh rows``, or ``None``.
+
+    The column-decomposed twin of :func:`make_merge_rows_kernel` for a
+    :class:`~repro.engine.columnar.ColumnBatch` whose two columns are the
+    ``(key, value)`` head — the loop walks the zipped key/value columns
+    directly instead of indexing ``row[0]``/``row[1]`` per tuple.  Same
+    eligibility rule (single canonical builtin aggregate), same state
+    transitions, same fresh-delta rows in the same order; the columnar
+    differential suite pins the equivalence.
+    """
+    if len(aggregates) != 1 or aggregates[0] is not BY_NAME.get(
+            aggregates[0].name):
+        return None
+    name = aggregates[0].name
+
+    if name == "min":
+        def merge_columns_min(state, keys, values):
+            fresh: list = []
+            append = fresh.append
+            get = state.get
+            for key, value in zip(keys, values):
+                current = get(key)
+                if current is None:
+                    state[key] = (value,)
+                    append((key, value))
+                elif value < current[0]:
+                    state[key] = (value,)
+                    append((key, value))
+            return fresh
+        return merge_columns_min
+
+    if name == "max":
+        def merge_columns_max(state, keys, values):
+            fresh: list = []
+            append = fresh.append
+            get = state.get
+            for key, value in zip(keys, values):
+                current = get(key)
+                if current is None:
+                    state[key] = (value,)
+                    append((key, value))
+                elif value > current[0]:
+                    state[key] = (value,)
+                    append((key, value))
+            return fresh
+        return merge_columns_max
+
+    if name in ("sum", "count"):
+        def merge_columns_sum(state, keys, values):
+            fresh: list = []
+            append = fresh.append
+            get = state.get
+            for key, value in zip(keys, values):
+                current = get(key)
+                if current is None:
+                    state[key] = (value,)
+                    append((key, value))
+                elif value != 0:
+                    state[key] = (current[0] + value,)
+                    append((key, value))
+            return fresh
+        return merge_columns_sum
+
+    return None
+
+
 def make_fold_kernel(aggregate: AggregateFunction
                      ) -> Callable[[Iterable[tuple]], list] | None:
     """Map-side partial aggregation over ``(key, value)`` rows, inlined.
@@ -356,6 +427,27 @@ def hash_probe_join(rows: Iterable[tuple], table: dict,
     get = table.get
     for row in rows:
         bucket = get(probe_key(row))
+        if bucket is None:
+            continue
+        for build_row in bucket:
+            append(combine(row, build_row))
+    return out
+
+
+def batch_hash_probe(keys: Iterable, rows: Iterable[tuple], table: dict,
+                     combine: Callable[[tuple, tuple], tuple]) -> list[tuple]:
+    """Columnar probe: pre-extracted key column instead of per-row calls.
+
+    Output-identical to :func:`hash_probe_join` with ``probe_key`` being
+    the extractor that produced ``keys`` — the key column of a
+    :class:`~repro.engine.columnar.ColumnBatch` (or any parallel
+    sequence) replaces the per-row ``probe_key(row)`` call.
+    """
+    out: list[tuple] = []
+    append = out.append
+    get = table.get
+    for key, row in zip(keys, rows):
+        bucket = get(key)
         if bucket is None:
             continue
         for build_row in bucket:

@@ -77,6 +77,24 @@ def key_of(row: tuple, key_indices: tuple[int, ...]):
     return tuple(row[i] for i in key_indices)
 
 
+def column_partition_ids(keys, num_partitions: int):
+    """Partition ids for a whole *key column* in one pass.
+
+    The columnar twin of mapping :meth:`HashPartitioner.partition_of`
+    over single-column keys: the exact ``type(key) is int`` fast-path
+    check runs per value, so a mixed column (ints interleaved with
+    strings or ``None``) routes identically to the row-at-a-time loop.
+    Yields one partition id per key, in order.
+    """
+    n = num_partitions
+    stable_hash = _stable_hash
+    for key in keys:
+        if type(key) is int:
+            yield key % n
+        else:
+            yield stable_hash(key) % n
+
+
 def make_key_fn(key_indices: tuple[int, ...]):
     """Return a fast ``row -> key`` callable for the given column positions.
 

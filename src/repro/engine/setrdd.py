@@ -31,8 +31,9 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.engine.aggregates import AggregateFunction
-from repro.engine.kernels import make_merge_kernel, make_merge_rows_kernel
+from repro.engine.aggregates import AggregateFunction, merge_columns
+from repro.engine.kernels import (make_merge_columns_kernel,
+                                  make_merge_kernel, make_merge_rows_kernel)
 from repro.engine.partitioner import HashPartitioner
 from repro.engine.serialization import rows_size
 
@@ -170,6 +171,8 @@ class KeyedStateRDD:
         self._merge_kernel = make_merge_kernel(aggregates) if use_kernels else None
         self._merge_rows_kernel = \
             make_merge_rows_kernel(aggregates) if use_kernels else None
+        self._merge_columns_kernel = \
+            make_merge_columns_kernel(aggregates) if use_kernels else None
 
     @property
     def num_partitions(self) -> int:
@@ -258,6 +261,32 @@ class KeyedStateRDD:
         delta = self.merge(partition_index,
                            [(row[0], row[1:]) for row in rows])
         return [(key, values[0]) for key, values in delta]
+
+    def merge_rows_batch(self, partition_index: int, batch) -> list[tuple]:
+        """Merge a two-column :class:`~repro.engine.columnar.ColumnBatch`.
+
+        Columnar entry point for the same contract as :meth:`merge_rows`:
+        the batch's parallel key/value columns feed the merge loop
+        directly — no per-row ``row[0]``/``row[1]`` indexing, no tuple
+        materialization for rows that do not improve the state.  Kernel
+        for the builtin aggregates, generic single-aggregate dispatch
+        otherwise, row-path fallback for shapes batches never take.
+        """
+        if batch.arity == 2:
+            keys, values = batch.columns
+            kernel = self._merge_columns_kernel
+            if kernel is not None:
+                fresh = kernel(self.partitions[partition_index], keys, values)
+                if fresh:
+                    self._touch(partition_index)
+                return fresh
+            if len(self.aggregates) == 1:
+                fresh = merge_columns(self.partitions[partition_index],
+                                      keys, values, self.aggregates[0])
+                if fresh:
+                    self._touch(partition_index)
+                return fresh
+        return self.merge_rows(partition_index, batch.to_rows())
 
     def snapshot_partition(self, partition_index: int) -> dict:
         """Copy one partition's state for fault recovery (see SetRDD)."""

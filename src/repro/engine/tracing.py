@@ -385,6 +385,17 @@ def _format_supervision_section(trace: dict) -> list[str]:
         lines.append(
             f"  worker deaths: {crashes:.0f} crashed, {reaps:.0f} reaped "
             f"(hung/silent); {respawns:.0f} respawned")
+    messages = metrics.get("process_task_messages", 0)
+    if messages:
+        lines.append(
+            f"  task pipe messages: {messages:.0f} "
+            f"({shipped:.0f} tasks coalesced into batches)")
+    install_bytes = metrics.get("process_install_bytes", 0)
+    saved = metrics.get("process_payload_bytes_saved", 0)
+    if install_bytes or saved:
+        lines.append(
+            f"  install blobs: {install_bytes:.0f} bytes shipped, "
+            f"{saved:.0f} bytes saved by the worker blob cache")
     quarantined = metrics.get("process_tasks_quarantined", 0)
     if quarantined:
         lines.append(f"  poison tasks quarantined: {quarantined:.0f}")
@@ -411,10 +422,25 @@ def _format_kernels_section(trace: dict) -> list[str]:
                for name in ("hash", "sort_merge", "nested_loop")}
     grouped = metrics.get("kernel_grouped_fixpoint_stages", 0)
     fused = metrics.get("kernel_fused_fixpoint_stages", 0)
+    encoded = metrics.get("columnar_batches_encoded", 0)
+    decoded = metrics.get("columnar_batches_decoded", 0)
+    batch_rows = metrics.get("columnar_batch_rows", 0)
+    routes = metrics.get("columnar_routes", 0)
+    deduped = metrics.get("columnar_rows_deduped", 0)
     if not (hits or misses or updates or bypass or grouped or fused
+            or encoded or decoded or routes or deduped
             or any(choices.values())):
         return []
     lines = ["kernels"]
+    if encoded or decoded or routes:
+        lines.append(
+            f"  columnar batches: {encoded:.0f} encoded "
+            f"({batch_rows:.0f} rows), {decoded:.0f} decoded, "
+            f"{routes:.0f} base relations routed columnar")
+    if deduped:
+        lines.append(
+            f"  shuffle dedup: {deduped:.0f} duplicate delta rows dropped "
+            f"before shipping")
     if grouped:
         lines.append(
             f"  decomposed fixpoint: column-decomposed set kernel "

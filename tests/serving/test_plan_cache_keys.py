@@ -44,6 +44,7 @@ FLIP_VALUES = {
     "kernels": False,
     "adaptive_joins": False,
     "kernel_min_rows": 0,
+    "columnar_batches": False,
     "max_iterations": 7,
     "deadline_seconds": 123.0,
     "checkpoint_interval": 4,
